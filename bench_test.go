@@ -1,0 +1,88 @@
+// Benchmarks that regenerate every table and figure of the evaluation
+// chapters of "Free Parallel Data Mining" (run with `go test -bench=.
+// -benchmem`), one benchmark per artifact, plus ablation benches for
+// the design choices called out in DESIGN.md. The heavyweight
+// measurement passes are cached across iterations within a run, so
+// b.N > 1 re-measures only the cheap assembly of each table.
+package freepdm
+
+import (
+	"io"
+	"testing"
+
+	"freepdm/internal/experiments"
+)
+
+func init() {
+	// Keep the full -bench=. sweep bounded: fewer train/test pairs for
+	// the accuracy tables and fewer really-measured trials for the
+	// chapter 6 series. `fpdm exp` uses the full settings.
+	experiments.AccuracyPairs = 2
+	experiments.Ch6Trials = 3
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Chapter 2 — the platform comparison.
+
+func BenchmarkTable2_3(b *testing.B) { benchExperiment(b, "t2.3") }
+
+// Chapter 4 — parallel biological pattern discovery.
+
+func BenchmarkTable4_2(b *testing.B)   { benchExperiment(b, "t4.2") }
+func BenchmarkFigure4_3(b *testing.B)  { benchExperiment(b, "f4.3") }
+func BenchmarkFigure4_8(b *testing.B)  { benchExperiment(b, "f4.8") }
+func BenchmarkFigure4_9(b *testing.B)  { benchExperiment(b, "f4.9") }
+func BenchmarkFigure4_10(b *testing.B) { benchExperiment(b, "f4.10") }
+func BenchmarkFigure4_11(b *testing.B) { benchExperiment(b, "f4.11") }
+func BenchmarkFigure4_12(b *testing.B) { benchExperiment(b, "f4.12") }
+func BenchmarkFigure4_13(b *testing.B) { benchExperiment(b, "f4.13") }
+func BenchmarkFigure4_14(b *testing.B) { benchExperiment(b, "f4.14") }
+
+// Chapter 5 — NyuMiner vs C4.5 and CART, foreign exchange.
+
+func BenchmarkTable5_1(b *testing.B)  { benchExperiment(b, "t5.1") }
+func BenchmarkTable5_2(b *testing.B)  { benchExperiment(b, "t5.2") }
+func BenchmarkTable5_3(b *testing.B)  { benchExperiment(b, "t5.3") }
+func BenchmarkTable5_4(b *testing.B)  { benchExperiment(b, "t5.4") }
+func BenchmarkFigure5_6(b *testing.B) { benchExperiment(b, "f5.6") }
+func BenchmarkTable5_5(b *testing.B)  { benchExperiment(b, "t5.5") }
+func BenchmarkTable5_6(b *testing.B)  { benchExperiment(b, "t5.6") }
+
+// Chapter 6 — parallel classification tree algorithms.
+
+func BenchmarkTable6_1(b *testing.B)  { benchExperiment(b, "t6.1") }
+func BenchmarkFigure6_3(b *testing.B) { benchExperiment(b, "f6.3") }
+func BenchmarkFigure6_4(b *testing.B) { benchExperiment(b, "f6.4") }
+func BenchmarkTable6_2(b *testing.B)  { benchExperiment(b, "t6.2") }
+func BenchmarkFigure6_5(b *testing.B) { benchExperiment(b, "f6.5") }
+func BenchmarkFigure6_6(b *testing.B) { benchExperiment(b, "f6.6") }
+func BenchmarkTable6_3(b *testing.B)  { benchExperiment(b, "t6.3") }
+func BenchmarkFigure6_7(b *testing.B) { benchExperiment(b, "f6.7") }
+func BenchmarkFigure6_8(b *testing.B) { benchExperiment(b, "f6.8") }
+
+// Ablations — the design choices DESIGN.md calls out.
+
+func BenchmarkAblationEdagVsEtree(b *testing.B)       { benchExperiment(b, "a.edag") }
+func BenchmarkAblationAdaptiveDepth(b *testing.B)     { benchExperiment(b, "a.adaptive") }
+func BenchmarkAblationBoundaryPoints(b *testing.B)    { benchExperiment(b, "a.boundary") }
+func BenchmarkAblationLogicalValues(b *testing.B)     { benchExperiment(b, "a.logical") }
+func BenchmarkAblationSubpatternPruning(b *testing.B) { benchExperiment(b, "a.subpattern") }
+func BenchmarkAblationTxnGranularity(b *testing.B)    { benchExperiment(b, "a.txn") }
+func BenchmarkAblationPrefixTree(b *testing.B)        { benchExperiment(b, "a.prefixtree") }
+
+// Future work (section 8.2) realized: frequent episode discovery.
+
+func BenchmarkFutureWorkEpisodes(b *testing.B) { benchExperiment(b, "x.episode") }

@@ -1,0 +1,57 @@
+// Command fpdm is the experiment and demo driver of the Free Parallel
+// Data Mining reproduction. Usage:
+//
+//	fpdm list             list all reproducible tables and figures
+//	fpdm exp <id>...      run experiments by id (e.g. t4.2 f6.3); "all" runs everything
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"freepdm/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+	case "exp":
+		ids := os.Args[2:]
+		if len(ids) == 0 {
+			usage()
+			os.Exit(2)
+		}
+		if len(ids) == 1 && ids[0] == "all" {
+			ids = nil
+			for _, e := range experiments.All() {
+				ids = append(ids, e.ID)
+			}
+		}
+		for _, id := range ids {
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "fpdm: unknown experiment %q (try 'fpdm list')\n", id)
+				os.Exit(1)
+			}
+			if err := e.Run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "fpdm: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fpdm list | fpdm exp <id>...|all")
+}

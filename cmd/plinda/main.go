@@ -1,0 +1,133 @@
+// Command plinda is the chapter 7 runtime environment as a terminal
+// console instead of the original X-Windows interface: it starts a
+// PLinda server running a long parallel data mining demo (sequence
+// pattern discovery over the cyclins-like corpus) and accepts the
+// process-control commands of section 7.2.5 on standard input:
+//
+//	ps                 the "Process Watch" table (figure 7.6)
+//	kill <name>        simulate an owner reclaiming the workstation
+//	migrate <name>     move a process (kill + recover elsewhere)
+//	suspend <name>     pause a process at its next tuple operation
+//	resume <name>      let a suspended process continue
+//	checkpoint <file>  checkpoint the tuple space to disk
+//	restore <file>     roll the tuple space back to a checkpoint
+//	stats              transaction/recovery counters
+//	quit               shut the server down
+//
+// The demo keeps running (and finishing, and producing correct
+// results) no matter how often its workers are killed.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"freepdm/internal/core"
+	"freepdm/internal/mining/motif"
+	"freepdm/internal/plinda"
+	"freepdm/internal/seq"
+)
+
+func main() {
+	srv := plinda.NewServer()
+	defer srv.Close()
+
+	fmt.Println("plinda: starting server and the motif-discovery demo (3 workers)")
+	corpus := seq.CyclinsSpec(42).Generate()
+	pr := motif.NewProblem(corpus, motif.Params{
+		MinOccur: 5, MaxMut: 0, MinLength: 12, MaxLength: 24,
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := core.RunPLET(srv, pr, 3)
+		if err != nil {
+			fmt.Printf("plinda: demo failed: %v\n", err)
+			return
+		}
+		fmt.Printf("\nplinda: demo finished — %d active motifs:\n", len(pr.ActiveMotifs(res)))
+		for _, r := range pr.ActiveMotifs(res) {
+			fmt.Printf("  *%s* occurs in %d sequences\n", r.Pattern.Key(), int(r.Goodness))
+		}
+		fmt.Print("> ")
+	}()
+
+	// Wait for the demo processes to register before accepting
+	// commands, so scripted input sees a populated process table.
+	for i := 0; i < 200 && len(srv.Processes()) == 0; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		cmd := fields[0]
+		arg := ""
+		if len(fields) > 1 {
+			arg = fields[1]
+		}
+		switch cmd {
+		case "ps":
+			fmt.Printf("%-18s %-16s %s\n", "PROCESS", "STATUS", "INCARNATION")
+			for _, p := range srv.Processes() {
+				fmt.Printf("%-18s %-16s %d\n", p.Name, p.Status, p.Incarnation)
+			}
+		case "kill", "migrate":
+			if err := srv.Kill(arg); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("%s: incarnation destroyed; recovery scheduled\n", arg)
+			}
+		case "suspend":
+			if err := srv.Suspend(arg); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "resume":
+			if err := srv.Resume(arg); err != nil {
+				fmt.Println("error:", err)
+			}
+		case "checkpoint":
+			if arg == "" {
+				fmt.Println("usage: checkpoint <file>")
+				break
+			}
+			f, err := os.Create(arg)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if err := srv.Checkpoint(f); err != nil {
+				fmt.Println("error:", err)
+			}
+			f.Close()
+			fmt.Printf("tuple space checkpointed to %s\n", arg)
+		case "restore":
+			f, err := os.Open(arg)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			if err := srv.RestoreCheckpoint(f); err != nil {
+				fmt.Println("error:", err)
+			}
+			f.Close()
+			fmt.Println("tuple space rolled back")
+		case "stats":
+			fmt.Printf("commits=%d aborts=%d kills=%d recoveries=%d tuples=%d\n",
+				srv.Commits(), srv.Aborts(), srv.Kills(), srv.Respawns(), srv.Space().Len())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: ps, kill <p>, migrate <p>, suspend <p>, resume <p>, checkpoint <f>, restore <f>, stats, quit")
+		}
+		fmt.Print("> ")
+	}
+}

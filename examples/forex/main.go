@@ -1,0 +1,50 @@
+// Forex: the "Making Money in Foreign Exchange" application of
+// section 5.6 — select high-confidence NyuMiner-RS rules on the first
+// 13 years of a synthetic Yen/Dollar series, then trade the simple
+// convert-and-return strategy over the second 13 years.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freepdm/internal/fx"
+)
+
+func main() {
+	pair := fx.Pairs[0] // yu: Japanese Yen vs U.S. Dollar
+	fmt.Printf("pair %s (%s): %d trading days\n\n", pair.Name, pair.Long, pair.Days)
+
+	rates := fx.GenerateRates(pair.Days+252+1, pair.Seed)
+	d := fx.BuildDataset(pair.Name, rates)
+	train, test := fx.SplitHalves(d)
+	fmt.Printf("features: %v\n", fx.FeatureNames)
+	fmt.Printf("training on %d days (~1972-1984), testing on %d days (~1985-1997)\n\n",
+		len(train), len(test))
+
+	rng := rand.New(rand.NewSource(pair.Seed))
+	rules := fx.SelectTradingRules(d, train, 3, 0.80, 0.01, rng)
+	fmt.Printf("rules selected at Cmin=80%%, Smin=1%%:\n")
+	for _, r := range rules.Rules {
+		fmt.Printf("  %s\n", r.Describe(d))
+	}
+
+	covered, correct := 0, 0
+	for _, i := range test {
+		pred, ok := rules.Classify(d.Instances[i].Vals)
+		if !ok {
+			continue
+		}
+		covered++
+		if pred == d.Class(i) {
+			correct++
+		}
+	}
+	fmt.Printf("\ncovered %d of %d test days; accuracy on covered days %.1f%%\n",
+		covered, len(test), 100*float64(correct)/float64(covered))
+
+	w0 := fx.Trade(d, test, rates, rules, 0) // start in the first currency (Yen)
+	w1 := fx.Trade(d, test, rates, rules, 1) // start in the second (Dollar)
+	fmt.Printf("starting with 1000 Yen:    %7.0f Yen after 13 years (%+.1f%%)\n", 1000*w0, (w0-1)*100)
+	fmt.Printf("starting with 1000 Dollar: %7.0f Dollar after 13 years (%+.1f%%)\n", 1000*w1, (w1-1)*100)
+}

@@ -1,0 +1,3 @@
+module freepdm
+
+go 1.22

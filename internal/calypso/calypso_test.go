@@ -1,0 +1,177 @@
+package calypso
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// vectorAddition reproduces figure 2.3: result[i] = a[i] + b[i] in 5
+// routine instances of 20 elements each.
+func vectorAddition(t *testing.T, workers []Worker) ([]int, Stats, error) {
+	t.Helper()
+	const n, instances = 100, 5
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = i
+		b[i] = 2 * i
+	}
+	result := make([]int, n)
+	var mu sync.Mutex
+
+	st, err := ParBegin(workers, Routine{
+		Name:      "doaddition",
+		Instances: instances,
+		Body: func(me, total int) (Update, error) {
+			offset := me * (n / total)
+			local := make([]int, n/total)
+			for i := range local {
+				local[i] = a[offset+i] + b[offset+i]
+			}
+			return func() {
+				mu.Lock()
+				copy(result[offset:], local)
+				mu.Unlock()
+			}, nil
+		},
+	})
+	return result, st, err
+}
+
+func checkVector(t *testing.T, result []int) {
+	t.Helper()
+	for i, v := range result {
+		if v != 3*i {
+			t.Fatalf("result[%d]=%d want %d", i, v, 3*i)
+		}
+	}
+}
+
+func TestVectorAdditionFigure23(t *testing.T) {
+	result, st, err := vectorAddition(t, []Worker{{Speed: 1}, {Speed: 1}, {Speed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVector(t, result)
+	if st.Executions < 5 {
+		t.Fatalf("executions %d", st.Executions)
+	}
+}
+
+func TestFailedWorkersCovered(t *testing.T) {
+	// Two of three workers die almost immediately; eager scheduling
+	// lets the survivor finish the step.
+	result, st, err := vectorAddition(t, []Worker{
+		{FailAfter: 1}, {FailAfter: 1}, {Speed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkVector(t, result)
+	if st.Failures != 2 {
+		t.Fatalf("failures %d want 2", st.Failures)
+	}
+}
+
+func TestAllWorkersFailing(t *testing.T) {
+	_, _, err := vectorAddition(t, []Worker{{FailAfter: 1}, {FailAfter: 2}})
+	if err == nil {
+		t.Fatal("step completed with every worker dead")
+	}
+}
+
+func TestNoWorkers(t *testing.T) {
+	if _, err := func() (Stats, error) { return ParBegin(nil) }(); err != ErrNoWorkers {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func TestEvasiveMemoryAppliesUpdateOnce(t *testing.T) {
+	// A single slow instance re-executed by eager workers must apply
+	// its update exactly once.
+	var applied int
+	var mu sync.Mutex
+	st, err := ParBegin(
+		[]Worker{{Speed: 1}, {Speed: 1}, {Speed: 1}, {Speed: 1}},
+		Routine{Name: "solo", Instances: 2, Body: func(me, _ int) (Update, error) {
+			return func() {
+				mu.Lock()
+				applied++
+				mu.Unlock()
+			}, nil
+		}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("updates applied %d, want exactly 2 (one per instance)", applied)
+	}
+	if st.Executions != st.Redundant+2 {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}
+
+func TestBodyErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := ParBegin([]Worker{{Speed: 1}},
+		Routine{Name: "bad", Instances: 1, Body: func(int, int) (Update, error) {
+			return nil, boom
+		}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+// Property: with random worker sets (at least one survivor) and random
+// instance counts, every instance's update is applied exactly once.
+func TestPropertyExactlyOnceUpdates(t *testing.T) {
+	f := func(instRaw, workersRaw, failRaw uint8) bool {
+		instances := int(instRaw%20) + 1
+		nWorkers := int(workersRaw%4) + 1
+		workers := make([]Worker, nWorkers)
+		for i := 1; i < nWorkers; i++ {
+			workers[i].FailAfter = int(failRaw%5) + 1
+		}
+		counts := make([]int, instances)
+		var mu sync.Mutex
+		_, err := ParBegin(workers, Routine{
+			Instances: instances,
+			Body: func(me, _ int) (Update, error) {
+				return func() {
+					mu.Lock()
+					counts[me]++
+					mu.Unlock()
+				}, nil
+			},
+		})
+		if err != nil {
+			return false
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParBegin(b *testing.B) {
+	workers := []Worker{{Speed: 1}, {Speed: 1}, {Speed: 1}, {Speed: 1}}
+	for i := 0; i < b.N; i++ {
+		ParBegin(workers, Routine{Instances: 32, Body: func(me, _ int) (Update, error) {
+			s := 0
+			for j := 0; j < 1000; j++ {
+				s += j * me
+			}
+			_ = s
+			return func() {}, nil
+		}})
+	}
+}

@@ -1,0 +1,229 @@
+// Package cart is a from-scratch implementation of CART (Breiman,
+// Friedman, Olshen & Stone 1984) as the dissertation uses it for
+// comparison (section 5.5, via the IND package): Gini-index binary
+// splits for both numerical and categorical variables, grown to purity
+// and pruned by minimal cost-complexity pruning with V-fold cross
+// validation.
+package cart
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"freepdm/internal/classify"
+	"freepdm/internal/dataset"
+)
+
+// Config parameterizes CART.
+type Config struct {
+	// MinSplit is the minimum node size eligible for splitting
+	// (default 2).
+	MinSplit int
+	// MaxSubsetArity bounds the exact categorical subset enumeration;
+	// attributes with more distinct values use the class-proportion
+	// ordering (exact for two classes by the CART ordering theorem).
+	// Default 10.
+	MaxSubsetArity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSplit < 2 {
+		c.MinSplit = 2
+	}
+	if c.MaxSubsetArity == 0 {
+		c.MaxSubsetArity = 10
+	}
+	return c
+}
+
+// Selector implements CART's binary Gini split search.
+type Selector struct{ cfg Config }
+
+// NewSelector returns a CART split selector.
+func NewSelector(cfg Config) *Selector { return &Selector{cfg.withDefaults()} }
+
+// Select implements classify.SplitSelector.
+func (s *Selector) Select(d *dataset.Dataset, idx []int) *classify.Split {
+	parent := classify.ImpurityOfCounts(classify.Gini{}, d.ClassHistogram(idx))
+	best := math.Inf(1)
+	var bestSplit *classify.Split
+	for a := range d.Attrs {
+		var sp *classify.Split
+		var imp float64
+		if d.Attrs[a].Kind == dataset.Numeric {
+			sp, imp = s.numeric(d, idx, a)
+		} else {
+			sp, imp = s.categorical(d, idx, a)
+		}
+		if sp != nil && imp < best-1e-12 {
+			best = imp
+			bestSplit = sp
+		}
+	}
+	if bestSplit == nil || best >= parent-1e-12 {
+		return nil
+	}
+	return bestSplit
+}
+
+func (s *Selector) numeric(d *dataset.Dataset, idx []int, attr int) (*classify.Split, float64) {
+	type vc struct {
+		v float64
+		c int
+	}
+	vals := make([]vc, 0, len(idx))
+	for _, i := range idx {
+		v := d.Value(i, attr)
+		if !dataset.IsMissing(v) {
+			vals = append(vals, vc{v, d.Class(i)})
+		}
+	}
+	if len(vals) < 2 {
+		return nil, 0
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+	nc := len(d.Classes)
+	left := make([]int, nc)
+	right := make([]int, nc)
+	for _, e := range vals {
+		right[e.c]++
+	}
+	best := math.Inf(1)
+	bestCut := math.NaN()
+	for i := 0; i+1 < len(vals); i++ {
+		left[vals[i].c]++
+		right[vals[i].c]--
+		if vals[i].v == vals[i+1].v {
+			continue
+		}
+		imp := classify.AggregateImpurity(classify.Gini{}, [][]int{left, right})
+		if imp < best {
+			best = imp
+			bestCut = vals[i].v
+		}
+	}
+	if math.IsNaN(bestCut) {
+		return nil, 0
+	}
+	return &classify.Split{Attr: attr, Kind: dataset.Numeric, Cuts: []float64{bestCut}, Branches: 2}, best
+}
+
+func (s *Selector) categorical(d *dataset.Dataset, idx []int, attr int) (*classify.Split, float64) {
+	arity := len(d.Attrs[attr].Values)
+	nc := len(d.Classes)
+	perVal := make([][]int, arity)
+	for v := range perVal {
+		perVal[v] = make([]int, nc)
+	}
+	var present []int
+	for _, i := range idx {
+		v := d.Value(i, attr)
+		if dataset.IsMissing(v) {
+			continue
+		}
+		vi := int(v)
+		if sum(perVal[vi]) == 0 {
+			present = append(present, vi)
+		}
+		perVal[vi][d.Class(i)]++
+	}
+	if len(present) < 2 {
+		return nil, 0
+	}
+	sort.Ints(present)
+
+	eval := func(inLeft func(v int) bool) (float64, bool) {
+		left := make([]int, nc)
+		right := make([]int, nc)
+		nl, nr := 0, 0
+		for _, v := range present {
+			for c, n := range perVal[v] {
+				if inLeft(v) {
+					left[c] += n
+					nl += n
+				} else {
+					right[c] += n
+					nr += n
+				}
+			}
+		}
+		if nl == 0 || nr == 0 {
+			return 0, false
+		}
+		return classify.AggregateImpurity(classify.Gini{}, [][]int{left, right}), true
+	}
+
+	best := math.Inf(1)
+	var bestLeft map[int]bool
+	if len(present) <= s.cfg.MaxSubsetArity {
+		// Exact search over the 2^(m-1)-1 distinct binary partitions.
+		m := len(present)
+		for mask := 1; mask < 1<<(m-1); mask++ {
+			leftSet := map[int]bool{}
+			for bit := 0; bit < m; bit++ {
+				if mask&(1<<bit) != 0 {
+					leftSet[present[bit]] = true
+				}
+			}
+			if imp, ok := eval(func(v int) bool { return leftSet[v] }); ok && imp < best {
+				best = imp
+				bestLeft = leftSet
+			}
+		}
+	} else {
+		// Order values by the proportion of class 0 and scan prefix
+		// splits (the CART ordering theorem; exact for two classes).
+		order := append([]int(nil), present...)
+		sort.SliceStable(order, func(i, j int) bool {
+			pi := float64(perVal[order[i]][0]) / float64(sum(perVal[order[i]]))
+			pj := float64(perVal[order[j]][0]) / float64(sum(perVal[order[j]]))
+			return pi < pj
+		})
+		for cut := 1; cut < len(order); cut++ {
+			leftSet := map[int]bool{}
+			for _, v := range order[:cut] {
+				leftSet[v] = true
+			}
+			if imp, ok := eval(func(v int) bool { return leftSet[v] }); ok && imp < best {
+				best = imp
+				bestLeft = leftSet
+			}
+		}
+	}
+	if bestLeft == nil {
+		return nil, 0
+	}
+	assign := make([]int, arity)
+	for v := range assign {
+		if bestLeft[v] {
+			assign[v] = 0
+		} else {
+			assign[v] = 1
+		}
+	}
+	return &classify.Split{Attr: attr, Kind: dataset.Categorical, Assign: assign, Branches: 2}, best
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Grow builds an unpruned CART tree.
+func Grow(d *dataset.Dataset, idx []int, cfg Config) *classify.Tree {
+	cfg = cfg.withDefaults()
+	return classify.Grow(d, idx, NewSelector(cfg), classify.GrowOptions{MinSplit: cfg.MinSplit})
+}
+
+// TrainCV grows a CART tree and prunes it by minimal cost-complexity
+// pruning with V-fold cross validation, CART's standard recipe.
+func TrainCV(d *dataset.Dataset, idx []int, v int, cfg Config, rng *rand.Rand) *classify.PrunedTree {
+	cfg = cfg.withDefaults()
+	grow := func(dd *dataset.Dataset, ii []int) *classify.Tree { return Grow(dd, ii, cfg) }
+	pt, _ := classify.CVPrune(d, idx, v, grow, rng)
+	return pt
+}

@@ -1,0 +1,139 @@
+// Package meta implements the arbiter-tree Meta-Learning scheme of
+// Chan & Stolfo that section 2.1.6 of "Free Parallel Data Mining"
+// surveys as the second approach to parallelizing decision trees
+// (figure 2.2): the database is divided horizontally into subsets, a
+// base classifier is trained on each, and a binary tree of arbiters
+// combines their predictions — each arbiter trained on the cases its
+// two children disagree about. Training the s base classifiers is
+// embarrassingly parallel; the log s arbiter levels are the sequential
+// part, which is where the O(s/log s) theoretical speedup comes from.
+package meta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freepdm/internal/dataset"
+)
+
+// Classifier is anything that predicts a class from attribute values.
+type Classifier interface {
+	Classify(vals []float64) int
+}
+
+// Learner trains a classifier on a subset of the dataset.
+type Learner func(d *dataset.Dataset, idx []int) Classifier
+
+// node is one vertex of the arbiter tree: a leaf holds a base
+// classifier; an interior node holds two children and an arbiter.
+type node struct {
+	base        Classifier // leaves
+	left, right *node
+	arbiter     Classifier
+	trainIdx    []int // the union of training indexes under this node
+}
+
+// Tree is a trained arbiter tree (figure 2.2).
+type Tree struct {
+	root       *node
+	Partitions int
+	Levels     int
+	// ArbiterTrainingCases counts the disagreement sets the arbiters
+	// were trained on, a measure of how much sequential work the
+	// combination phase needs.
+	ArbiterTrainingCases int
+}
+
+// Train partitions idx into s subsets, trains a base classifier on
+// each, and builds the arbiter tree bottom-up. s is rounded down to a
+// power of two (the paper's binary arbiter tree).
+func Train(d *dataset.Dataset, idx []int, s int, learn Learner, rng *rand.Rand) (*Tree, error) {
+	if s < 2 {
+		return nil, fmt.Errorf("meta: need at least 2 partitions, got %d", s)
+	}
+	for s&(s-1) != 0 {
+		s--
+	}
+	perm := append([]int(nil), idx...)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+	// Leaves: base classifiers on the horizontal partitions.
+	level := make([]*node, s)
+	for i := 0; i < s; i++ {
+		lo, hi := i*len(perm)/s, (i+1)*len(perm)/s
+		sub := append([]int(nil), perm[lo:hi]...)
+		level[i] = &node{base: learn(d, sub), trainIdx: sub}
+	}
+	t := &Tree{Partitions: s}
+
+	// Combine pairwise until one root remains.
+	for len(level) > 1 {
+		t.Levels++
+		next := make([]*node, 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			l, r := level[i], level[i+1]
+			union := append(append([]int(nil), l.trainIdx...), r.trainIdx...)
+			// The arbiter's training set: cases the two subtrees
+			// disagree on (Chan & Stolfo's arbiter rule).
+			var disagreements []int
+			for _, j := range union {
+				vals := d.Instances[j].Vals
+				if classifyNode(l, vals) != classifyNode(r, vals) {
+					disagreements = append(disagreements, j)
+				}
+			}
+			n := &node{left: l, right: r, trainIdx: union}
+			if len(disagreements) > 0 {
+				n.arbiter = learn(d, disagreements)
+				t.ArbiterTrainingCases += len(disagreements)
+			}
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+func classifyNode(n *node, vals []float64) int {
+	if n.base != nil {
+		return n.base.Classify(vals)
+	}
+	lp := classifyNode(n.left, vals)
+	rp := classifyNode(n.right, vals)
+	if lp == rp || n.arbiter == nil {
+		return lp
+	}
+	return n.arbiter.Classify(vals)
+}
+
+// Classify implements Classifier: children that agree win; otherwise
+// their arbiter decides.
+func (t *Tree) Classify(vals []float64) int { return classifyNode(t.root, vals) }
+
+// Accuracy evaluates the arbiter tree on idx.
+func (t *Tree) Accuracy(d *dataset.Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, i := range idx {
+		if t.Classify(d.Instances[i].Vals) == d.Class(i) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(idx))
+}
+
+// TheoreticalSpeedup is the O(s/log s) bound section 2.1.6 quotes for
+// s partitions.
+func TheoreticalSpeedup(s int) float64 {
+	if s < 2 {
+		return 1
+	}
+	logs := 0
+	for v := s; v > 1; v >>= 1 {
+		logs++
+	}
+	return float64(s) / float64(logs)
+}

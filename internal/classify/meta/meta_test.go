@@ -1,0 +1,128 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freepdm/internal/classify"
+	"freepdm/internal/classify/c45"
+	"freepdm/internal/dataset"
+)
+
+func c45Learner(d *dataset.Dataset, idx []int) Classifier {
+	return c45.Train(d, idx, c45.Config{})
+}
+
+func TestArbiterTreeShape(t *testing.T) {
+	d, _ := dataset.Benchmark("vote", 51)
+	rng := rand.New(rand.NewSource(1))
+	tr, err := Train(d, d.AllIndexes(), 4, c45Learner, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Partitions != 4 || tr.Levels != 2 {
+		t.Fatalf("partitions=%d levels=%d, want 4 and 2 (figure 2.2)", tr.Partitions, tr.Levels)
+	}
+}
+
+func TestPartitionsRoundedToPowerOfTwo(t *testing.T) {
+	d, _ := dataset.Benchmark("vote", 52)
+	rng := rand.New(rand.NewSource(2))
+	tr, err := Train(d, d.AllIndexes(), 7, c45Learner, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Partitions != 4 {
+		t.Fatalf("partitions=%d, want 4", tr.Partitions)
+	}
+	if _, err := Train(d, d.AllIndexes(), 1, c45Learner, rng); err == nil {
+		t.Fatal("accepted a single partition")
+	}
+}
+
+func TestMetaAccuracyNearMonolithic(t *testing.T) {
+	d, _ := dataset.Benchmark("mushrooms", 53)
+	rng := rand.New(rand.NewSource(3))
+	train, test := d.StratifiedHalves(rng)
+	mono := c45.Train(d, train, c45.Config{})
+	tr, err := Train(d, train, 4, c45Learner, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoAcc := mono.Accuracy(d, test)
+	metaAcc := tr.Accuracy(d, test)
+	if metaAcc < monoAcc-0.03 {
+		t.Fatalf("meta accuracy %.3f much worse than monolithic %.3f", metaAcc, monoAcc)
+	}
+}
+
+func TestMetaBeatsWorstPartition(t *testing.T) {
+	d, _ := dataset.Benchmark("diabetes", 54)
+	rng := rand.New(rand.NewSource(4))
+	train, test := d.StratifiedHalves(rng)
+	tr, err := Train(d, train, 4, c45Learner, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A classifier trained on one quarter of the data.
+	quarter := c45.Train(d, train[:len(train)/4], c45.Config{})
+	metaAcc := tr.Accuracy(d, test)
+	quarterAcc := quarter.Accuracy(d, test)
+	if metaAcc < quarterAcc-0.05 {
+		t.Fatalf("meta %.3f clearly worse than a single quarter %.3f", metaAcc, quarterAcc)
+	}
+}
+
+func TestArbiterResolvesDisagreements(t *testing.T) {
+	// Two base classifiers that always disagree force the arbiter to
+	// decide everything.
+	d, _ := dataset.Benchmark("vote", 55)
+	always := func(c int) Learner {
+		return func(*dataset.Dataset, []int) Classifier { return constClassifier(c) }
+	}
+	_ = always
+	rng := rand.New(rand.NewSource(5))
+	calls := 0
+	learner := func(dd *dataset.Dataset, idx []int) Classifier {
+		calls++
+		switch calls {
+		case 1:
+			return constClassifier(0)
+		case 2:
+			return constClassifier(1)
+		default:
+			// The arbiter: a real tree trained on the disagreements
+			// (which is every case).
+			return c45.Train(dd, idx, c45.Config{})
+		}
+	}
+	tr, err := Train(d, d.AllIndexes(), 2, learner, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ArbiterTrainingCases != d.Len() {
+		t.Fatalf("arbiter trained on %d cases, want all %d", tr.ArbiterTrainingCases, d.Len())
+	}
+	if acc := tr.Accuracy(d, d.AllIndexes()); acc < 0.8 {
+		t.Fatalf("arbiter-driven accuracy %.3f", acc)
+	}
+}
+
+type constClassifier int
+
+func (c constClassifier) Classify([]float64) int { return int(c) }
+
+var _ classify.SplitSelector = (*classify.ParallelSelector)(nil)
+
+func TestTheoreticalSpeedup(t *testing.T) {
+	if s := TheoreticalSpeedup(4); math.Abs(s-2) > 1e-9 {
+		t.Fatalf("speedup(4)=%v want 2", s)
+	}
+	if s := TheoreticalSpeedup(16); math.Abs(s-4) > 1e-9 {
+		t.Fatalf("speedup(16)=%v want 4", s)
+	}
+	if s := TheoreticalSpeedup(1); s != 1 {
+		t.Fatalf("speedup(1)=%v", s)
+	}
+}

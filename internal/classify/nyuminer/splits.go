@@ -1,0 +1,315 @@
+// Package nyuminer implements the NyuMiner classification tree
+// algorithm of chapter 5 of "Free Parallel Data Mining": at every node
+// it selects an optimal sub-K-ary split — the split with the fewest
+// branches among all splits into at most K partitions having the least
+// aggregate impurity (definition 7) — with respect to any impurity
+// function satisfying definition 5, for both numerical and categorical
+// variables. Two flavors are provided: NyuMiner-CV (minimal cost-
+// complexity pruning with V-fold cross validation, section 5.4.1) and
+// NyuMiner-RS (multiple incremental sampling plus rule selection,
+// section 5.4.2).
+package nyuminer
+
+import (
+	"math"
+	"sort"
+
+	"freepdm/internal/classify"
+	"freepdm/internal/dataset"
+)
+
+// Basket is a run of data elements collapsed by value (figure 5.2):
+// Hi is the largest attribute value in the basket and Counts its class
+// histogram.
+type Basket struct {
+	Hi     float64
+	Counts []int
+	N      int
+}
+
+// label returns the single class of a pure basket, or -1 for a mixed
+// ("M") basket.
+func (b Basket) label() int {
+	cls := -1
+	for c, n := range b.Counts {
+		if n > 0 {
+			if cls >= 0 {
+				return -1
+			}
+			cls = c
+		}
+	}
+	return cls
+}
+
+// NumericBaskets groups the non-missing values of attribute attr over
+// idx into value baskets and then merges adjacent baskets with equal
+// pure class labels, so that only boundary points (Fayyad–Irani;
+// theorem 5) remain as candidate cut points.
+func NumericBaskets(d *dataset.Dataset, idx []int, attr int) []Basket {
+	type vc struct {
+		v float64
+		c int
+	}
+	vals := make([]vc, 0, len(idx))
+	for _, i := range idx {
+		v := d.Value(i, attr)
+		if !dataset.IsMissing(v) {
+			vals = append(vals, vc{v, d.Class(i)})
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+	nc := len(d.Classes)
+	var baskets []Basket
+	for _, e := range vals {
+		if len(baskets) > 0 && baskets[len(baskets)-1].Hi == e.v {
+			b := &baskets[len(baskets)-1]
+			b.Counts[e.c]++
+			b.N++
+			continue
+		}
+		b := Basket{Hi: e.v, Counts: make([]int, nc), N: 1}
+		b.Counts[e.c]++
+		baskets = append(baskets, b)
+	}
+	return MergeBoundary(baskets)
+}
+
+// MergeBoundary combines adjacent baskets with the same pure class
+// label (figure 5.4); adjacent mixed baskets are kept separate, as are
+// pure baskets of different classes.
+func MergeBoundary(baskets []Basket) []Basket {
+	if len(baskets) == 0 {
+		return baskets
+	}
+	out := baskets[:1]
+	for _, b := range baskets[1:] {
+		last := &out[len(out)-1]
+		ll, bl := last.label(), b.label()
+		if ll >= 0 && ll == bl {
+			for c := range last.Counts {
+				last.Counts[c] += b.Counts[c]
+			}
+			last.N += b.N
+			last.Hi = b.Hi
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// CoalesceBaskets reduces a basket sequence to at most maxB baskets by
+// merging adjacent ones, preserving order. This is the standard
+// discretization applied before the O(K·B²) dynamic program when B is
+// very large (continuous attributes at big nodes); with maxB >= B it
+// is the identity and the split is exactly optimal.
+func CoalesceBaskets(baskets []Basket, maxB int) []Basket {
+	if maxB < 2 || len(baskets) <= maxB {
+		return baskets
+	}
+	total := 0
+	for _, b := range baskets {
+		total += b.N
+	}
+	per := (total + maxB - 1) / maxB
+	var out []Basket
+	for _, b := range baskets {
+		if len(out) > 0 && out[len(out)-1].N+b.N <= per {
+			last := &out[len(out)-1]
+			for c := range last.Counts {
+				last.Counts[c] += b.Counts[c]
+			}
+			last.N += b.N
+			last.Hi = b.Hi
+			continue
+		}
+		nb := Basket{Hi: b.Hi, Counts: append([]int(nil), b.Counts...), N: b.N}
+		out = append(out, nb)
+	}
+	return out
+}
+
+// OptimalSplit is the outcome of the sub-K-ary optimization: the
+// boundaries (indexes into the basket sequence: branch i covers
+// baskets (bounds[i-1], bounds[i]]) and the aggregate impurity.
+type OptimalSplit struct {
+	Bounds   []int // rightmost basket index of each branch; last = B-1
+	Impurity float64
+	Branches int
+}
+
+// OptimalSubK runs the dynamic program of section 5.3.1 over an
+// ordered basket sequence: I(k,1,i) = min_j [ I(k-1,1,j) + w(j+1,i) ],
+// where w is the weighted impurity of merging baskets j+1..i. Among
+// all k <= K attaining the minimal aggregate impurity, the smallest k
+// wins (definition 7: optimal sub-K-ary). Complexity O(K·B²).
+func OptimalSubK(im classify.Impurity, baskets []Basket, k int) OptimalSplit {
+	b := len(baskets)
+	if b == 0 {
+		return OptimalSplit{Impurity: 0, Branches: 0}
+	}
+	if k > b {
+		k = b
+	}
+	if k < 1 {
+		k = 1
+	}
+	nc := len(baskets[0].Counts)
+	total := 0
+	for _, bk := range baskets {
+		total += bk.N
+	}
+	// prefix[i][c] = count of class c in baskets[0..i-1].
+	prefix := make([][]int, b+1)
+	prefix[0] = make([]int, nc)
+	for i, bk := range baskets {
+		row := make([]int, nc)
+		copy(row, prefix[i])
+		for c, n := range bk.Counts {
+			row[c] += n
+		}
+		prefix[i+1] = row
+	}
+	probs := make([]float64, nc)
+	// w(lo,hi) = (n/total) * impurity of baskets[lo..hi] (0-based incl).
+	w := func(lo, hi int) float64 {
+		n := 0
+		for c := 0; c < nc; c++ {
+			cnt := prefix[hi+1][c] - prefix[lo][c]
+			probs[c] = float64(cnt)
+			n += cnt
+		}
+		if n == 0 {
+			return 0
+		}
+		for c := range probs {
+			probs[c] /= float64(n)
+		}
+		return float64(n) / float64(total) * im.Of(probs)
+	}
+
+	// cost[k][i]: minimal aggregate impurity of splitting baskets
+	// 0..i into k+1 intervals; choice[k][i]: the j achieving it.
+	cost := make([][]float64, k)
+	choice := make([][]int, k)
+	for kk := range cost {
+		cost[kk] = make([]float64, b)
+		choice[kk] = make([]int, b)
+	}
+	for i := 0; i < b; i++ {
+		cost[0][i] = w(0, i)
+		choice[0][i] = -1
+	}
+	for kk := 1; kk < k; kk++ {
+		for i := kk; i < b; i++ {
+			best := math.Inf(1)
+			bestJ := -1
+			for j := kk - 1; j < i; j++ {
+				c := cost[kk-1][j] + w(j+1, i)
+				if c < best {
+					best = c
+					bestJ = j
+				}
+			}
+			cost[kk][i] = best
+			choice[kk][i] = bestJ
+		}
+	}
+	// Optimal sub-K-ary: minimal impurity, then fewest branches.
+	bestK := 0
+	for kk := 1; kk < k; kk++ {
+		if cost[kk][b-1] < cost[bestK][b-1]-1e-12 {
+			bestK = kk
+		}
+	}
+	sp := OptimalSplit{Impurity: cost[bestK][b-1], Branches: bestK + 1}
+	// Reconstruct boundaries.
+	bounds := make([]int, bestK+1)
+	i := b - 1
+	for kk := bestK; kk >= 0; kk-- {
+		bounds[kk] = i
+		i = choice[kk][i]
+	}
+	sp.Bounds = bounds
+	return sp
+}
+
+// CategoricalBaskets returns the logical-value baskets for a
+// categorical attribute plus, for each basket, the original category
+// indexes it stands for.
+func CategoricalBaskets(d *dataset.Dataset, idx []int, attr int) ([]Basket, [][]int) {
+	arity := len(d.Attrs[attr].Values)
+	nc := len(d.Classes)
+	perVal := make([][]int, arity)
+	for v := range perVal {
+		perVal[v] = make([]int, nc)
+	}
+	for _, i := range idx {
+		v := d.Value(i, attr)
+		if dataset.IsMissing(v) {
+			continue
+		}
+		perVal[int(v)][d.Class(i)]++
+	}
+	var out []Basket
+	var sets [][]int
+	pureIdx := make([]int, nc)
+	for c := range pureIdx {
+		pureIdx[c] = -1
+	}
+	for v, counts := range perVal {
+		n := 0
+		for _, c := range counts {
+			n += c
+		}
+		if n == 0 {
+			continue
+		}
+		bk := Basket{Counts: append([]int(nil), counts...), N: n}
+		if cls := bk.label(); cls >= 0 && pureIdx[cls] >= 0 {
+			j := pureIdx[cls]
+			for c := range out[j].Counts {
+				out[j].Counts[c] += counts[c]
+			}
+			out[j].N += n
+			sets[j] = append(sets[j], v)
+			continue
+		} else if cls >= 0 {
+			pureIdx[cls] = len(out)
+		}
+		out = append(out, bk)
+		sets = append(sets, []int{v})
+	}
+	return out, sets
+}
+
+// permutations feeds every permutation of 0..n-1 to fn; fn returning
+// false stops the enumeration (Heap's algorithm).
+func permutations(n int, fn func(perm []int) bool) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == 1 {
+			return fn(perm)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if k%2 == 0 {
+				perm[i], perm[k-1] = perm[k-1], perm[i]
+			} else {
+				perm[0], perm[k-1] = perm[k-1], perm[0]
+			}
+		}
+		return true
+	}
+	rec(n)
+}

@@ -1,0 +1,72 @@
+package classify
+
+import (
+	"sync"
+
+	"freepdm/internal/dataset"
+)
+
+// ParallelSelector evaluates candidate attributes concurrently — the
+// intra-node parallelism section 2.1.6 points out ("clearly, building
+// histograms on attribute values and computing gain ratios for
+// attributes can be done in parallel"). It wraps any per-attribute
+// selector: the inner selector must implement SelectAttr, scoring one
+// attribute at a time; ParallelSelector fans the attributes out over
+// the given number of goroutines and keeps the best-scoring split.
+type ParallelSelector struct {
+	Inner   AttrSelector
+	Workers int
+}
+
+// AttrSelector scores a single attribute: it returns the attribute's
+// best split and a score where LOWER is better (aggregate impurity),
+// or nil when the attribute yields no useful split. LeafScore is the
+// node's own score (the parent impurity), which a split must beat.
+type AttrSelector interface {
+	SelectAttr(d *dataset.Dataset, idx []int, attr int) (*Split, float64)
+	LeafScore(d *dataset.Dataset, idx []int) float64
+}
+
+// Select implements SplitSelector.
+func (ps *ParallelSelector) Select(d *dataset.Dataset, idx []int) *Split {
+	workers := ps.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	type scored struct {
+		split *Split
+		score float64
+	}
+	results := make([]scored, d.NumAttrs())
+	attrs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range attrs {
+				sp, sc := ps.Inner.SelectAttr(d, idx, a)
+				results[a] = scored{sp, sc}
+			}
+		}()
+	}
+	for a := 0; a < d.NumAttrs(); a++ {
+		attrs <- a
+	}
+	close(attrs)
+	wg.Wait()
+
+	best := -1
+	for a, r := range results {
+		if r.split == nil {
+			continue
+		}
+		if best < 0 || r.score < results[best].score-1e-12 {
+			best = a
+		}
+	}
+	if best < 0 || results[best].score >= ps.Inner.LeafScore(d, idx)-1e-12 {
+		return nil
+	}
+	return results[best].split
+}

@@ -1,0 +1,200 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"freepdm/internal/dataset"
+)
+
+// Cond is one attribute-value condition of a rule: the instance must
+// route to the given branch of the split.
+type Cond struct {
+	Split  *Split
+	Branch int
+}
+
+// Matches reports whether the values satisfy the condition. Missing
+// values do not match (the rule abstains), unlike tree descent which
+// follows the default branch: rule selection wants high-precision
+// rules, not total coverage.
+func (c Cond) Matches(vals []float64) bool {
+	v := vals[c.Split.Attr]
+	if dataset.IsMissing(v) {
+		return false
+	}
+	return c.Split.Branch(v) == c.Branch
+}
+
+// Rule is a classification rule read off a tree node (section 5.4.2):
+// the conjunction of conditions on the root-to-node path, the node's
+// majority class, its confidence (majority fraction) and support
+// (fraction of the training set reaching the node).
+type Rule struct {
+	Conds []Cond
+	Class int
+	Conf  float64
+	Supp  float64
+}
+
+// Matches reports whether all conditions hold.
+func (r *Rule) Matches(vals []float64) bool {
+	for _, c := range r.Conds {
+		if !c.Matches(vals) {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders the rule for display (figure 5.6 style).
+func (r *Rule) Describe(d *dataset.Dataset) string {
+	if len(r.Conds) == 0 {
+		return fmt.Sprintf("(plurality) => %s (%.0f%%, %.1f%%)",
+			d.Classes[r.Class], r.Conf*100, r.Supp*100)
+	}
+	parts := make([]string, len(r.Conds))
+	for i, c := range r.Conds {
+		parts[i] = c.Split.Describe(d, c.Branch)
+	}
+	return fmt.Sprintf("%s => %s (%.0f%%, %.1f%%)",
+		strings.Join(parts, " & "), d.Classes[r.Class], r.Conf*100, r.Supp*100)
+}
+
+// Higher implements the partial order of definition 9: r > r' iff
+// Conf(r) > Conf(r') and Supp(r) > Supp(r').
+func (r *Rule) Higher(o *Rule) bool { return r.Conf > o.Conf && r.Supp > o.Supp }
+
+// ExtractRules turns every node of a tree into a rule. The total
+// training size N is taken from the root.
+func ExtractRules(t *Tree) []*Rule {
+	total := t.Root.N
+	var rules []*Rule
+	var walk func(n *Node, conds []Cond)
+	walk = func(n *Node, conds []Cond) {
+		if n.N > 0 {
+			r := &Rule{
+				Conds: append([]Cond(nil), conds...),
+				Class: n.Majority,
+				Conf:  float64(n.Counts[n.Majority]) / float64(n.N),
+				Supp:  float64(n.N) / float64(total),
+			}
+			rules = append(rules, r)
+		}
+		if n.IsLeaf() {
+			return
+		}
+		for b, ch := range n.Children {
+			walk(ch, append(conds, Cond{n.Split, b}))
+		}
+	}
+	walk(t.Root, nil)
+	return rules
+}
+
+// RuleList is an ordered classifying rule list (section 5.4.2).
+type RuleList struct {
+	Rules    []*Rule
+	Fallback int // class predicted when no rule matches (-1 = abstain)
+}
+
+// SelectRules filters the rules of the given trees by the confidence
+// and support thresholds and sorts them into a classifying rule list.
+// The sort (descending confidence, then descending support) is a
+// linear extension of the definition-9 partial order, and the
+// first-match classification therefore also resolves equal-order
+// clashes toward the higher-confidence rule, as the text prescribes.
+func SelectRules(trees []*Tree, cmin, smin float64, fallback int) *RuleList {
+	var rules []*Rule
+	for _, t := range trees {
+		for _, r := range ExtractRules(t) {
+			if len(r.Conds) > 0 && r.Conf >= cmin && r.Supp >= smin {
+				rules = append(rules, r)
+			}
+		}
+	}
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Conf != rules[j].Conf {
+			return rules[i].Conf > rules[j].Conf
+		}
+		if rules[i].Supp != rules[j].Supp {
+			return rules[i].Supp > rules[j].Supp
+		}
+		return len(rules[i].Conds) < len(rules[j].Conds)
+	})
+	return &RuleList{Rules: rules, Fallback: fallback}
+}
+
+// Classify returns the decision class of the first matching rule, the
+// fallback when none matches, and whether any rule matched.
+func (rl *RuleList) Classify(vals []float64) (class int, covered bool) {
+	for _, r := range rl.Rules {
+		if r.Matches(vals) {
+			return r.Class, true
+		}
+	}
+	return rl.Fallback, false
+}
+
+// Accuracy evaluates the rule list on idx; abstentions (no matching
+// rule with Fallback -1) count as errors.
+func (rl *RuleList) Accuracy(d *dataset.Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, i := range idx {
+		if c, _ := rl.Classify(d.Instances[i].Vals); c == d.Class(i) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(idx))
+}
+
+// Complementarity summarizes the agreement analysis of table 5.4 for a
+// panel of classifiers' predictions against the truth.
+type Complementarity struct {
+	Total           int
+	AllAgree        int
+	AgreeAccuracy   float64 // accuracy on the all-agree cases
+	Disagree        int
+	AtLeastOneRight float64 // fraction of disagree cases where some classifier is right
+}
+
+// Complement computes the table 5.4 statistics. preds[c][i] is
+// classifier c's prediction for test case i.
+func Complement(preds [][]int, truth []int) Complementarity {
+	res := Complementarity{Total: len(truth)}
+	agreeRight, disRight := 0, 0
+	for i, want := range truth {
+		agree := true
+		for _, p := range preds[1:] {
+			if p[i] != preds[0][i] {
+				agree = false
+				break
+			}
+		}
+		if agree {
+			res.AllAgree++
+			if preds[0][i] == want {
+				agreeRight++
+			}
+			continue
+		}
+		res.Disagree++
+		for _, p := range preds {
+			if p[i] == want {
+				disRight++
+				break
+			}
+		}
+	}
+	if res.AllAgree > 0 {
+		res.AgreeAccuracy = float64(agreeRight) / float64(res.AllAgree)
+	}
+	if res.Disagree > 0 {
+		res.AtLeastOneRight = float64(disRight) / float64(res.Disagree)
+	}
+	return res
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// classRuleProblem is the classification-rule-mining instantiation of
+// the E-dag framework (figure 3.3): patterns are ordered conjunctions
+// of attribute-value conditions; a child appends a condition on an
+// attribute not yet used; the immediate subpattern is the (k-1)-prefix
+// (example 3.1.4). Goodness here is the number of database rows the
+// conjunction selects; a pattern is good when it selects enough rows.
+type classRuleProblem struct {
+	attrs    []int   // arity of each attribute
+	rows     [][]int // rows[i][a] = value of attribute a in row i
+	minCount int
+}
+
+type conj struct {
+	conds [][2]int // (attribute, value) in order
+}
+
+func (c conj) Key() string {
+	parts := make([]string, len(c.conds))
+	for i, cv := range c.conds {
+		parts[i] = fmt.Sprintf("%c=%d", 'A'+cv[0], cv[1])
+	}
+	return strings.Join(parts, "^")
+}
+func (c conj) Len() int { return len(c.conds) }
+
+func (p *classRuleProblem) Root() Pattern { return conj{} }
+
+func (p *classRuleProblem) Children(pat Pattern) []Pattern {
+	c := pat.(conj)
+	used := map[int]bool{}
+	for _, cv := range c.conds {
+		used[cv[0]] = true
+	}
+	var out []Pattern
+	for a, arity := range p.attrs {
+		if used[a] {
+			continue
+		}
+		for v := 0; v < arity; v++ {
+			child := conj{append(append([][2]int(nil), c.conds...), [2]int{a, v})}
+			out = append(out, child)
+		}
+	}
+	return out
+}
+
+func (p *classRuleProblem) Subpatterns(pat Pattern) []Pattern {
+	c := pat.(conj)
+	if len(c.conds) <= 1 {
+		return []Pattern{conj{}}
+	}
+	return []Pattern{conj{c.conds[:len(c.conds)-1]}}
+}
+
+func (p *classRuleProblem) Goodness(pat Pattern) float64 {
+	c := pat.(conj)
+	count := 0
+	for _, row := range p.rows {
+		match := true
+		for _, cv := range c.conds {
+			if row[cv[0]] != cv[1] {
+				match = false
+				break
+			}
+		}
+		if match {
+			count++
+		}
+	}
+	return float64(count)
+}
+
+func (p *classRuleProblem) Good(pat Pattern, g float64) bool {
+	if pat.Len() == 0 {
+		return true
+	}
+	return int(g) >= p.minCount
+}
+
+// TestFigure33Shape checks the complete E-dag of figure 3.3: a
+// database with attributes A (2 values) and B (3 values) has 5 length-1
+// vertices and 12 length-2 vertices (each unordered pair appears in
+// both orders, as the figure draws them).
+func TestFigure33Shape(t *testing.T) {
+	p := &classRuleProblem{attrs: []int{2, 3}, minCount: 0}
+	// Rows covering every combination so that nothing is pruned.
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			p.rows = append(p.rows, []int{a, b})
+		}
+	}
+	level1 := p.Children(p.Root())
+	if len(level1) != 5 {
+		t.Fatalf("level 1 has %d vertices, want 5", len(level1))
+	}
+	level2 := 0
+	for _, c := range level1 {
+		level2 += len(p.Children(c))
+	}
+	if level2 != 12 {
+		t.Fatalf("level 2 has %d vertices, want 12", level2)
+	}
+	// With minCount 1 every combination present is good: 5 + 12.
+	p.minCount = 1
+	res, _ := SolveSequential(p)
+	if len(res) != 17 {
+		t.Fatalf("found %d good patterns, want 17", len(res))
+	}
+}
+
+func TestClassRulePruning(t *testing.T) {
+	// A=1 never occurs, so no conjunction involving A=1 is evaluated
+	// beyond the pattern itself and its subtree is pruned.
+	p := &classRuleProblem{attrs: []int{2, 3}, minCount: 1}
+	for b := 0; b < 3; b++ {
+		p.rows = append(p.rows, []int{0, b})
+	}
+	res, st := SolveSequential(p)
+	for _, r := range res {
+		if strings.Contains(r.Pattern.Key(), "A=1") {
+			t.Fatalf("pattern with empty condition reported good: %s", r.Pattern.Key())
+		}
+	}
+	// E-tree traversal agrees (lemma 2).
+	res2, _ := SolveETTSequential(p)
+	if len(res) != len(res2) {
+		t.Fatalf("E-dag found %d, E-tree %d", len(res), len(res2))
+	}
+	if st.Good != len(res) {
+		t.Fatalf("stats mismatch")
+	}
+}

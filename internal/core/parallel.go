@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync"
+)
+
+// SolveEDT runs the parallel E-dag traversal (PEDT) with the given
+// number of in-process workers. It is level-synchronous: all patterns
+// of length k are evaluated (in parallel) before any pattern of length
+// k+1, so the full subpattern pruning of the E-dag applies. The result
+// set equals SolveSequential's (theorem 2).
+func SolveEDT(pr Problem, workers int) ([]Result, Stats) {
+	if workers < 1 {
+		workers = 1
+	}
+	var results []Result
+	var st Stats
+	good := map[string]bool{pr.Root().Key(): true}
+	level := pr.Children(pr.Root())
+	for len(level) > 0 {
+		// Dedup and prune against the previous level.
+		seen := map[string]bool{}
+		var eval []Pattern
+		for _, p := range level {
+			if seen[p.Key()] {
+				continue
+			}
+			seen[p.Key()] = true
+			if allSubpatternsGood(pr, p, good) {
+				eval = append(eval, p)
+			} else {
+				st.Pruned++
+			}
+		}
+		scores := parallelGoodness(pr, eval, workers)
+		st.Evaluated += len(eval)
+		var next []Pattern
+		for i, p := range eval {
+			if pr.Good(p, scores[i]) {
+				st.Good++
+				good[p.Key()] = true
+				results = append(results, Result{p, scores[i]})
+				next = append(next, pr.Children(p)...)
+			}
+		}
+		level = next
+	}
+	SortResults(results)
+	return results, st
+}
+
+func parallelGoodness(pr Problem, ps []Pattern, workers int) []float64 {
+	scores := make([]float64, len(ps))
+	if len(ps) == 0 {
+		return scores
+	}
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				scores[i] = pr.Goodness(ps[i])
+			}
+		}()
+	}
+	for i := range ps {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return scores
+}
+
+// Strategy selects how a parallel E-tree traversal distributes work,
+// matching the implementation strategies of section 4.2.2.
+type Strategy int
+
+const (
+	// Optimistic: each initial task is an entire subtree, finished by a
+	// single worker with a local stack (figures 4.4/4.5). Minimal
+	// communication, no load balancing.
+	Optimistic Strategy = iota
+	// LoadBalanced: workers out child patterns back into the shared
+	// pool so idle workers can help (figures 4.6/4.7).
+	LoadBalanced
+)
+
+func (s Strategy) String() string {
+	if s == Optimistic {
+		return "optimistic"
+	}
+	return "load-balanced"
+}
+
+// SolveETT runs a parallel E-tree traversal (PETT) with in-process
+// workers under the given strategy. Under either strategy the good
+// patterns equal the sequential output (theorem 3).
+func SolveETT(pr Problem, workers int, strategy Strategy) ([]Result, Stats) {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu      sync.Mutex
+		results []Result
+		st      Stats
+	)
+	tasks := make(chan Pattern)
+	var pending sync.WaitGroup
+	var wg sync.WaitGroup
+
+	evalSubtree := func(root Pattern) {
+		stack := []Pattern{root}
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g := pr.Goodness(p)
+			mu.Lock()
+			st.Evaluated++
+			if pr.Good(p, g) {
+				st.Good++
+				results = append(results, Result{p, g})
+				mu.Unlock()
+				stack = append(stack, pr.Children(p)...)
+			} else {
+				mu.Unlock()
+			}
+		}
+	}
+
+	evalNode := func(p Pattern) []Pattern {
+		g := pr.Goodness(p)
+		mu.Lock()
+		defer mu.Unlock()
+		st.Evaluated++
+		if pr.Good(p, g) {
+			st.Good++
+			results = append(results, Result{p, g})
+			return pr.Children(p)
+		}
+		return nil
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range tasks {
+				switch strategy {
+				case Optimistic:
+					evalSubtree(p)
+					pending.Done()
+				case LoadBalanced:
+					children := evalNode(p)
+					// Re-offer children to the pool without blocking the
+					// worker: grow the pool asynchronously.
+					pending.Add(len(children))
+					for _, c := range children {
+						c := c
+						go func() { tasks <- c }()
+					}
+					pending.Done()
+				}
+			}
+		}()
+	}
+
+	top := pr.Children(pr.Root())
+	pending.Add(len(top))
+	go func() {
+		for _, p := range top {
+			tasks <- p
+		}
+	}()
+	pending.Wait()
+	close(tasks)
+	wg.Wait()
+	SortResults(results)
+	return results, st
+}

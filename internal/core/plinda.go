@@ -1,0 +1,329 @@
+package core
+
+import (
+	"fmt"
+
+	"freepdm/internal/plinda"
+	"freepdm/internal/tuplespace"
+)
+
+// Tuple tags used by the PLinda data mining programs.
+const (
+	poisonKey = "\x00poison"
+)
+
+// RunPLED executes a data mining application as a Persistent Linda
+// parallel E-dag traversal program (PLED): the master of figure 3.4
+// and workers of figure 3.5. The problem must implement Decoder so
+// pattern keys can cross the tuple space. The returned results equal
+// SolveSequential's (theorem 2). Work tuples are ("task", key); result
+// tuples are ("result", key, score).
+func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
+	dec, ok := pr.(Decoder)
+	if !ok {
+		return nil, fmt.Errorf("core: problem %T does not implement Decoder", pr)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	worker := func(p *plinda.Proc) error {
+		for {
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			tu, err := p.In("task", tuplespace.FormalString)
+			if err != nil {
+				return err
+			}
+			key := tu[1].(string)
+			if key == poisonKey {
+				return p.Xcommit()
+			}
+			pat, err := dec.Decode(key)
+			if err != nil {
+				return err
+			}
+			if err := p.Out("result", key, pr.Goodness(pat)); err != nil {
+				return err
+			}
+			if err := p.Xcommit(); err != nil {
+				return err
+			}
+		}
+	}
+
+	var results []Result
+	master := func(p *plinda.Proc) error {
+		good := map[string]bool{pr.Root().Key(): true}
+		bad := map[string]bool{}
+		// Children whose subpattern goodness is not yet known, indexed
+		// by the subpattern keys they wait on.
+		type deferred struct {
+			pat     Pattern
+			waiting map[string]bool
+		}
+		pendingBy := map[string][]*deferred{}
+		queued := map[string]bool{}
+		sent, done := 0, 0
+
+		send := func(pat Pattern) error {
+			if queued[pat.Key()] {
+				return nil
+			}
+			queued[pat.Key()] = true
+			sent++
+			return p.Out("task", pat.Key())
+		}
+		var consider func(pat Pattern) error
+		consider = func(pat Pattern) error {
+			if queued[pat.Key()] {
+				return nil
+			}
+			waiting := map[string]bool{}
+			for _, s := range pr.Subpatterns(pat) {
+				k := s.Key()
+				if bad[k] {
+					return nil // some subpattern is not good: prune
+				}
+				if !good[k] {
+					waiting[k] = true
+				}
+			}
+			if len(waiting) == 0 {
+				return send(pat)
+			}
+			d := &deferred{pat: pat, waiting: waiting}
+			for k := range waiting {
+				pendingBy[k] = append(pendingBy[k], d)
+			}
+			return nil
+		}
+		childPattern := func(pat Pattern) error {
+			for _, c := range pr.Children(pat) {
+				if err := consider(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+
+		if err := p.Xstart(); err != nil {
+			return err
+		}
+		if err := childPattern(pr.Root()); err != nil {
+			return err
+		}
+		if err := p.Xcommit(); err != nil {
+			return err
+		}
+
+		for done < sent {
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			tu, err := p.In("result", tuplespace.FormalString, tuplespace.FormalFloat)
+			if err != nil {
+				return err
+			}
+			key, score := tu[1].(string), tu[2].(float64)
+			done++
+			pat, err := dec.Decode(key)
+			if err != nil {
+				return err
+			}
+			if pr.Good(pat, score) {
+				good[key] = true
+				results = append(results, Result{pat, score})
+				if err := childPattern(pat); err != nil {
+					return err
+				}
+				// Release deferred children that were waiting on this key.
+				for _, d := range pendingBy[key] {
+					delete(d.waiting, key)
+					if len(d.waiting) == 0 {
+						if err := send(d.pat); err != nil {
+							return err
+						}
+					}
+				}
+				delete(pendingBy, key)
+			} else {
+				bad[key] = true
+				// Deferred children waiting on a bad subpattern are dead.
+				delete(pendingBy, key)
+			}
+			if err := p.Xcommit(); err != nil {
+				return err
+			}
+		}
+		// Poison tasks terminate the workers.
+		if err := p.Xstart(); err != nil {
+			return err
+		}
+		for i := 0; i < workers; i++ {
+			if err := p.Out("task", poisonKey); err != nil {
+				return err
+			}
+		}
+		return p.Xcommit()
+	}
+
+	for i := 0; i < workers; i++ {
+		if err := srv.Spawn(fmt.Sprintf("pled-worker-%d", i), worker); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.Spawn("pled-master", master); err != nil {
+		return nil, err
+	}
+	if err := srv.WaitAll(); err != nil {
+		return nil, err
+	}
+	SortResults(results)
+	return results, nil
+}
+
+// RunPLET executes a data mining application as a Persistent Linda
+// parallel E-tree traversal program (PLET): workers expand good nodes
+// in place (figure 3.10, load-balanced variant of figure 4.7) and the
+// master of figure 3.9 performs termination detection by pruned-
+// subtree propagation. Good patterns are reported through
+// ("good", key, score) tuples the master drains at the end.
+func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
+	dec, ok := pr.(Decoder)
+	if !ok {
+		return nil, fmt.Errorf("core: problem %T does not implement Decoder", pr)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	worker := func(p *plinda.Proc) error {
+		for {
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			tu, err := p.In("task", tuplespace.FormalString)
+			if err != nil {
+				return err
+			}
+			key := tu[1].(string)
+			if key == poisonKey {
+				return p.Xcommit()
+			}
+			pat, err := dec.Decode(key)
+			if err != nil {
+				return err
+			}
+			score := pr.Goodness(pat)
+			if pr.Good(pat, score) {
+				if err := p.Out("good", key, score); err != nil {
+					return err
+				}
+				children := pr.Children(pat)
+				keys := make([]string, len(children))
+				for i, c := range children {
+					keys[i] = c.Key()
+					if err := p.Out("task", c.Key()); err != nil {
+						return err
+					}
+				}
+				kind := "expanded"
+				if len(children) == 0 {
+					kind = "pruned"
+				}
+				if err := p.Out("ctl", kind, key, keys); err != nil {
+					return err
+				}
+			} else if err := p.Out("ctl", "pruned", key, []string(nil)); err != nil {
+				return err
+			}
+			if err := p.Xcommit(); err != nil {
+				return err
+			}
+		}
+	}
+
+	var results []Result
+	master := func(p *plinda.Proc) error {
+		rootKey := pr.Root().Key()
+		track := NewPrunedTracker(rootKey)
+		top := pr.Children(pr.Root())
+
+		if err := p.Xstart(); err != nil {
+			return err
+		}
+		keys := make([]string, len(top))
+		for i, c := range top {
+			keys[i] = c.Key()
+			if err := p.Out("task", c.Key()); err != nil {
+				return err
+			}
+		}
+		track.Expanded(rootKey, keys)
+		if err := p.Xcommit(); err != nil {
+			return err
+		}
+
+		for !track.Done() {
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			// Every task produces exactly one control tuple: an
+			// expansion listing its children, or a prune.
+			tu, err := p.In("ctl", tuplespace.FormalString, tuplespace.FormalString, tuplespace.FormalStrings)
+			if err != nil {
+				return err
+			}
+			kind, key := tu[1].(string), tu[2].(string)
+			if kind == "expanded" {
+				track.Expanded(key, tu[3].([]string))
+			} else {
+				track.Pruned(key)
+			}
+			if err := p.Xcommit(); err != nil {
+				return err
+			}
+		}
+
+		if err := p.Xstart(); err != nil {
+			return err
+		}
+		for i := 0; i < workers; i++ {
+			if err := p.Out("task", poisonKey); err != nil {
+				return err
+			}
+		}
+		// Drain the good-pattern report tuples.
+		for {
+			tu, ok, err := p.Inp("good", tuplespace.FormalString, tuplespace.FormalFloat)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			pat, err := dec.Decode(tu[1].(string))
+			if err != nil {
+				return err
+			}
+			results = append(results, Result{pat, tu[2].(float64)})
+		}
+		return p.Xcommit()
+	}
+
+	for i := 0; i < workers; i++ {
+		if err := srv.Spawn(fmt.Sprintf("plet-worker-%d", i), worker); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.Spawn("plet-master", master); err != nil {
+		return nil, err
+	}
+	if err := srv.WaitAll(); err != nil {
+		return nil, err
+	}
+	SortResults(results)
+	return results, nil
+}

@@ -1,0 +1,86 @@
+package core
+
+// PrunedTracker implements the termination-detection algorithm of the
+// PLET master (figure 3.9, restated in section 4.2.2):
+//
+//  1. mark a node as pruned (no descendants will be visited);
+//  2. if all siblings of the node are pruned, mark the parent pruned;
+//  3. if the root becomes pruned, the computation has completed.
+//
+// Because tuple spaces are unordered, the master may learn that a
+// child is pruned before it learns the child exists; such prunes are
+// buffered until the parent's expansion registers the child.
+type PrunedTracker struct {
+	root      string
+	parent    map[string]string
+	remaining map[string]int
+	early     map[string]int // prunes seen before registration
+	done      bool
+}
+
+// NewPrunedTracker starts tracking an E-tree rooted at the given key.
+// The root counts as expanded but with no children yet; call Expanded
+// for it to register the top-level tasks.
+func NewPrunedTracker(root string) *PrunedTracker {
+	return &PrunedTracker{
+		root:      root,
+		parent:    map[string]string{},
+		remaining: map[string]int{},
+		early:     map[string]int{},
+	}
+}
+
+// Done reports whether the root has been pruned (traversal complete).
+func (t *PrunedTracker) Done() bool { return t.done }
+
+// Expanded registers that node was found good and generated the given
+// children. A good node with no children is a leaf: report it with
+// Pruned instead. Returns Done().
+func (t *PrunedTracker) Expanded(node string, children []string) bool {
+	t.remaining[node] = len(children)
+	for _, c := range children {
+		t.parent[c] = node
+	}
+	// Apply any prunes that raced ahead of this expansion.
+	for _, c := range children {
+		if n := t.early[c]; n > 0 {
+			t.early[c]--
+			if t.early[c] == 0 {
+				delete(t.early, c)
+			}
+			t.prune(c)
+		}
+	}
+	if len(children) == 0 {
+		t.prune(node)
+	}
+	return t.done
+}
+
+// Pruned records that the subtree under node is complete (the node was
+// not good, or it was a leaf). Returns Done().
+func (t *PrunedTracker) Pruned(node string) bool {
+	if _, known := t.parent[node]; !known && node != t.root {
+		t.early[node]++
+		return t.done
+	}
+	t.prune(node)
+	return t.done
+}
+
+func (t *PrunedTracker) prune(node string) {
+	for {
+		if node == t.root {
+			t.done = true
+			return
+		}
+		p := t.parent[node]
+		delete(t.parent, node)
+		t.remaining[p]--
+		if t.remaining[p] > 0 {
+			return
+		}
+		delete(t.remaining, p)
+		node = p
+	}
+}

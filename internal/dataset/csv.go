@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV interchange for datasets, the "interface directly with database
+// systems" direction of the dissertation's future work (section 8.2).
+// The format is a header row naming each attribute — numeric
+// attributes plain, categorical ones suffixed with their value list as
+// name{v1|v2|...} — followed by the class column, then one row per
+// instance with "?" for missing values.
+
+// WriteCSV serializes the dataset.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.NumAttrs()+1)
+	for _, a := range d.Attrs {
+		if a.Kind == Categorical {
+			header = append(header, fmt.Sprintf("%s{%s}", a.Name, strings.Join(a.Values, "|")))
+		} else {
+			header = append(header, a.Name)
+		}
+	}
+	header = append(header, fmt.Sprintf("class{%s}", strings.Join(d.Classes, "|")))
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, ins := range d.Instances {
+		for a, v := range ins.Vals {
+			switch {
+			case IsMissing(v):
+				row[a] = "?"
+			case d.Attrs[a].Kind == Categorical:
+				row[a] = d.Attrs[a].Values[int(v)]
+			default:
+				row[a] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		row[len(row)-1] = d.Classes[ins.Class]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 2 {
+		return nil, fmt.Errorf("dataset: header needs at least one attribute and the class column")
+	}
+	d := &Dataset{Name: name}
+	parseCol := func(col string) (string, []string) {
+		if i := strings.IndexByte(col, '{'); i >= 0 && strings.HasSuffix(col, "}") {
+			return col[:i], strings.Split(col[i+1:len(col)-1], "|")
+		}
+		return col, nil
+	}
+	for _, col := range header[:len(header)-1] {
+		name, vals := parseCol(col)
+		if vals != nil {
+			d.Attrs = append(d.Attrs, Attribute{Name: name, Kind: Categorical, Values: vals})
+		} else {
+			d.Attrs = append(d.Attrs, Attribute{Name: name, Kind: Numeric})
+		}
+	}
+	clsName, clsVals := parseCol(header[len(header)-1])
+	if clsName != "class" || clsVals == nil {
+		return nil, fmt.Errorf("dataset: last column must be class{...}, got %q", header[len(header)-1])
+	}
+	d.Classes = clsVals
+	classIdx := map[string]int{}
+	for i, c := range clsVals {
+		classIdx[c] = i
+	}
+	catIdx := make([]map[string]int, len(d.Attrs))
+	for a, at := range d.Attrs {
+		if at.Kind == Categorical {
+			catIdx[a] = map[string]int{}
+			for i, v := range at.Values {
+				catIdx[a][v] = i
+			}
+		}
+	}
+
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		vals := make([]float64, len(d.Attrs))
+		for a := range d.Attrs {
+			f := rec[a]
+			if f == "?" {
+				vals[a] = Missing
+				continue
+			}
+			if d.Attrs[a].Kind == Categorical {
+				vi, ok := catIdx[a][f]
+				if !ok {
+					return nil, fmt.Errorf("dataset: line %d: unknown value %q for %s", line, f, d.Attrs[a].Name)
+				}
+				vals[a] = float64(vi)
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			}
+			vals[a] = v
+		}
+		ci, ok := classIdx[rec[len(rec)-1]]
+		if !ok {
+			return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, rec[len(rec)-1])
+		}
+		d.Instances = append(d.Instances, Instance{Vals: vals, Class: ci})
+	}
+	return d, nil
+}

@@ -1,0 +1,226 @@
+// Package dataset provides the tabular data substrate for the
+// classification-tree chapters of "Free Parallel Data Mining":
+// attribute/instance modeling with numerical and categorical variables
+// and missing values, stratified splitting as described in section
+// 5.5.2, V-fold partitioning for cross validation, summary statistics
+// (tables 5.1/5.2), and synthetic generators that reproduce the shape
+// of the seven UCI benchmark data sets plus letter (see generate.go).
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind distinguishes the two variable types of section 5.1.
+type Kind int
+
+// Attribute kinds.
+const (
+	Numeric Kind = iota
+	Categorical
+)
+
+func (k Kind) String() string {
+	if k == Numeric {
+		return "numeric"
+	}
+	return "categorical"
+}
+
+// Attribute describes one independent variable.
+type Attribute struct {
+	Name   string
+	Kind   Kind
+	Values []string // category labels; nil for numeric attributes
+}
+
+// Missing is the sentinel for a missing value in an instance.
+var Missing = math.NaN()
+
+// IsMissing reports whether a stored value is the missing sentinel.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// Instance is one data element: attribute values (categorical values
+// stored as category indices) plus a class index.
+type Instance struct {
+	Vals  []float64
+	Class int
+}
+
+// Dataset is a classified relation.
+type Dataset struct {
+	Name      string
+	Attrs     []Attribute
+	Classes   []string
+	Instances []Instance
+}
+
+// NumAttrs returns the attribute count.
+func (d *Dataset) NumAttrs() int { return len(d.Attrs) }
+
+// Len returns the instance count.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// Value returns instance i's value of attribute a.
+func (d *Dataset) Value(i, a int) float64 { return d.Instances[i].Vals[a] }
+
+// Class returns instance i's class index.
+func (d *Dataset) Class(i int) int { return d.Instances[i].Class }
+
+// AllIndexes returns 0..Len-1, the canonical "whole training set" view
+// used by the tree growers.
+func (d *Dataset) AllIndexes() []int {
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// ClassHistogram counts classes over the given instance indexes.
+func (d *Dataset) ClassHistogram(idx []int) []int {
+	h := make([]int, len(d.Classes))
+	for _, i := range idx {
+		h[d.Instances[i].Class]++
+	}
+	return h
+}
+
+// MajorityClass returns the plurality class over idx and its count.
+// Ties break toward the lower class index for determinism.
+func (d *Dataset) MajorityClass(idx []int) (class, count int) {
+	h := d.ClassHistogram(idx)
+	for c, n := range h {
+		if n > count {
+			class, count = c, n
+		}
+	}
+	return class, count
+}
+
+// Stats are the dataset summary columns of table 5.2.
+type Stats struct {
+	Cases            int
+	PctCasesMissing  float64 // % of cases with at least one missing value
+	PctValuesMissing float64 // % of missing values over all values
+	Categorical      int
+	Numerical        int
+	Classes          int
+	PluralityPct     float64 // fraction of the plurality class
+}
+
+// Summary computes the table 5.2 statistics.
+func (d *Dataset) Summary() Stats {
+	st := Stats{Cases: d.Len(), Classes: len(d.Classes)}
+	for _, a := range d.Attrs {
+		if a.Kind == Categorical {
+			st.Categorical++
+		} else {
+			st.Numerical++
+		}
+	}
+	missVals, missCases := 0, 0
+	for _, ins := range d.Instances {
+		any := false
+		for _, v := range ins.Vals {
+			if IsMissing(v) {
+				missVals++
+				any = true
+			}
+		}
+		if any {
+			missCases++
+		}
+	}
+	totalVals := d.Len() * d.NumAttrs()
+	if d.Len() > 0 {
+		st.PctCasesMissing = 100 * float64(missCases) / float64(d.Len())
+		_, n := d.MajorityClass(d.AllIndexes())
+		st.PluralityPct = 100 * float64(n) / float64(d.Len())
+	}
+	if totalVals > 0 {
+		st.PctValuesMissing = 100 * float64(missVals) / float64(totalVals)
+	}
+	return st
+}
+
+// Subset returns a shallow dataset view containing only the given
+// instances (instances are shared, not copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := &Dataset{Name: d.Name, Attrs: d.Attrs, Classes: d.Classes}
+	sub.Instances = make([]Instance, len(idx))
+	for i, j := range idx {
+		sub.Instances[i] = d.Instances[j]
+	}
+	return sub
+}
+
+// StratifiedHalves splits the dataset into two near-equal halves with
+// the same class distribution, using the procedure of section 5.5.2:
+// partition instances into class baskets, randomly permute each
+// basket, send odd-indexed elements to the first half and even-indexed
+// to the second.
+func (d *Dataset) StratifiedHalves(rng *rand.Rand) (train, test []int) {
+	baskets := make([][]int, len(d.Classes))
+	for i, ins := range d.Instances {
+		baskets[ins.Class] = append(baskets[ins.Class], i)
+	}
+	for _, b := range baskets {
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		for k, idx := range b {
+			if k%2 == 0 {
+				train = append(train, idx)
+			} else {
+				test = append(test, idx)
+			}
+		}
+	}
+	sort.Ints(train)
+	sort.Ints(test)
+	return train, test
+}
+
+// Folds partitions idx into v stratified folds of near-equal size for
+// V-fold cross validation (section 5.4.1).
+func (d *Dataset) Folds(idx []int, v int, rng *rand.Rand) [][]int {
+	if v < 2 {
+		panic(fmt.Sprintf("dataset: Folds needs v>=2, got %d", v))
+	}
+	baskets := make([][]int, len(d.Classes))
+	for _, i := range idx {
+		c := d.Instances[i].Class
+		baskets[c] = append(baskets[c], i)
+	}
+	folds := make([][]int, v)
+	k := 0
+	for _, b := range baskets {
+		rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		for _, i := range b {
+			folds[k%v] = append(folds[k%v], i)
+			k++
+		}
+	}
+	for _, f := range folds {
+		sort.Ints(f)
+	}
+	return folds
+}
+
+// WithoutFold returns idx minus the given fold (the v-th learning
+// sample L - L_v).
+func WithoutFold(idx, fold []int) []int {
+	drop := make(map[int]bool, len(fold))
+	for _, i := range fold {
+		drop[i] = true
+	}
+	out := make([]int, 0, len(idx)-len(fold))
+	for _, i := range idx {
+		if !drop[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"freepdm/internal/core"
+	"freepdm/internal/mining/motif"
+	"freepdm/internal/now"
+	"freepdm/internal/seq"
+)
+
+// Setting is one parameter row of table 4.2.
+type Setting struct {
+	Name     string
+	Params   motif.Params
+	PaperSeq float64 // the paper's sequential running time (seconds)
+}
+
+// Settings returns the two cyclins.pirx parameter settings of
+// table 4.2.
+func Settings() []Setting {
+	return []Setting{
+		{"setting 1", motif.Params{MinOccur: 5, MaxMut: 0, MinLength: 12, MaxLength: 24}, 1134},
+		{"setting 2", motif.Params{MinOccur: 12, MaxMut: 4, MinLength: 16, MaxLength: 24, MinSeedSeqs: 3}, 1299},
+	}
+}
+
+// settingRun caches one discovery run per setting: the corpus is fixed
+// (seed 42), traversal and trace building are deterministic, and
+// chapter 4's figures all reuse the same task trees.
+type settingRun struct {
+	problem *motif.Problem
+	trace   *core.Trace
+	motifs  int
+	wall    time.Duration
+	scale   float64 // simulated seconds per trace cost unit
+}
+
+var (
+	runOnce  sync.Once
+	runCache []settingRun
+)
+
+func settingRuns() []settingRun {
+	runOnce.Do(func() {
+		seqs := seq.CyclinsSpec(42).Generate()
+		for _, s := range Settings() {
+			pr := motif.NewProblem(seqs, s.Params)
+			start := time.Now()
+			res, _ := core.SolveETTSequential(pr)
+			wall := time.Since(start)
+			tr := core.BuildTrace(motif.NewProblem(seqs, s.Params))
+			runCache = append(runCache, settingRun{
+				problem: pr,
+				trace:   tr,
+				motifs:  len(pr.ActiveMotifs(res)),
+				wall:    wall,
+				// Calibrate simulated time so the sequential traversal
+				// takes exactly the paper's sequential seconds.
+				scale: s.PaperSeq / tr.TotalCost(),
+			})
+		}
+	})
+	return runCache
+}
+
+// overheadSec is the simulated tuple-space coordination cost per task,
+// calibrated so the single-machine parallel run pays a few percent
+// over the sequential program, as in figures 4.8/4.9.
+const overheadSec = 1.2
+
+// simulate runs a setting's trace on n uniform machines under the
+// given strategy and seeding depth, returning the simulated makespan
+// in calibrated seconds.
+func simulate(run settingRun, strategy core.Strategy, depth, machines int) float64 {
+	// Batch cheap subtrees below the seeding depth into parent tasks
+	// so distributed task sizes match the "20-30 s average" of section
+	// 4.3; the seeding levels themselves stay addressable.
+	tr := run.trace.Chunked(run.trace.TotalCost()/110, depth)
+	tasks, pre := tr.Tasks(strategy, depth)
+	scaled := batchTasks(scaleTasks(tasks, run.scale), 20)
+	c := &now.Cluster{
+		Machines:  now.Uniform(machines),
+		Overhead:  overheadSec,
+		MasterPre: pre * run.scale,
+	}
+	return c.Run(scaled).Makespan
+}
+
+// scaleTasks converts trace cost units into calibrated seconds,
+// preserving the lazy Spawn structure.
+func scaleTasks(tasks []*now.Task, scale float64) []*now.Task {
+	out := make([]*now.Task, len(tasks))
+	for i, t := range tasks {
+		out[i] = scaleTask(t, scale)
+	}
+	return out
+}
+
+func scaleTask(t *now.Task, scale float64) *now.Task {
+	spawn := t.Spawn
+	st := &now.Task{Name: t.Name, Cost: t.Cost * scale}
+	if spawn != nil {
+		st.Spawn = func() []*now.Task { return scaleTasks(spawn(), scale) }
+	}
+	return st
+}
+
+// batchTasks merges consecutive childless seed tasks into combined
+// work tuples of at least minCost simulated seconds, mirroring how the
+// adaptive master batches its (hundreds of) second-level patterns into
+// reasonably sized work units.
+func batchTasks(tasks []*now.Task, minCost float64) []*now.Task {
+	var out []*now.Task
+	var acc *now.Task
+	for _, t := range tasks {
+		if t.Spawn != nil || t.Cost >= minCost {
+			if acc != nil {
+				out = append(out, acc)
+				acc = nil
+			}
+			out = append(out, t)
+			continue
+		}
+		if acc == nil {
+			acc = &now.Task{Name: t.Name + "+", Cost: t.Cost}
+			continue
+		}
+		acc.Cost += t.Cost
+		if acc.Cost >= minCost {
+			out = append(out, acc)
+			acc = nil
+		}
+	}
+	if acc != nil {
+		out = append(out, acc)
+	}
+	return out
+}
+
+// seqTime is a setting's calibrated sequential time.
+func seqTime(run settingRun) float64 { return run.trace.TotalCost() * run.scale }
+
+var figureMachines = []int{1, 2, 4, 6, 8, 10}
+
+func init() {
+	register("t4.2", "Table 4.2: parameter settings and sequential results of cyclins.pirx", func(w io.Writer) error {
+		runs := settingRuns()
+		tw := table(w, "Table 4.2 — cyclins.pirx settings (simulated seconds calibrated to the paper's sequential baseline)")
+		fmt.Fprintln(tw, "Setting\tMinLen\tMinOccur\tMaxMut\tMotifs\tSeqTime(sim s)\tSeqTime(measured)")
+		for i, s := range Settings() {
+			r := runs[i]
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%.0f\t%s\n",
+				s.Name, s.Params.MinLength, s.Params.MinOccur, s.Params.MaxMut,
+				r.motifs, seqTime(r), r.wall.Round(time.Millisecond))
+		}
+		return tw.Flush()
+	})
+
+	efficiencyFigure := func(id, title string, settingIdx int) {
+		register(id, title, func(w io.Writer) error {
+			run := settingRuns()[settingIdx]
+			seqT := seqTime(run)
+			tw := table(w, title)
+			fmt.Fprintln(tw, "Machines\tOptimistic eff.\tLoad-balanced eff.")
+			for _, n := range figureMachines {
+				opt := simulate(run, core.Optimistic, 1, n)
+				lb := simulate(run, core.LoadBalanced, 1, n)
+				fmt.Fprintf(tw, "%d\t%.0f%%\t%.0f%%\n",
+					n, 100*now.Efficiency(seqT, opt, n), 100*now.Efficiency(seqT, lb, n))
+			}
+			return tw.Flush()
+		})
+	}
+	efficiencyFigure("f4.8", "Figure 4.8: optimistic vs load-balanced, setting 1", 0)
+	efficiencyFigure("f4.9", "Figure 4.9: optimistic vs load-balanced, setting 2", 1)
+
+	adaptiveFigure := func(id, title string, strategy core.Strategy, settingIdx int) {
+		register(id, title, func(w io.Writer) error {
+			run := settingRuns()[settingIdx]
+			seqT := seqTime(run)
+			tw := table(w, title)
+			fmt.Fprintln(tw, "Machines\tw/o adaptive master\tw/ adaptive master")
+			for _, n := range figureMachines {
+				plain := simulate(run, strategy, 1, n)
+				adaptive := simulate(run, strategy, core.AdaptiveDepth(n), n)
+				fmt.Fprintf(tw, "%d\t%.0f%%\t%.0f%%\n",
+					n, 100*now.Efficiency(seqT, plain, n), 100*now.Efficiency(seqT, adaptive, n))
+			}
+			return tw.Flush()
+		})
+	}
+	adaptiveFigure("f4.10", "Figure 4.10: load-balanced ± adaptive master, setting 1", core.LoadBalanced, 0)
+	adaptiveFigure("f4.11", "Figure 4.11: optimistic ± adaptive master, setting 1", core.Optimistic, 0)
+	adaptiveFigure("f4.12", "Figure 4.12: load-balanced ± adaptive master, setting 2", core.LoadBalanced, 1)
+	adaptiveFigure("f4.13", "Figure 4.13: optimistic ± adaptive master, setting 2", core.Optimistic, 1)
+
+	register("f4.14", "Figure 4.14: running time on a large heterogeneous network", func(w io.Writer) error {
+		run := settingRuns()[1]
+		tw := table(w, "Figure 4.14 — load-balanced + adaptive master on 5..45 non-identical machines (simulated s)")
+		fmt.Fprintln(tw, "Machines\tTime(s)\tSpeedup")
+		seqT := seqTime(run)
+		for n := 5; n <= 45; n += 5 {
+			depth := core.AdaptiveDepth(n)
+			tr := run.trace.Chunked(run.trace.TotalCost()/110, depth)
+			tasks, pre := tr.Tasks(core.LoadBalanced, depth)
+			tasks = batchTasks(scaleTasks(tasks, run.scale), 20)
+			c := &now.Cluster{
+				Machines:  now.Heterogeneous(n, 1.0, 0.85, 1.1, 0.95, 1.05),
+				Overhead:  overheadSec,
+				MasterPre: pre * run.scale,
+			}
+			t := c.Run(tasks).Makespan
+			fmt.Fprintf(tw, "%d\t%.0f\t%.1f\n", n, t, now.Speedup(seqT, t))
+		}
+		return tw.Flush()
+	})
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"freepdm/internal/mining/episode"
+	"freepdm/internal/mining/treemotif"
+	"freepdm/internal/rnatree"
+)
+
+func init() {
+	register("f4.3", "Figure 4.3: motifs exactly and approximately occurring in a set of trees", func(w io.Writer) error {
+		// The hypothetical three-tree set of figure 4.3(a).
+		parse := func(s string) *rnatree.Tree {
+			t, err := rnatree.Parse(s)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		}
+		trees := []*rnatree.Tree{
+			parse("a(b(f g) m(k) c)"),
+			parse("a(b(f g) o c(d))"),
+			parse("a(b(e(g h) d) u(v))"),
+		}
+		fmt.Fprintln(w, "Figure 4.3 — the tree set:")
+		for i, t := range trees {
+			fmt.Fprintf(w, "  T%d: %s\n", i+1, t)
+		}
+
+		// (b) motifs exactly occurring in all three trees, size > 2.
+		exact := treemotif.Discover(trees, treemotif.Params{
+			MinOccur: 3, MaxDist: 0, MinSize: 2, MaxSize: 4,
+		})
+		fmt.Fprintln(w, "\nmotifs exactly occurring in all three trees (size >= 2):")
+		fmt.Fprint(w, treemotif.Describe(exact))
+
+		// (c) motifs approximately occurring within distance 1, size > 3.
+		approx := treemotif.Discover(trees, treemotif.Params{
+			MinOccur: 3, MaxDist: 1, MinSize: 4, MaxSize: 4,
+		})
+		fmt.Fprintf(w, "\nmotifs occurring within distance 1 in all three trees (size >= 4): %d found, e.g.\n", len(approx))
+		show := approx
+		if len(show) > 6 {
+			show = show[:6]
+		}
+		fmt.Fprint(w, treemotif.Describe(show))
+		return nil
+	})
+
+	register("x.episode", "Future work (section 8.2): frequent episode discovery on the E-dag framework", func(w io.Writer) error {
+		planted := []episode.Episode{{2, 5, 1}, {0, 7}}
+		s := episode.GenerateStream(4000, 10, planted, 0.04, 82)
+		const width, minSupp = 8, 250
+		freq := episode.Discover(s, width, minSupp, 3)
+		tw := table(w, fmt.Sprintf("Frequent serial episodes (window %d, min support %d windows, %d events)",
+			width, minSupp, len(s.Events)))
+		fmt.Fprintln(tw, "Episode\tSupporting windows")
+		shown := 0
+		for _, p := range planted {
+			if supp, ok := freq[p.Key()]; ok {
+				fmt.Fprintf(tw, "%s (planted)\t%d\n", p.Key(), supp)
+				shown++
+			}
+		}
+		fmt.Fprintf(tw, "(total frequent episodes)\t%d\n", len(freq))
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		if shown < len(planted) {
+			return fmt.Errorf("x.episode: only %d of %d planted episodes recovered", shown, len(planted))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,52 @@
+// Package experiments regenerates every table and figure of the
+// evaluation chapters of "Free Parallel Data Mining" (chapters 4-6)
+// from the reimplemented systems. Each experiment prints the same rows
+// or series the dissertation reports; absolute times are either
+// measured on the current host (sequential chapter 6 timings) or
+// simulated NOW seconds calibrated against the paper's sequential
+// baselines (chapter 4 timings). See EXPERIMENTS.md for the
+// paper-vs-measured record.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string // e.g. "t4.2", "f6.3"
+	Title string
+	Run   func(w io.Writer) error
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer) error) {
+	registry = append(registry, Experiment{id, title, run})
+}
+
+// All returns the registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks an experiment up.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table starts a tabwriter with the experiment's title.
+func table(w io.Writer, title string) *tabwriter.Writer {
+	fmt.Fprintf(w, "%s\n", title)
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}

@@ -1,0 +1,167 @@
+package fx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freepdm/internal/dataset"
+)
+
+func TestGenerateRatesShape(t *testing.T) {
+	rates := GenerateRates(1000, 1)
+	if len(rates) != 1000 {
+		t.Fatalf("%d rates", len(rates))
+	}
+	for i, r := range rates {
+		if r <= 0 || math.IsNaN(r) {
+			t.Fatalf("rate[%d]=%v", i, r)
+		}
+	}
+	// Daily moves are small.
+	for i := 1; i < len(rates); i++ {
+		if c := math.Abs(rates[i]/rates[i-1] - 1); c > 0.05 {
+			t.Fatalf("daily change %.3f too large", c)
+		}
+	}
+}
+
+func TestGenerateRatesMeanReversion(t *testing.T) {
+	rates := GenerateRates(20000, 2)
+	// After a strongly negative trailing week, up-moves should be more
+	// likely than down-moves.
+	up, n := 0, 0
+	for tt := 6; tt < len(rates)-1; tt++ {
+		avg5 := (rates[tt] - rates[tt-5]) / rates[tt-5] / 5
+		if avg5 < -0.004 {
+			n++
+			if rates[tt+1] > rates[tt] {
+				up++
+			}
+		}
+	}
+	if n < 100 {
+		t.Skip("too few extreme weeks")
+	}
+	if frac := float64(up) / float64(n); frac < 0.55 {
+		t.Fatalf("P(up | bad week) = %.3f, want > 0.55", frac)
+	}
+}
+
+func TestBuildDatasetFeatures(t *testing.T) {
+	rates := GenerateRates(600, 3)
+	d := BuildDataset("test", rates)
+	if d.NumAttrs() != 10 {
+		t.Fatalf("%d attributes", d.NumAttrs())
+	}
+	if d.Len() != 600-warmup-1 {
+		t.Fatalf("%d rows", d.Len())
+	}
+	// Row 0 corresponds to rate index warmup; check feature "one".
+	want := (rates[warmup] - rates[warmup-1]) / rates[warmup-1] * 100
+	if got := d.Value(0, 0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("one=%v want %v", got, want)
+	}
+	// Class is tomorrow's movement.
+	wantClass := 0
+	if rates[warmup+1] > rates[warmup] {
+		wantClass = 1
+	}
+	if d.Class(0) != wantClass {
+		t.Fatalf("class %d want %d", d.Class(0), wantClass)
+	}
+	// average is the mean of one..five.
+	avg := 0.0
+	for a := 0; a < 5; a++ {
+		avg += d.Value(0, a) / 5
+	}
+	if math.Abs(d.Value(0, 5)-avg) > 1e-9 {
+		t.Fatalf("average=%v want %v", d.Value(0, 5), avg)
+	}
+}
+
+func TestSplitHalvesChronological(t *testing.T) {
+	rates := GenerateRates(600, 4)
+	d := BuildDataset("test", rates)
+	train, test := SplitHalves(d)
+	if len(train)+len(test) != d.Len() {
+		t.Fatal("halves do not cover")
+	}
+	if train[len(train)-1] >= test[0] {
+		t.Fatal("halves overlap or unordered")
+	}
+}
+
+func TestTradeIdentityWithoutCoverage(t *testing.T) {
+	rates := GenerateRates(600, 5)
+	d := BuildDataset("test", rates)
+	_, test := SplitHalves(d)
+	rl := SelectTradingRules(d, nil, 1, 2.0, 2.0, rand.New(rand.NewSource(1)))
+	// Impossible thresholds: no rules, no trades, wealth unchanged.
+	if len(rl.Rules) != 0 {
+		t.Fatalf("%d rules selected at impossible thresholds", len(rl.Rules))
+	}
+	if w := Trade(d, test, rates, rl, 0); w != 1.0 {
+		t.Fatalf("wealth %v without trades", w)
+	}
+}
+
+func TestTradeDirectionality(t *testing.T) {
+	// A rigged always-correct oracle must make money from both sides.
+	rates := GenerateRates(2000, 6)
+	d := BuildDataset("test", rates)
+	_, test := SplitHalves(d)
+	oracle := &oracleList{d: d}
+	w0 := oracle.trade(d, test, rates, 0)
+	w1 := oracle.trade(d, test, rates, 1)
+	if w0 <= 1 || w1 <= 1 {
+		t.Fatalf("oracle lost money: %v %v", w0, w1)
+	}
+}
+
+// oracleList mimics a perfect rule list for the directionality test.
+type oracleList struct{ d *dataset.Dataset }
+
+func (o *oracleList) trade(d *dataset.Dataset, test []int, rates []float64, holding int) float64 {
+	wealth := 1.0
+	for _, i := range test {
+		pred := d.Class(i)
+		today := rates[i+warmup]
+		tomorrow := rates[i+warmup+1]
+		if holding == 0 && pred == 0 {
+			wealth *= today / tomorrow
+		}
+		if holding == 1 && pred == 1 {
+			wealth *= tomorrow / today
+		}
+	}
+	return wealth
+}
+
+func TestEvaluatePairMakesMoney(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pair evaluation is slow")
+	}
+	res := Evaluate(Pairs[0], 3, 0.80, 0.01)
+	if res.DaysCovered < 30 {
+		t.Fatalf("only %d days covered", res.DaysCovered)
+	}
+	if res.Accuracy < 0.52 {
+		t.Fatalf("accuracy %.3f on covered days", res.Accuracy)
+	}
+	if res.AvgGain <= 0 {
+		t.Fatalf("average gain %.2f%%, want positive", res.AvgGain)
+	}
+}
+
+func TestPairsTable(t *testing.T) {
+	if len(Pairs) != 5 {
+		t.Fatalf("%d pairs", len(Pairs))
+	}
+	want := map[string]int{"yu": 5904, "du": 6076, "yd": 6162, "fu": 6344, "up": 6419}
+	for _, p := range Pairs {
+		if want[p.Name] != p.Days {
+			t.Fatalf("%s days %d", p.Name, p.Days)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package assoc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"freepdm/internal/core"
+)
+
+// kmartDB is the imaginary sales database of table 2.2:
+// items: 0 pamper, 1 soap, 2 lipstick, 3 soda, 4 candy, 5 beer.
+func kmartDB() *DB {
+	return &DB{
+		Items: 6,
+		Txns: []Itemset{
+			{0, 1, 2},
+			{0, 2, 3, 4},
+			{3, 5},
+			{0, 4, 5},
+		},
+	}
+}
+
+func TestSupportCounting(t *testing.T) {
+	db := kmartDB()
+	if s := db.Support(Itemset{0}); s != 3 {
+		t.Fatalf("supp(pamper)=%d want 3", s)
+	}
+	if s := db.Support(Itemset{0, 2}); s != 2 {
+		t.Fatalf("supp(pamper,lipstick)=%d want 2", s)
+	}
+	if s := db.Support(Itemset{}); s != 4 {
+		t.Fatalf("supp({})=%d want 4", s)
+	}
+}
+
+func TestAprioriKmartExample(t *testing.T) {
+	db := kmartDB()
+	freq := Apriori(db, 2)
+	keys := map[string]int{}
+	for _, f := range freq {
+		keys[f.Items.Key()] = f.Support
+	}
+	// pamper 3, lipstick 2, soda 2, candy 2, beer 2, {pamper,lipstick} 2,
+	// {pamper, candy} 2.
+	want := map[string]int{
+		"{0}": 3, "{2}": 2, "{3}": 2, "{4}": 2, "{5}": 2, "{0,2}": 2, "{0,4}": 2,
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("got %v want %v", keys, want)
+	}
+	for k, s := range want {
+		if keys[k] != s {
+			t.Fatalf("supp(%s)=%d want %d", k, keys[k], s)
+		}
+	}
+}
+
+func TestRulesKmartExample(t *testing.T) {
+	db := kmartDB()
+	freq := Apriori(db, 2)
+	rules := Rules(freq, 0.6)
+	// The section 2.2.1 rule: pamper -> lipstick with conf 2/3.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent.Key() == "{0}" && r.Consequent.Key() == "{2}" {
+			found = true
+			if r.Confidence < 0.66 || r.Confidence > 0.67 {
+				t.Fatalf("conf %.3f", r.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("pamper->lipstick not found in %v", rules)
+	}
+}
+
+func TestAprioriGenJoinAndPrune(t *testing.T) {
+	freq := []Itemset{{1, 2}, {1, 3}, {2, 3}, {2, 4}}
+	cands := AprioriGen(freq)
+	// {1,2}+{1,3} -> {1,2,3}: all 2-subsets frequent -> kept.
+	// {2,3}+{2,4} -> {2,3,4}: {3,4} missing -> pruned.
+	if len(cands) != 1 || cands[0].Key() != "{1,2,3}" {
+		t.Fatalf("candidates %v", cands)
+	}
+}
+
+func naiveFrequent(db *DB, minSupport int) map[string]int {
+	out := map[string]int{}
+	n := db.Items
+	for mask := 1; mask < 1<<n; mask++ {
+		var s Itemset
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		if supp := db.Support(s); supp >= minSupport {
+			out[s.Key()] = supp
+		}
+	}
+	return out
+}
+
+// Property: Apriori, Partition, ParallelApriori and the E-dag
+// traversal all find exactly the brute-force frequent sets.
+func TestPropertyAllMinersAgree(t *testing.T) {
+	f := func(seed int64, minRaw uint8) bool {
+		db := GenerateDB(60, 7, [][]int{{0, 1, 2}, {3, 4}}, 0.4, seed)
+		minSupport := int(minRaw%10) + 3
+		want := naiveFrequent(db, minSupport)
+
+		check := func(fs []FrequentSet) bool {
+			if len(fs) != len(want) {
+				return false
+			}
+			for _, f := range fs {
+				if want[f.Items.Key()] != f.Support {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(Apriori(db, minSupport)) {
+			return false
+		}
+		if !check(Partition(db, minSupport, 4)) {
+			return false
+		}
+		if !check(ParallelApriori(db, minSupport, 3)) {
+			return false
+		}
+		res, _ := core.SolveSequential(NewProblem(db, minSupport))
+		return check(FrequentSets(res))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdagAdapterShape(t *testing.T) {
+	db := kmartDB()
+	pr := NewProblem(db, 2)
+	// Children of {} are the 6 single items (figure 3.2's first level).
+	if kids := pr.Children(pr.Root()); len(kids) != 6 {
+		t.Fatalf("%d top-level patterns", len(kids))
+	}
+	p, _ := pr.Decode("{1,3}")
+	subs := pr.Subpatterns(p)
+	if len(subs) != 2 || subs[0].Key() != "{3}" || subs[1].Key() != "{1}" {
+		t.Fatalf("subpatterns %v", subs)
+	}
+	// Children of {1,3} only extend with larger items.
+	kids := pr.Children(p)
+	for _, k := range kids {
+		s, _ := ParseItemset(k.Key())
+		if s[len(s)-1] <= 3 {
+			t.Fatalf("child %v does not extend upward", k.Key())
+		}
+	}
+}
+
+func TestItemsetOps(t *testing.T) {
+	a := Itemset{1, 3, 5}
+	b := Itemset{2, 3}
+	if got := a.Union(b).Key(); got != "{1,2,3,5}" {
+		t.Fatalf("union %s", got)
+	}
+	if got := a.Minus(b).Key(); got != "{1,5}" {
+		t.Fatalf("minus %s", got)
+	}
+	if !b.SubsetOf(Itemset{1, 2, 3, 4}) || a.SubsetOf(b) {
+		t.Fatal("subset checks")
+	}
+	if !a.Contains(3) || a.Contains(2) {
+		t.Fatal("contains")
+	}
+}
+
+func TestParseItemset(t *testing.T) {
+	s, err := ParseItemset("{1,2,10}")
+	if err != nil || s.Key() != "{1,2,10}" {
+		t.Fatalf("%v %v", s, err)
+	}
+	if _, err := ParseItemset("{2,1}"); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := ParseItemset("{a}"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if s, err := ParseItemset("{}"); err != nil || len(s) != 0 {
+		t.Fatal("empty set")
+	}
+}
+
+func TestRuleConfidencePruning(t *testing.T) {
+	// All rules from frequent sets must satisfy minConf, and every
+	// rule's support equals the full set's support.
+	db := GenerateDB(100, 6, [][]int{{0, 1}, {2, 3}}, 0.5, 9)
+	freq := Apriori(db, 10)
+	rules := Rules(freq, 0.7)
+	for _, r := range rules {
+		if r.Confidence < 0.7 {
+			t.Fatalf("rule below minconf: %v", r)
+		}
+		full := r.Antecedent.Union(r.Consequent)
+		if db.Support(full) != r.Support {
+			t.Fatalf("support mismatch for %v", r)
+		}
+		got := float64(r.Support) / float64(db.Support(r.Antecedent))
+		if got != r.Confidence {
+			t.Fatalf("confidence mismatch for %v", r)
+		}
+	}
+}
+
+func TestGenerateDBPlantsGroups(t *testing.T) {
+	db := GenerateDB(500, 10, [][]int{{0, 1, 2}}, 0.6, 4)
+	group := db.Support(Itemset{0, 1, 2})
+	if group < 200 {
+		t.Fatalf("planted group support %d too low", group)
+	}
+	// Sorted transactions.
+	for _, txn := range db.Txns {
+		if !sort.IntsAreSorted(txn) {
+			t.Fatalf("unsorted transaction %v", txn)
+		}
+	}
+}
+
+func BenchmarkAprioriSynthetic(b *testing.B) {
+	db := GenerateDB(1000, 20, [][]int{{0, 1, 2}, {5, 6}, {10, 11, 12}}, 0.3, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Apriori(db, 100)
+	}
+}
+
+func BenchmarkParallelApriori4(b *testing.B) {
+	db := GenerateDB(1000, 20, [][]int{{0, 1, 2}, {5, 6}, {10, 11, 12}}, 0.3, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelApriori(db, 100, 4)
+	}
+}
+
+// Property: the PEAR prefix-tree miner finds exactly Apriori's
+// frequent sets with identical supports.
+func TestPropertyPrefixTreeMatchesApriori(t *testing.T) {
+	f := func(seed int64, minRaw uint8) bool {
+		db := GenerateDB(80, 8, [][]int{{0, 1, 2}, {4, 5}, {2, 6, 7}}, 0.35, seed)
+		minSupport := int(minRaw%12) + 4
+		want := Apriori(db, minSupport)
+		got := AprioriPrefixTree(db, minSupport)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Items.Key() != want[i].Items.Key() || got[i].Support != want[i].Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixTreeDeadBranches(t *testing.T) {
+	// An item that never appears becomes a dead level-1 branch and the
+	// tree never extends under it.
+	db := &DB{Items: 4, Txns: []Itemset{{0, 1}, {0, 1}, {0, 1}}}
+	tr := NewPrefixTree(db.Items)
+	for _, txn := range db.Txns {
+		tr.count(txn)
+	}
+	newly := tr.harvest(2)
+	if len(newly) != 2 {
+		t.Fatalf("level 1 frequent: %v", newly)
+	}
+	if tr.root.children[3].state != ptDead {
+		t.Fatal("absent item not marked dead")
+	}
+	frequent := map[string]bool{}
+	for _, f := range newly {
+		frequent[f.Items.Key()] = true
+	}
+	if added := tr.extend(frequent); added != 1 {
+		t.Fatalf("extended %d candidates, want just {0,1}", added)
+	}
+}
+
+func BenchmarkAprioriPrefixTree(b *testing.B) {
+	db := GenerateDB(1000, 20, [][]int{{0, 1, 2}, {5, 6}, {10, 11, 12}}, 0.3, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AprioriPrefixTree(db, 100)
+	}
+}

@@ -1,0 +1,221 @@
+package assoc
+
+import "sort"
+
+// This file implements the PEAR data structure of section 2.2.6: a
+// prefix tree that stores frequent itemsets and candidate itemsets
+// together, with the dead-branch optimization: subtrees whose
+// candidates all failed are marked dead and skipped by later counting
+// passes. One counting pass walks each transaction through the tree
+// instead of testing every candidate against every transaction.
+
+type ptState uint8
+
+const (
+	ptCandidate ptState = iota
+	ptFrequent
+	ptDead
+)
+
+// ptNode is a prefix-tree node; the path of items from the root to the
+// node is the itemset it represents.
+type ptNode struct {
+	item     int
+	state    ptState
+	support  int
+	children map[int]*ptNode
+}
+
+func newPTNode(item int) *ptNode {
+	return &ptNode{item: item, children: map[int]*ptNode{}}
+}
+
+// PrefixTree is the candidate/frequent store of PEAR.
+type PrefixTree struct {
+	root  *ptNode
+	depth int // current candidate level
+}
+
+// NewPrefixTree seeds level-1 candidates for every item.
+func NewPrefixTree(items int) *PrefixTree {
+	t := &PrefixTree{root: newPTNode(-1), depth: 1}
+	for i := 0; i < items; i++ {
+		t.root.children[i] = newPTNode(i)
+	}
+	return t
+}
+
+// count walks one transaction through the tree, incrementing the
+// support of every candidate at the current depth that the transaction
+// contains. Dead branches are skipped.
+func (t *PrefixTree) count(txn Itemset) {
+	var walk func(n *ptNode, start, depth int)
+	walk = func(n *ptNode, start, depth int) {
+		for i := start; i < len(txn); i++ {
+			child, ok := n.children[txn[i]]
+			if !ok || child.state == ptDead {
+				continue
+			}
+			if depth == t.depth {
+				if child.state == ptCandidate {
+					child.support++
+				}
+				continue
+			}
+			walk(child, i+1, depth+1)
+		}
+	}
+	walk(t.root, 0, 1)
+}
+
+// harvest promotes candidates at the current depth to frequent or
+// dead, returning the newly frequent itemsets. Dead-branch
+// elimination: an interior node whose children are all dead becomes
+// dead itself, so later counting passes skip the subtree.
+func (t *PrefixTree) harvest(minSupport int) []FrequentSet {
+	var out []FrequentSet
+	var walk func(n *ptNode, path Itemset, depth int) (alive bool)
+	walk = func(n *ptNode, path Itemset, depth int) bool {
+		if depth == t.depth {
+			if n.state != ptCandidate {
+				return n.state == ptFrequent
+			}
+			if n.support >= minSupport {
+				n.state = ptFrequent
+				out = append(out, FrequentSet{append(Itemset(nil), path...), n.support})
+				return true
+			}
+			n.state = ptDead
+			return false
+		}
+		anyAlive := false
+		for _, c := range sortedChildren(n) {
+			if c.state == ptDead {
+				continue
+			}
+			if walk(c, append(path, c.item), depth+1) {
+				anyAlive = true
+			}
+		}
+		if !anyAlive && depth > 0 {
+			n.state = ptDead
+		}
+		return anyAlive || n.state == ptFrequent
+	}
+	for _, c := range sortedChildren(t.root) {
+		walk(c, Itemset{c.item}, 1)
+	}
+	return out
+}
+
+// extend generates the next candidate level inside the tree: for every
+// frequent node at the current depth, add child candidates for each
+// frequent right sibling (the apriori-gen join), pruning candidates
+// with an infrequent subset. It returns the number of new candidates.
+func (t *PrefixTree) extend(frequent map[string]bool) int {
+	added := 0
+	var walk func(n *ptNode, path Itemset, depth int)
+	walk = func(n *ptNode, path Itemset, depth int) {
+		// At depth == t.depth - 1 the children are the level to join:
+		// right siblings under the same parent share the k-1 smallest
+		// items, which is exactly the apriori-gen join condition.
+		if depth == t.depth-1 {
+			kids := sortedChildren(n)
+			for i, a := range kids {
+				if a.state != ptFrequent {
+					continue
+				}
+				for _, b := range kids[i+1:] {
+					if b.state != ptFrequent {
+						continue
+					}
+					cand := append(append(Itemset(nil), path...), a.item, b.item)
+					if !allSubsetsFrequent(cand, frequent) {
+						continue
+					}
+					nn := newPTNode(b.item)
+					a.children[b.item] = nn
+					added++
+				}
+			}
+			return
+		}
+		for _, c := range sortedChildren(n) {
+			if c.state != ptDead {
+				walk(c, append(path, c.item), depth+1)
+			}
+		}
+	}
+	if t.depth == 1 {
+		kids := sortedChildren(t.root)
+		for i, a := range kids {
+			if a.state != ptFrequent {
+				continue
+			}
+			for _, b := range kids[i+1:] {
+				if b.state != ptFrequent {
+					continue
+				}
+				a.children[b.item] = newPTNode(b.item)
+				added++
+			}
+		}
+	} else {
+		walk(t.root, nil, 0)
+	}
+	t.depth++
+	return added
+}
+
+func allSubsetsFrequent(cand Itemset, frequent map[string]bool) bool {
+	for drop := range cand {
+		sub := make(Itemset, 0, len(cand)-1)
+		sub = append(sub, cand[:drop]...)
+		sub = append(sub, cand[drop+1:]...)
+		if !frequent[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedChildren(n *ptNode) []*ptNode {
+	out := make([]*ptNode, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].item < out[j].item })
+	return out
+}
+
+// AprioriPrefixTree mines frequent itemsets with the PEAR prefix tree:
+// the same results as Apriori, with per-pass transaction walks instead
+// of per-candidate subset tests, plus dead-branch skipping.
+func AprioriPrefixTree(db *DB, minSupport int) []FrequentSet {
+	t := NewPrefixTree(db.Items)
+	frequent := map[string]bool{}
+	var results []FrequentSet
+	for {
+		for _, txn := range db.Txns {
+			t.count(txn)
+		}
+		newly := t.harvest(minSupport)
+		if len(newly) == 0 {
+			break
+		}
+		for _, f := range newly {
+			frequent[f.Items.Key()] = true
+		}
+		results = append(results, newly...)
+		if t.extend(frequent) == 0 {
+			break
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if len(results[i].Items) != len(results[j].Items) {
+			return len(results[i].Items) < len(results[j].Items)
+		}
+		return results[i].Items.Key() < results[j].Items.Key()
+	})
+	return results
+}

@@ -1,0 +1,125 @@
+package motif
+
+import (
+	"sort"
+
+	"freepdm/internal/core"
+	"freepdm/internal/seq"
+)
+
+// This file implements the multi-segment form of the discovery
+// algorithm (section 2.3.4): for user patterns *X1*X2*, phase 1 finds
+// candidate segments V1, V2 where at least one is at least half the
+// specified length and the sum of their lengths satisfies the length
+// requirement; phase 2 combines the segments into candidate motifs and
+// evaluates their activity over the whole set.
+
+// TwoSegResult is one active two-segment motif.
+type TwoSegResult struct {
+	Motif      seq.Motif
+	Occurrence int
+}
+
+// DiscoverTwoSegment finds all active motifs of the form *X1*X2*
+// under the given parameters: |X1|+|X2| >= MinLength, at least one
+// segment at least ceil(MinLength/2) long, and the motif matching at
+// least MinOccur sequences within MaxMut mutations.
+func DiscoverTwoSegment(seqs []string, params Params) []TwoSegResult {
+	params = params.withDefaults()
+	half := (params.MinLength + 1) / 2
+
+	// Phase 1: candidate segments are the active single segments of
+	// at least the shorter admissible length. Their own activity bounds
+	// the pair's (a pair never occurs more often than its segments).
+	segParams := params
+	segParams.MinLength = 2
+	segParams.MaxLength = params.MaxLength
+	pr := NewProblem(seqs, segParams)
+	res, _ := core.SolveETTSequential(pr)
+	var candidates []string
+	for _, r := range res {
+		if r.Pattern.Len() >= 2 {
+			candidates = append(candidates, r.Pattern.Key())
+		}
+	}
+	sort.Strings(candidates)
+
+	// Phase 2: combine segments into *V1*V2* candidates and evaluate.
+	var out []TwoSegResult
+	seen := map[string]bool{}
+	for _, v1 := range candidates {
+		for _, v2 := range candidates {
+			if len(v1)+len(v2) < params.MinLength {
+				continue
+			}
+			if len(v1) < half && len(v2) < half {
+				continue
+			}
+			m := seq.Motif{Segments: []string{v1, v2}}
+			key := m.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if occ := m.OccurrenceNo(seqs, params.MaxMut); occ >= params.MinOccur {
+				out = append(out, TwoSegResult{Motif: m, Occurrence: occ})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Occurrence != out[j].Occurrence {
+			return out[i].Occurrence > out[j].Occurrence
+		}
+		return out[i].Motif.String() < out[j].Motif.String()
+	})
+	return out
+}
+
+// MaximalTwoSegment filters a two-segment result list down to motifs
+// not subsumed by a longer active motif with the same occurrence — the
+// redundancy elimination the subpattern heuristic of section 2.3.4
+// describes: if P is a subpattern of an active P' then P is active too
+// and need not be reported separately.
+func MaximalTwoSegment(results []TwoSegResult) []TwoSegResult {
+	var out []TwoSegResult
+	for i, r := range results {
+		subsumed := false
+		for j, o := range results {
+			if i == j || o.Occurrence < r.Occurrence {
+				continue
+			}
+			if isSubpattern(r.Motif, o.Motif) && (len(o.Motif.Segments[0])+len(o.Motif.Segments[1]) >
+				len(r.Motif.Segments[0])+len(r.Motif.Segments[1])) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// isSubpattern reports whether motif a = *U1*U2* is a subpattern of
+// b = *V1*V2*: each U_i is a subsegment (substring) of V_i.
+func isSubpattern(a, b seq.Motif) bool {
+	if len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.Segments {
+		if !contains(b.Segments[i], a.Segments[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(hay, needle string) bool {
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if hay[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package motif
+
+import (
+	"strings"
+	"testing"
+
+	"freepdm/internal/seq"
+)
+
+func TestDiscoverTwoSegmentPlanted(t *testing.T) {
+	// Plant two segments that co-occur in order in most sequences.
+	spec := seq.CorpusSpec{
+		Sequences: 12, Length: 120, Seed: 21,
+		Motifs: []seq.PlantedMotif{
+			{Pattern: "WWHHKYYT", Carriers: 9},
+		},
+	}
+	seqs := spec.Generate()
+	// Split the planted 8-mer mentally into WWHH ... KYYT: both halves
+	// occur in order wherever the full segment does, so *WWHH*KYYT*
+	// must be active.
+	res := DiscoverTwoSegment(seqs, Params{MinOccur: 8, MaxMut: 0, MinLength: 8, MaxLength: 8})
+	found := false
+	for _, r := range res {
+		if r.Motif.String() == "*WWHH*KYYT*" {
+			found = true
+			if r.Occurrence < 8 {
+				t.Fatalf("occurrence %d", r.Occurrence)
+			}
+		}
+	}
+	if !found {
+		var ks []string
+		for _, r := range res {
+			ks = append(ks, r.Motif.String())
+		}
+		t.Fatalf("planted pair missing from %v", ks)
+	}
+}
+
+func TestTwoSegmentLengthConstraints(t *testing.T) {
+	seqs := seq.CorpusSpec{
+		Sequences: 10, Length: 100, Seed: 22,
+		Motifs: []seq.PlantedMotif{{Pattern: "AACCGGTTMM", Carriers: 8}},
+	}.Generate()
+	res := DiscoverTwoSegment(seqs, Params{MinOccur: 7, MaxMut: 0, MinLength: 8, MaxLength: 10})
+	for _, r := range res {
+		l1, l2 := len(r.Motif.Segments[0]), len(r.Motif.Segments[1])
+		if l1+l2 < 8 {
+			t.Fatalf("motif %s too short", r.Motif)
+		}
+		if l1 < 4 && l2 < 4 {
+			t.Fatalf("motif %s violates the half-length rule", r.Motif)
+		}
+	}
+}
+
+func TestTwoSegmentOrderSensitive(t *testing.T) {
+	// Segments planted in one fixed order must not be reported in the
+	// reverse order (VLDC matching is ordered).
+	var sb []string
+	base := strings.Repeat("A", 30)
+	for i := 0; i < 9; i++ {
+		sb = append(sb, base+"WWWW"+base+"KKKK"+base)
+	}
+	sb = append(sb, base)
+	res := DiscoverTwoSegment(sb, Params{MinOccur: 9, MaxMut: 0, MinLength: 8, MaxLength: 8})
+	for _, r := range res {
+		if r.Motif.String() == "*KKKK*WWWW*" {
+			t.Fatalf("reversed motif reported active: %v", r)
+		}
+	}
+	ok := false
+	for _, r := range res {
+		if r.Motif.String() == "*WWWW*KKKK*" && r.Occurrence == 9 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("ordered motif missing: %v", res)
+	}
+}
+
+func TestMaximalTwoSegment(t *testing.T) {
+	long := TwoSegResult{Motif: seq.Motif{Segments: []string{"ABCD", "EFGH"}}, Occurrence: 5}
+	sub := TwoSegResult{Motif: seq.Motif{Segments: []string{"ABC", "FGH"}}, Occurrence: 5}
+	other := TwoSegResult{Motif: seq.Motif{Segments: []string{"XY", "ZQ"}}, Occurrence: 4}
+	out := MaximalTwoSegment([]TwoSegResult{long, sub, other})
+	if len(out) != 2 {
+		t.Fatalf("got %d maximal motifs, want 2", len(out))
+	}
+	for _, r := range out {
+		if r.Motif.String() == sub.Motif.String() {
+			t.Fatal("subsumed motif survived")
+		}
+	}
+}
+
+func TestIsSubpattern(t *testing.T) {
+	a := seq.Motif{Segments: []string{"BC", "FG"}}
+	b := seq.Motif{Segments: []string{"ABCD", "EFGH"}}
+	if !isSubpattern(a, b) {
+		t.Fatal("BC/FG should be a subpattern of ABCD/EFGH")
+	}
+	if isSubpattern(b, a) {
+		t.Fatal("reverse should not hold")
+	}
+	c := seq.Motif{Segments: []string{"ZZ", "FG"}}
+	if isSubpattern(c, b) {
+		t.Fatal("ZZ is not a subsegment")
+	}
+}

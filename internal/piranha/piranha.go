@@ -1,0 +1,176 @@
+// Package piranha implements the adaptive-parallelism model of
+// Piranha (section 2.4.5 of "Free Parallel Data Mining"): Linda
+// master/worker programs in which each worker process — a "piranha" —
+// runs only while its workstation is idle. When the owner returns, the
+// piranha "retreats", optionally writing partial state back into the
+// tuple space; when a workstation becomes idle, a new piranha joins
+// the feeding. The dissertation's critique — retreats are expensive
+// for data mining programs because each piranha must re-read the
+// substantial problem state — is measurable here (see the t2.3
+// experiment and the retreat accounting below).
+package piranha
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"freepdm/internal/tuplespace"
+)
+
+// Task is one work unit of the restricted master/worker form Piranha
+// encourages: read a work tuple, compute, out a result tuple, die or
+// take the next tuple.
+type Task struct {
+	ID      int
+	Payload any
+}
+
+// PiranhaFunc computes one task. The state argument is the
+// program-wide state the piranha had to load when it joined (whose
+// reload cost is what makes retreats expensive); piranhas receive it
+// from Join.
+type PiranhaFunc func(state any, t Task) (result any, err error)
+
+// Config describes one adaptive run.
+type Config struct {
+	// LoadState is executed by every piranha when it joins (and
+	// re-executed after every retreat/rejoin): it models reading the
+	// problem state from the tuple space. Its cost is the retreat
+	// penalty.
+	LoadState func() any
+	// Work computes one task.
+	Work PiranhaFunc
+}
+
+// Stats accounts for the adaptive execution.
+type Stats struct {
+	TasksDone  int
+	Retreats   int
+	StateLoads int   // = initial joins + rejoins after retreats
+	Redone     int64 // task executions lost to retreats mid-task
+}
+
+// Run executes the tasks on `width` piranhas. The retreat channel
+// delivers owner-return events: each event retreats one running
+// piranha, which abandons its current task (the task tuple returns to
+// the bag) and later rejoins, paying LoadState again. Close the
+// channel to stop injecting retreats. Run returns when every task's
+// result has been collected.
+func Run(cfg Config, tasks []Task, width int, retreats <-chan struct{}) (map[int]any, Stats, error) {
+	if width < 1 {
+		width = 1
+	}
+	if cfg.Work == nil {
+		return nil, Stats{}, errors.New("piranha: no work function")
+	}
+	if len(tasks) == 0 {
+		return map[int]any{}, Stats{}, nil
+	}
+	ts := tuplespace.New()
+	defer ts.Close()
+	for _, t := range tasks {
+		if err := ts.Out("task", t.ID, t.Payload); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+
+	var stats Stats
+	var statsMu sync.Mutex
+	var redone atomic.Int64
+
+	// Retreat signaling: a shared token each piranha polls between
+	// (and during) tasks.
+	var retreatFlags sync.Map // piranha id -> *atomic.Bool
+	go func() {
+		i := 0
+		for range retreats {
+			// Round-robin the retreat order over piranhas.
+			if f, ok := retreatFlags.Load(i % width); ok {
+				f.(*atomic.Bool).Store(true)
+			}
+			i++
+		}
+	}()
+
+	results := make(map[int]any, len(tasks))
+	var resMu sync.Mutex
+	remaining := atomic.Int64{}
+	remaining.Store(int64(len(tasks)))
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var errMu sync.Mutex
+	for p := 0; p < width; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			flag := &atomic.Bool{}
+			retreatFlags.Store(p, flag)
+			for remaining.Load() > 0 {
+				// Join (or rejoin): load the program state.
+				var state any
+				if cfg.LoadState != nil {
+					state = cfg.LoadState()
+				}
+				statsMu.Lock()
+				stats.StateLoads++
+				statsMu.Unlock()
+
+				// Feed until retreat or no work left.
+				for remaining.Load() > 0 && !flag.Load() {
+					tu, ok := ts.Inp("task", tuplespace.FormalInt, tuplespace.Formal(tasks[0].Payload))
+					if !ok {
+						// Results may still be in flight on other piranhas.
+						if remaining.Load() == 0 {
+							return
+						}
+						runtime.Gosched()
+						continue
+					}
+					task := Task{ID: tu[1].(int), Payload: tu[2]}
+					if flag.Load() {
+						// Owner returned mid-task: the work tuple goes
+						// back; this execution is lost.
+						ts.Out("task", task.ID, task.Payload) //nolint:errcheck
+						redone.Add(1)
+						break
+					}
+					res, err := cfg.Work(state, task)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						remaining.Store(0)
+						return
+					}
+					resMu.Lock()
+					results[task.ID] = res
+					resMu.Unlock()
+					statsMu.Lock()
+					stats.TasksDone++
+					statsMu.Unlock()
+					remaining.Add(-1)
+					runtime.Gosched() // interleave piranhas on single-CPU hosts
+				}
+				if flag.Load() {
+					// Retreat: leave the machine; rejoin when idle again
+					// (immediately, in this in-process model).
+					flag.Store(false)
+					statsMu.Lock()
+					stats.Retreats++
+					statsMu.Unlock()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	stats.Redone = redone.Load()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	return results, stats, err
+}

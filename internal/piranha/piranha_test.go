@@ -1,0 +1,113 @@
+package piranha
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func squareTasks(n int) []Task {
+	ts := make([]Task, n)
+	for i := range ts {
+		ts[i] = Task{ID: i, Payload: i}
+	}
+	return ts
+}
+
+func squareCfg(loads *atomic.Int64) Config {
+	return Config{
+		LoadState: func() any {
+			if loads != nil {
+				loads.Add(1)
+			}
+			return "problem-state"
+		},
+		Work: func(state any, t Task) (any, error) {
+			if state != "problem-state" {
+				return nil, errors.New("state not loaded")
+			}
+			v := t.Payload.(int)
+			return v * v, nil
+		},
+	}
+}
+
+func TestAllTasksComplete(t *testing.T) {
+	results, st, err := Run(squareCfg(nil), squareTasks(50), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 50 || st.TasksDone != 50 {
+		t.Fatalf("results=%d done=%d", len(results), st.TasksDone)
+	}
+	for i := 0; i < 50; i++ {
+		if results[i] != i*i {
+			t.Fatalf("results[%d]=%v", i, results[i])
+		}
+	}
+}
+
+func TestRetreatsForceStateReload(t *testing.T) {
+	var loads atomic.Int64
+	retreats := make(chan struct{}, 16)
+	for i := 0; i < 6; i++ {
+		retreats <- struct{}{}
+	}
+	close(retreats)
+	results, st, err := Run(squareCfg(&loads), squareTasks(200), 3, retreats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 200 {
+		t.Fatalf("lost results: %d", len(results))
+	}
+	// Every retreat that was observed forced a state reload beyond the
+	// initial 3 joins.
+	if st.Retreats > 0 && int(loads.Load()) < 3+st.Retreats {
+		t.Fatalf("loads=%d retreats=%d: retreats did not pay the reload cost",
+			loads.Load(), st.Retreats)
+	}
+	if st.StateLoads != int(loads.Load()) {
+		t.Fatalf("stats.StateLoads=%d loads=%d", st.StateLoads, loads.Load())
+	}
+}
+
+func TestWorkErrorStopsRun(t *testing.T) {
+	cfg := Config{Work: func(_ any, t Task) (any, error) {
+		if t.Payload.(int) == 3 {
+			return nil, errors.New("bad task")
+		}
+		return t.Payload, nil
+	}}
+	_, _, err := Run(cfg, squareTasks(10), 2, nil)
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+func TestEmptyTaskList(t *testing.T) {
+	results, st, err := Run(squareCfg(nil), nil, 3, nil)
+	if err != nil || len(results) != 0 || st.TasksDone != 0 {
+		t.Fatalf("results=%v st=%+v err=%v", results, st, err)
+	}
+}
+
+func TestNoWorkFunction(t *testing.T) {
+	if _, _, err := Run(Config{}, squareTasks(1), 1, nil); err == nil {
+		t.Fatal("accepted config without Work")
+	}
+}
+
+func TestSinglePiranha(t *testing.T) {
+	results, _, err := Run(squareCfg(nil), squareTasks(20), 1, nil)
+	if err != nil || len(results) != 20 {
+		t.Fatalf("results=%d err=%v", len(results), err)
+	}
+}
+
+func BenchmarkRun4Piranhas(b *testing.B) {
+	cfg := squareCfg(nil)
+	for i := 0; i < b.N; i++ {
+		Run(cfg, squareTasks(64), 4, nil)
+	}
+}

@@ -1,0 +1,399 @@
+// Package plinda implements Persistent Linda (PLinda), the robust
+// distributed parallel computing runtime that "Free Parallel Data
+// Mining" (Li, NYU 1998) uses as its software architecture. PLinda
+// extends Linda with three mechanisms (chapter 2.4.6 and chapter 7):
+//
+//   - Lightweight transactions: each process executes as a series of
+//     transactions (Xstart ... Xcommit). If a process fails mid
+//     transaction, the runtime detects the failure, aborts the
+//     transaction (undoing its tuple-space effects), and re-runs the
+//     process elsewhere.
+//   - Continuation committing: Xcommit takes the process's live local
+//     variables as a continuation tuple; after a failure the re-spawned
+//     incarnation retrieves it with Xrecover and resumes from the last
+//     committed transaction.
+//   - Checkpoint-protected tuple space: the server can snapshot the
+//     whole tuple space plus continuations and roll back to the latest
+//     checkpoint after a server failure.
+//
+// Workstations are modeled as process incarnations: Kill simulates an
+// owner returning to (or a crash of) the machine a process runs on, at
+// which point the PLinda daemon destroys the client process and the
+// server re-spawns it, exactly as described in section 7.1.1.
+package plinda
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"freepdm/internal/tuplespace"
+)
+
+// Errors reported by the runtime.
+var (
+	ErrKilled      = errors.New("plinda: process killed")
+	ErrNoProcess   = errors.New("plinda: no such process")
+	ErrServerDown  = errors.New("plinda: server closed")
+	errNestedTxn   = errors.New("plinda: nested transaction")
+	errCommitNoTxn = errors.New("plinda: Xcommit without Xstart")
+)
+
+// Status enumerates the process states shown by the PLinda "Process
+// Watch" window (figure 7.6 of the dissertation).
+type Status int
+
+// Process states.
+const (
+	Dispatched Status = iota
+	Running
+	Blocked
+	Suspended
+	FailureHandled
+	Done
+	Failed
+)
+
+var statusNames = [...]string{"DISPATCHED", "RUNNING", "BLOCKED", "SUSPENDED", "FAILURE HANDLED", "DONE", "FAILED"}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// ProcFunc is the body of a PLinda process (a master or a worker).
+// Returning nil marks the process DONE; returning ErrKilled (or being
+// killed while blocked) triggers transactional recovery and re-spawn.
+type ProcFunc func(p *Proc) error
+
+// MaxRespawns bounds automatic failure recovery per logical process so
+// a deterministic crasher cannot loop forever.
+const MaxRespawns = 64
+
+// procState is the server-side record for one logical process.
+type procState struct {
+	name         string
+	fn           ProcFunc
+	status       Status
+	incarnation  int
+	continuation tuplespace.Tuple
+	hasCont      bool
+	killCh       chan struct{}
+	done         chan struct{}
+	err          error
+	gate         *sync.Cond // suspend/resume
+	suspended    bool
+}
+
+// Server is the PLinda runtime: tuple space, process table, and
+// checkpointer.
+type Server struct {
+	mu     sync.Mutex
+	space  *tuplespace.Space
+	procs  map[string]*procState
+	closed bool
+	wg     sync.WaitGroup
+
+	// Failure/recovery accounting for tests and experiments.
+	kills    int
+	respawns int
+	commits  int
+	aborts   int
+}
+
+// NewServer starts an empty PLinda server.
+func NewServer() *Server {
+	return &Server{space: tuplespace.New(), procs: make(map[string]*procState)}
+}
+
+// Space exposes the underlying tuple space (the server process owns
+// it, mirroring the centralized PLinda server).
+func (s *Server) Space() *tuplespace.Space { return s.space }
+
+// Spawn registers and starts a logical process under the given unique
+// name; this is PLinda's proc_eval. It returns an error if the name is
+// taken or the server is closed.
+func (s *Server) Spawn(name string, fn ProcFunc) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerDown
+	}
+	if _, ok := s.procs[name]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("plinda: process %q already exists", name)
+	}
+	ps := &procState{
+		name:   name,
+		fn:     fn,
+		status: Dispatched,
+		killCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	ps.gate = sync.NewCond(&s.mu)
+	s.procs[name] = ps
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.run(ps)
+	return nil
+}
+
+// run executes incarnations of a logical process until it completes,
+// fails permanently, or exhausts MaxRespawns.
+func (s *Server) run(ps *procState) {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		ps.status = Running
+		killCh := ps.killCh
+		inc := ps.incarnation
+		s.mu.Unlock()
+
+		p := &Proc{srv: s, st: ps, killCh: killCh, incarnation: inc}
+		err := s.runIncarnation(p)
+
+		s.mu.Lock()
+		if err == nil {
+			ps.status = Done
+			close(ps.done)
+			s.mu.Unlock()
+			return
+		}
+		if !errors.Is(err, ErrKilled) || ps.incarnation+1 > MaxRespawns || s.closed {
+			ps.status = Failed
+			ps.err = err
+			close(ps.done)
+			s.mu.Unlock()
+			return
+		}
+		// Failure handling: abort was already performed by the
+		// incarnation's runner; arm a fresh kill channel and re-spawn.
+		ps.status = FailureHandled
+		ps.incarnation++
+		ps.killCh = make(chan struct{})
+		s.respawns++
+		s.mu.Unlock()
+	}
+}
+
+// runIncarnation runs one incarnation, converting panics into process
+// failures and aborting any open transaction on the way out.
+func (s *Server) runIncarnation(p *Proc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: panic: %v", ErrKilled, r)
+		}
+		if p.txnOpen {
+			p.abort()
+		}
+	}()
+	return p.st.fn(p)
+}
+
+// Kill simulates the failure of the workstation running the named
+// process (or the owner reclaiming it): the current incarnation is
+// destroyed, its open transaction aborted, and the process re-spawned.
+func (s *Server) Kill(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.procs[name]
+	if !ok {
+		return ErrNoProcess
+	}
+	if ps.status == Done || ps.status == Failed {
+		return nil
+	}
+	s.kills++
+	select {
+	case <-ps.killCh:
+	default:
+		close(ps.killCh)
+	}
+	if ps.suspended {
+		ps.suspended = false
+		ps.gate.Broadcast()
+	}
+	return nil
+}
+
+// Suspend pauses a process at its next tuple-space operation.
+func (s *Server) Suspend(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.procs[name]
+	if !ok {
+		return ErrNoProcess
+	}
+	ps.suspended = true
+	return nil
+}
+
+// Resume lets a suspended process continue.
+func (s *Server) Resume(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.procs[name]
+	if !ok {
+		return ErrNoProcess
+	}
+	ps.suspended = false
+	ps.gate.Broadcast()
+	return nil
+}
+
+// Migrate moves a process to another workstation. With simulated
+// workstations this is exactly a failure plus recovery: the incarnation
+// dies, the transaction aborts, and a fresh incarnation resumes from
+// the last committed continuation.
+func (s *Server) Migrate(name string) error { return s.Kill(name) }
+
+// Wait blocks until the named process is DONE or FAILED, returning its
+// terminal error (nil for DONE).
+func (s *Server) Wait(name string) error {
+	s.mu.Lock()
+	ps, ok := s.procs[name]
+	s.mu.Unlock()
+	if !ok {
+		return ErrNoProcess
+	}
+	<-ps.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ps.err
+}
+
+// WaitAll blocks until every spawned process has terminated and
+// returns the first failure, if any.
+func (s *Server) WaitAll() error {
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.procs))
+	for n := range s.procs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := s.procs[n].err; err != nil {
+			return fmt.Errorf("process %s: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// ProcInfo is one row of the process-watch table.
+type ProcInfo struct {
+	Name        string
+	Status      Status
+	Incarnation int
+}
+
+// Processes returns a sorted snapshot of the process table.
+func (s *Server) Processes() []ProcInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ProcInfo, 0, len(s.procs))
+	for _, ps := range s.procs {
+		out = append(out, ProcInfo{ps.name, ps.status, ps.incarnation})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Kills reports how many failures have been injected; Respawns how
+// many recoveries the server performed.
+func (s *Server) Kills() int    { s.mu.Lock(); defer s.mu.Unlock(); return s.kills }
+func (s *Server) Respawns() int { s.mu.Lock(); defer s.mu.Unlock(); return s.respawns }
+
+// Commits and Aborts count transaction outcomes across all processes.
+func (s *Server) Commits() int { s.mu.Lock(); defer s.mu.Unlock(); return s.commits }
+func (s *Server) Aborts() int  { s.mu.Lock(); defer s.mu.Unlock(); return s.aborts }
+
+// Close shuts the server down, unblocking every process.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, ps := range s.procs {
+		select {
+		case <-ps.killCh:
+		default:
+			close(ps.killCh)
+		}
+		if ps.suspended {
+			ps.suspended = false
+			ps.gate.Broadcast()
+		}
+	}
+	s.mu.Unlock()
+	s.space.Close()
+	s.wg.Wait()
+}
+
+// checkpoint is the gob-serialized durable state: tuple space contents
+// plus per-process continuations.
+type checkpoint struct {
+	Tuples        []tuplespace.Tuple
+	Continuations map[string]tuplespace.Tuple
+}
+
+// Checkpoint writes the current tuple space and all committed
+// continuations to w. It pauses no processes; PLinda checkpoints are
+// taken between transactions, which is safe because uncommitted
+// transaction effects are not in the shared space.
+func (s *Server) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	cp := checkpoint{Continuations: make(map[string]tuplespace.Tuple)}
+	for n, ps := range s.procs {
+		if ps.hasCont {
+			cp.Continuations[n] = append(tuplespace.Tuple(nil), ps.continuation...)
+		}
+	}
+	s.mu.Unlock()
+	cp.Tuples = s.space.Snapshot()
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// RestoreCheckpoint performs rollback recovery: the tuple space and
+// continuations are replaced by the checkpointed state.
+func (s *Server) RestoreCheckpoint(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	for n, c := range cp.Continuations {
+		if ps, ok := s.procs[n]; ok {
+			ps.continuation = c
+			ps.hasCont = true
+		}
+	}
+	s.mu.Unlock()
+	return s.space.Restore(cp.Tuples)
+}
+
+func init() {
+	// Field types that cross checkpoints must be gob-registered since
+	// tuple fields are interface values.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register([]int(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+}
+
+// RegisterType makes a concrete tuple-field type checkpointable.
+func RegisterType(sample any) { gob.Register(sample) }

@@ -1,0 +1,285 @@
+package plinda
+
+import (
+	"freepdm/internal/tuplespace"
+)
+
+// Proc is one incarnation of a logical PLinda process. All tuple-space
+// operations and the transaction statements (Xstart, Xcommit, Xabort,
+// Xrecover) are methods on Proc. A Proc is used by a single goroutine.
+type Proc struct {
+	srv         *Server
+	st          *procState
+	killCh      chan struct{}
+	incarnation int
+
+	txnOpen bool
+	undo    []tuplespace.Tuple // tuples removed by In/Inp inside the txn
+	buffer  []tuplespace.Tuple // tuples outed inside the txn, private until commit
+}
+
+// Name returns the logical process name.
+func (p *Proc) Name() string { return p.st.name }
+
+// Incarnation returns which re-spawn of the logical process this is
+// (0 for the first run).
+func (p *Proc) Incarnation() int { return p.incarnation }
+
+// killed reports whether this incarnation has been destroyed.
+func (p *Proc) killed() bool {
+	select {
+	case <-p.killCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// gate blocks while the process is suspended and returns ErrKilled if
+// the incarnation was destroyed. Every tuple-space operation passes
+// through it, which is where the PLinda daemon would preempt a client.
+func (p *Proc) gate() error {
+	s := p.srv
+	s.mu.Lock()
+	for p.st.suspended && !p.killed() {
+		p.st.status = Suspended
+		p.st.gate.Wait()
+	}
+	if p.st.status == Suspended {
+		p.st.status = Running
+	}
+	s.mu.Unlock()
+	if p.killed() {
+		return ErrKilled
+	}
+	return nil
+}
+
+// Xstart opens a lightweight transaction. Transactions do not nest.
+func (p *Proc) Xstart() error {
+	if err := p.gate(); err != nil {
+		return err
+	}
+	if p.txnOpen {
+		return errNestedTxn
+	}
+	p.txnOpen = true
+	p.undo = p.undo[:0]
+	p.buffer = p.buffer[:0]
+	return nil
+}
+
+// Xcommit atomically publishes the transaction's outs, forgets its
+// undo log, and durably records the given live variables as this
+// process's continuation (retrievable by Xrecover after a failure).
+// Passing no values commits without changing the continuation.
+func (p *Proc) Xcommit(continuation ...any) error {
+	if !p.txnOpen {
+		return errCommitNoTxn
+	}
+	if p.killed() {
+		// The incarnation died before the commit point: abort instead.
+		p.abort()
+		return ErrKilled
+	}
+	for _, t := range p.buffer {
+		if err := p.srv.space.Out(t...); err != nil {
+			p.abort()
+			return err
+		}
+	}
+	p.srv.mu.Lock()
+	if len(continuation) > 0 {
+		p.st.continuation = append(tuplespace.Tuple(nil), continuation...)
+		p.st.hasCont = true
+	}
+	p.srv.commits++
+	p.srv.mu.Unlock()
+	p.txnOpen = false
+	p.undo = p.undo[:0]
+	p.buffer = p.buffer[:0]
+	return nil
+}
+
+// Xabort rolls the open transaction back: buffered outs are discarded
+// and every tuple the transaction removed is returned to the space.
+func (p *Proc) Xabort() {
+	if p.txnOpen {
+		p.abort()
+	}
+}
+
+func (p *Proc) abort() {
+	p.srv.mu.Lock()
+	p.srv.aborts++
+	p.srv.mu.Unlock()
+	for _, t := range p.undo {
+		p.srv.space.Out(t...) //nolint:errcheck // best-effort on shutdown
+	}
+	p.undo = p.undo[:0]
+	p.buffer = p.buffer[:0]
+	p.txnOpen = false
+}
+
+// Xrecover returns the continuation committed by the most recent
+// successful Xcommit of any incarnation of this logical process, and
+// whether one exists. Fresh processes (incarnation 0, never committed)
+// get ok=false, matching the PLinda xrecover idiom.
+func (p *Proc) Xrecover() (tuplespace.Tuple, bool) {
+	p.srv.mu.Lock()
+	defer p.srv.mu.Unlock()
+	if !p.st.hasCont {
+		return nil, false
+	}
+	return append(tuplespace.Tuple(nil), p.st.continuation...), true
+}
+
+// Out places a tuple in the space. Inside a transaction the tuple is
+// buffered and becomes visible to other processes only at Xcommit;
+// outside a transaction it is published immediately.
+func (p *Proc) Out(fields ...any) error {
+	if err := p.gate(); err != nil {
+		return err
+	}
+	if p.txnOpen {
+		p.buffer = append(p.buffer, append(tuplespace.Tuple(nil), fields...))
+		return nil
+	}
+	return p.srv.space.Out(fields...)
+}
+
+// takeBuffered serves In/Rd from this transaction's private buffer so
+// a transaction can consume tuples it has produced itself.
+func (p *Proc) takeBuffered(tm tuplespace.Template, take bool) (tuplespace.Tuple, bool) {
+	if !p.txnOpen {
+		return nil, false
+	}
+	for i, t := range p.buffer {
+		if tm.Matches(t) {
+			if take {
+				p.buffer = append(p.buffer[:i], p.buffer[i+1:]...)
+			}
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// In blocks until a matching tuple exists and removes it. Inside a
+// transaction the removal is logged so Xabort (or failure) undoes it.
+func (p *Proc) In(tmpl ...any) (tuplespace.Tuple, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), true); ok {
+		return t, nil
+	}
+	type res struct {
+		t   tuplespace.Tuple
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		t, err := p.srv.space.In(tmpl...)
+		ch <- res{t, err}
+	}()
+	p.setStatus(Blocked)
+	defer p.setStatus(Running)
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if p.killed() {
+			// Died between match and delivery: compensate.
+			p.srv.space.Out(r.t...) //nolint:errcheck
+			return nil, ErrKilled
+		}
+		if p.txnOpen {
+			p.undo = append(p.undo, r.t)
+		}
+		return r.t, nil
+	case <-p.killCh:
+		// The blocked In may still complete later; return its tuple to
+		// the space so no work is lost.
+		go func() {
+			if r := <-ch; r.err == nil {
+				p.srv.space.Out(r.t...) //nolint:errcheck
+			}
+		}()
+		return nil, ErrKilled
+	}
+}
+
+// Inp is the non-blocking form of In.
+func (p *Proc) Inp(tmpl ...any) (tuplespace.Tuple, bool, error) {
+	if err := p.gate(); err != nil {
+		return nil, false, err
+	}
+	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), true); ok {
+		return t, true, nil
+	}
+	t, ok := p.srv.space.Inp(tmpl...)
+	if ok && p.txnOpen {
+		p.undo = append(p.undo, t)
+	}
+	return t, ok, nil
+}
+
+// Rd blocks until a matching tuple exists and returns it without
+// removing it.
+func (p *Proc) Rd(tmpl ...any) (tuplespace.Tuple, error) {
+	if err := p.gate(); err != nil {
+		return nil, err
+	}
+	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), false); ok {
+		return t, nil
+	}
+	type res struct {
+		t   tuplespace.Tuple
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		t, err := p.srv.space.Rd(tmpl...)
+		ch <- res{t, err}
+	}()
+	p.setStatus(Blocked)
+	defer p.setStatus(Running)
+	select {
+	case r := <-ch:
+		return r.t, r.err
+	case <-p.killCh:
+		return nil, ErrKilled
+	}
+}
+
+// Rdp is the non-blocking form of Rd.
+func (p *Proc) Rdp(tmpl ...any) (tuplespace.Tuple, bool, error) {
+	if err := p.gate(); err != nil {
+		return nil, false, err
+	}
+	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), false); ok {
+		return t, true, nil
+	}
+	t, ok := p.srv.space.Rdp(tmpl...)
+	return t, ok, nil
+}
+
+// ProcEval spawns another logical process, mirroring PLinda's
+// proc_eval statement (process creation via the runtime rather than
+// Linda's eval).
+func (p *Proc) ProcEval(name string, fn ProcFunc) error {
+	if err := p.gate(); err != nil {
+		return err
+	}
+	return p.srv.Spawn(name, fn)
+}
+
+func (p *Proc) setStatus(st Status) {
+	p.srv.mu.Lock()
+	if p.st.status != Done && p.st.status != Failed && p.st.status != Suspended {
+		p.st.status = st
+	}
+	p.srv.mu.Unlock()
+}

@@ -1,0 +1,178 @@
+// Package search implements the parallel state-space search of
+// section 2.6 of "Free Parallel Data Mining": the priority-bit-vector
+// scheme of Saletore and Kalé for finding a FIRST solution with
+// consistent speedups. Every node carries a priority vector that (a)
+// preserves the left-to-right order of siblings and (b) ranks every
+// descendant of a higher-priority node above all descendants of
+// lower-priority nodes — so the parallel search behaves like
+// sequential depth-first search and returns the same (leftmost)
+// solution regardless of the number of workers.
+//
+// The package also demonstrates the dissertation's argument for why
+// these techniques do not transfer to data mining: mining needs ALL
+// solutions (every good pattern), for which the E-dag traversal of
+// package core is the right tool, while one-solution search may
+// legally skip most of the space.
+package search
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Node is a state in the space; Expand returns its ordered children
+// and IsGoal reports whether it is a solution.
+type Node interface {
+	Expand() []Node
+	IsGoal() bool
+}
+
+// priority is the bit-vector priority: the path of child indexes from
+// the root. Lexicographically smaller = higher priority = more to the
+// left in depth-first order. A prefix outranks its extensions'
+// siblings exactly as the scheme requires.
+type priority []int
+
+// less orders priorities depth-first: compare component-wise; a prefix
+// ranks before its extensions (the parent is expanded, not returned).
+func (p priority) less(q priority) bool {
+	for i := 0; i < len(p) && i < len(q); i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return len(p) < len(q)
+}
+
+type entry struct {
+	n    Node
+	prio priority
+}
+
+type pq []entry
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].prio.less(q[j].prio) }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(entry)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+// SequentialDFS returns the leftmost goal node, or nil.
+func SequentialDFS(root Node) Node {
+	if root.IsGoal() {
+		return root
+	}
+	for _, c := range root.Expand() {
+		if g := SequentialDFS(c); g != nil {
+			return g
+		}
+	}
+	return nil
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Expanded int
+}
+
+// ParallelFirst searches for the leftmost solution with the given
+// number of workers. Workers repeatedly take the highest-priority open
+// node; a found goal is only accepted once no open or in-flight node
+// outranks it, which guarantees the sequential (leftmost) answer.
+func ParallelFirst(root Node, workers int) (Node, Stats) {
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		open     = &pq{}
+		inflight = map[int]priority{} // worker -> priority being expanded
+		best     Node
+		bestPrio priority
+		done     bool
+		stats    Stats
+	)
+	heap.Push(open, entry{root, priority{}})
+
+	// outranked reports whether some open or in-flight work could
+	// still produce a solution left of prio.
+	outranked := func(prio priority) bool {
+		if open.Len() > 0 && (*open)[0].prio.less(prio) {
+			return true
+		}
+		for _, p := range inflight {
+			if p.less(prio) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for !done && open.Len() == 0 && len(inflight) > 0 {
+					if best != nil && !outranked(bestPrio) {
+						break
+					}
+					cond.Wait()
+				}
+				if done || (open.Len() == 0 && len(inflight) == 0) {
+					done = true
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if best != nil && !outranked(bestPrio) {
+					done = true
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if open.Len() == 0 {
+					mu.Unlock()
+					continue
+				}
+				e := heap.Pop(open).(entry)
+				// A node right of an accepted-candidate solution can
+				// never improve on it.
+				if best != nil && bestPrio.less(e.prio) {
+					mu.Unlock()
+					continue
+				}
+				inflight[w] = e.prio
+				stats.Expanded++
+				mu.Unlock()
+
+				isGoal := e.n.IsGoal()
+				var children []Node
+				if !isGoal {
+					children = e.n.Expand()
+				}
+
+				mu.Lock()
+				delete(inflight, w)
+				if isGoal {
+					if best == nil || e.prio.less(bestPrio) {
+						best = e.n
+						bestPrio = e.prio
+					}
+				} else {
+					for i, c := range children {
+						cp := append(append(priority(nil), e.prio...), i)
+						heap.Push(open, entry{c, cp})
+					}
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return best, stats
+}

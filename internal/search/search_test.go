@@ -1,0 +1,137 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testNode is a synthetic state-space tree node.
+type testNode struct {
+	id       int
+	goal     bool
+	children []*testNode
+}
+
+func (n *testNode) IsGoal() bool { return n.goal }
+func (n *testNode) Expand() []Node {
+	out := make([]Node, len(n.children))
+	for i, c := range n.children {
+		out[i] = c
+	}
+	return out
+}
+
+// buildTree constructs a random tree with some goal nodes; ids follow
+// preorder so the leftmost goal has the smallest id among goals on the
+// leftmost path semantics.
+func buildTree(rng *rand.Rand, depth, maxKids int, goalProb float64, id *int) *testNode {
+	n := &testNode{id: *id}
+	*id++
+	n.goal = rng.Float64() < goalProb
+	if depth > 0 && !n.goal {
+		kids := rng.Intn(maxKids + 1)
+		for i := 0; i < kids; i++ {
+			n.children = append(n.children, buildTree(rng, depth-1, maxKids, goalProb, id))
+		}
+	}
+	return n
+}
+
+func TestParallelFirstEqualsSequentialDFS(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		id := 0
+		root := buildTree(rng, 6, 3, 0.08, &id)
+		want := SequentialDFS(root)
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, _ := ParallelFirst(root, workers)
+			switch {
+			case want == nil && got != nil:
+				t.Fatalf("seed %d workers %d: spurious solution", seed, workers)
+			case want != nil && got == nil:
+				t.Fatalf("seed %d workers %d: missed solution", seed, workers)
+			case want != nil && got.(*testNode).id != want.(*testNode).id:
+				t.Fatalf("seed %d workers %d: found node %d, sequential DFS finds %d",
+					seed, workers, got.(*testNode).id, want.(*testNode).id)
+			}
+		}
+	}
+}
+
+func TestNoSolution(t *testing.T) {
+	root := &testNode{children: []*testNode{{}, {}}}
+	if got, _ := ParallelFirst(root, 4); got != nil {
+		t.Fatal("found a goal in a goal-free tree")
+	}
+}
+
+func TestRootIsGoal(t *testing.T) {
+	root := &testNode{goal: true}
+	got, st := ParallelFirst(root, 3)
+	if got == nil || st.Expanded != 1 {
+		t.Fatalf("got=%v expanded=%d", got, st.Expanded)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	cases := []struct {
+		a, b priority
+		less bool
+	}{
+		{priority{0}, priority{1}, true},
+		{priority{0, 5}, priority{1}, true}, // descendants of left outrank right siblings
+		{priority{1}, priority{0, 5}, false},
+		{priority{0}, priority{0, 0}, true}, // parent before child
+		{priority{2, 1}, priority{2, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.less(c.b); got != c.less {
+			t.Fatalf("less(%v,%v)=%v want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+// Property: the parallel search result is worker-count invariant.
+func TestPropertyWorkerInvariance(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		id := 0
+		root := buildTree(rng, 5, 3, 0.1, &id)
+		want, _ := ParallelFirst(root, 1)
+		got, _ := ParallelFirst(root, int(wRaw%7)+2)
+		if (want == nil) != (got == nil) {
+			return false
+		}
+		return want == nil || want.(*testNode).id == got.(*testNode).id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parallel search may legally expand fewer nodes than exist (it stops
+// at the first solution); all-solutions mining cannot. This is the
+// section 2.6 contrast with the E-dag framework.
+func TestFirstSolutionSkipsWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	id := 0
+	root := buildTree(rng, 7, 3, 0.15, &id)
+	if SequentialDFS(root) == nil {
+		t.Skip("no goal in this tree")
+	}
+	_, st := ParallelFirst(root, 4)
+	if st.Expanded >= id {
+		t.Fatalf("expanded %d of %d nodes; first-solution search should prune", st.Expanded, id)
+	}
+}
+
+func BenchmarkParallelFirst(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	id := 0
+	root := buildTree(rng, 10, 3, 0.001, &id)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelFirst(root, 4)
+	}
+}

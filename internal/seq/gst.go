@@ -1,0 +1,241 @@
+// Package seq provides the protein-sequence substrate of chapter 4 of
+// "Free Parallel Data Mining": sequences over the 20-letter amino-acid
+// alphabet, a generalized suffix tree (GST) for candidate-segment
+// enumeration (phase 1 of the Wang et al. discovery algorithm,
+// section 2.3.4), approximate motif matching with variable length
+// don't cares and mutations (insertions, deletions, mismatches), and a
+// synthetic corpus generator standing in for the cyclins.pirx protein
+// family used in the experiments.
+package seq
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Alphabet is the 20 amino-acid one-letter codes.
+const Alphabet = "ACDEFGHIKLMNPQRSTVWY"
+
+// gstNode is a node of the compressed generalized suffix tree. Edge
+// labels are substrings of the source sequences (by reference).
+type gstNode struct {
+	label    string // label of the edge entering this node
+	children map[byte]*gstNode
+	seqs     map[int]struct{} // ids of sequences with a suffix through here
+}
+
+func newGSTNode(label string) *gstNode {
+	return &gstNode{label: label, children: map[byte]*gstNode{}, seqs: map[int]struct{}{}}
+}
+
+// GST is a generalized suffix tree over a set of sequences: a trie of
+// all suffixes with single-child paths collapsed (section 2.3.4). It
+// answers two queries the discovery algorithm needs: the number of
+// distinct sequences containing a segment exactly, and the one-letter
+// right extensions of a segment that occur in the data.
+type GST struct {
+	root *gstNode
+	n    int // number of sequences
+}
+
+// BuildGST constructs the tree by suffix insertion. For the corpus
+// sizes of chapter 4 (tens of sequences, hundreds of letters each)
+// this is comfortably fast; each suffix insertion walks at most the
+// suffix's length.
+func BuildGST(seqs []string) *GST {
+	t := &GST{root: newGSTNode(""), n: len(seqs)}
+	for id, s := range seqs {
+		for i := 0; i < len(s); i++ {
+			t.insert(s[i:], id)
+		}
+	}
+	return t
+}
+
+func (t *GST) insert(suffix string, id int) {
+	node := t.root
+	node.seqs[id] = struct{}{}
+	for len(suffix) > 0 {
+		child, ok := node.children[suffix[0]]
+		if !ok {
+			nn := newGSTNode(suffix)
+			nn.seqs[id] = struct{}{}
+			node.children[suffix[0]] = nn
+			return
+		}
+		// Longest common prefix of the edge label and the suffix.
+		l := 0
+		for l < len(child.label) && l < len(suffix) && child.label[l] == suffix[l] {
+			l++
+		}
+		if l < len(child.label) {
+			// Split the edge.
+			mid := newGSTNode(child.label[:l])
+			mid.children[child.label[l]] = child
+			for sid := range child.seqs {
+				mid.seqs[sid] = struct{}{}
+			}
+			child.label = child.label[l:]
+			node.children[suffix[0]] = mid
+			child = mid
+		}
+		child.seqs[id] = struct{}{}
+		node = child
+		suffix = suffix[l:]
+	}
+}
+
+// locate returns the node at or below which the segment ends, plus how
+// many characters of that node's edge label are consumed; ok is false
+// when the segment does not occur.
+func (t *GST) locate(segment string) (node *gstNode, used int, ok bool) {
+	node = t.root
+	rest := segment
+	for len(rest) > 0 {
+		child, found := node.children[rest[0]]
+		if !found {
+			return nil, 0, false
+		}
+		l := 0
+		for l < len(child.label) && l < len(rest) {
+			if child.label[l] != rest[l] {
+				return nil, 0, false
+			}
+			l++
+		}
+		node = child
+		used = l
+		rest = rest[l:]
+		if used < len(node.label) && len(rest) > 0 {
+			return nil, 0, false
+		}
+	}
+	return node, used, true
+}
+
+// SeqCount returns the number of distinct sequences containing the
+// segment exactly (the occurrence number with zero mutations).
+func (t *GST) SeqCount(segment string) int {
+	if segment == "" {
+		return t.n
+	}
+	node, _, ok := t.locate(segment)
+	if !ok {
+		return 0
+	}
+	return len(node.seqs)
+}
+
+// Contains reports whether the segment occurs in any sequence.
+func (t *GST) Contains(segment string) bool { return t.SeqCount(segment) > 0 }
+
+// Extensions returns, in sorted order, the letters c such that
+// segment+c occurs in at least minSeqs sequences. This drives lazy
+// E-tree child generation: children of a segment pattern are its
+// right extensions present in the (sample of the) database.
+func (t *GST) Extensions(segment string, minSeqs int) []byte {
+	if minSeqs < 1 {
+		minSeqs = 1
+	}
+	var out []byte
+	if segment == "" {
+		for c, child := range t.root.children {
+			if len(child.seqs) >= minSeqs {
+				out = append(out, c)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	node, used, ok := t.locate(segment)
+	if !ok {
+		return nil
+	}
+	if used < len(node.label) {
+		// Mid-edge: the only extension is the next label character.
+		if len(node.seqs) >= minSeqs {
+			out = append(out, node.label[used])
+		}
+		return out
+	}
+	for c, child := range node.children {
+		if len(child.seqs) >= minSeqs {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Segments enumerates all segments of exactly the given length that
+// occur in at least minSeqs sequences, in sorted order — subphase B of
+// phase 1 of the discovery algorithm.
+func (t *GST) Segments(length, minSeqs int) []string {
+	var out []string
+	var walk func(n *gstNode, prefix string)
+	walk = func(n *gstNode, prefix string) {
+		if len(n.seqs) < minSeqs && n != t.root {
+			return
+		}
+		full := prefix + n.label
+		if len(full) >= length {
+			if n == t.root || len(n.seqs) >= minSeqs {
+				out = append(out, full[:length])
+			}
+			return
+		}
+		for _, c := range sortedKeys(n.children) {
+			walk(n.children[c], full)
+		}
+	}
+	walk(t.root, "")
+	sort.Strings(out)
+	return dedupStrings(out)
+}
+
+func sortedKeys(m map[byte]*gstNode) []byte {
+	ks := make([]byte, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func dedupStrings(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// NaiveSeqCount is the reference implementation of SeqCount used by
+// the property tests: strings.Contains over every sequence.
+func NaiveSeqCount(seqs []string, segment string) int {
+	c := 0
+	for _, s := range seqs {
+		if strings.Contains(s, segment) {
+			c++
+		}
+	}
+	return c
+}
+
+// RandomSequences generates n random sequences of the given length
+// over the amino-acid alphabet.
+func RandomSequences(n, length int, rng *rand.Rand) []string {
+	out := make([]string, n)
+	var b strings.Builder
+	for i := range out {
+		b.Reset()
+		for j := 0; j < length; j++ {
+			b.WriteByte(Alphabet[rng.Intn(len(Alphabet))])
+		}
+		out[i] = b.String()
+	}
+	return out
+}

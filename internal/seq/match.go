@@ -1,0 +1,152 @@
+package seq
+
+import "strings"
+
+// Motif is a VLDC pattern *S1*S2*...*Sk*: segments separated by
+// variable length don't cares. In matching, each * substitutes for
+// zero or more letters; segments may mutate (insert, delete,
+// mismatch) within a total budget.
+type Motif struct {
+	Segments []string
+}
+
+// ParseMotif parses the "*SEG*SEG*" notation.
+func ParseMotif(s string) Motif {
+	var segs []string
+	for _, part := range strings.Split(s, "*") {
+		if part != "" {
+			segs = append(segs, part)
+		}
+	}
+	return Motif{Segments: segs}
+}
+
+// String renders the motif in VLDC notation.
+func (m Motif) String() string {
+	if len(m.Segments) == 0 {
+		return "*"
+	}
+	return "*" + strings.Join(m.Segments, "*") + "*"
+}
+
+// Len is |P|: the number of non-VLDC letters.
+func (m Motif) Len() int {
+	n := 0
+	for _, s := range m.Segments {
+		n += len(s)
+	}
+	return n
+}
+
+// MatchesWithin reports whether the motif matches the sequence within
+// at most mut mutations after an optimal substitution for the VLDCs.
+// A mutation is an insertion, a deletion, or a mismatch, all unit
+// cost. For each segment the match is semi-global (the flanking VLDCs
+// absorb any letters of s), and segments must match in order at
+// non-overlapping, left-to-right positions; the mutation budget is
+// shared across segments.
+func (m Motif) MatchesWithin(s string, mut int) bool {
+	if m.Len() == 0 {
+		return true
+	}
+	// state[j] = minimal mutations spent so far for a parse of the
+	// segments consumed so far that ends at or before position j of s.
+	// Process segments in order; for each, run a semi-global edit DP
+	// whose start positions are the allowed continuation points.
+	n := len(s)
+	const inf = 1 << 30
+	// best[j]: minimal cost to have matched the segments so far with
+	// the last match ending at position <= j (prefix-min form).
+	best := make([]int, n+1)
+	for j := range best {
+		best[j] = 0 // zero segments matched costs nothing, any start
+	}
+	cur := make([]int, n+1)
+	prev := make([]int, n+1)
+	for _, seg := range m.Segments {
+		mlen := len(seg)
+		// prev/cur rows of the edit DP over the segment (rows) and s
+		// (cols). Row 0: starting a match at position j costs best[j]
+		// (mutations already spent before this segment).
+		for j := 0; j <= n; j++ {
+			prev[j] = best[j]
+		}
+		nextBest := make([]int, n+1)
+		for j := range nextBest {
+			nextBest[j] = inf
+		}
+		for i := 1; i <= mlen; i++ {
+			cur[0] = prev[0] + 1 // deletion of segment letter
+			for j := 1; j <= n; j++ {
+				sub := prev[j-1]
+				if seg[i-1] != s[j-1] {
+					sub++
+				}
+				del := prev[j] + 1 // delete segment letter
+				ins := cur[j-1] + 1
+				v := sub
+				if del < v {
+					v = del
+				}
+				if ins < v {
+					v = ins
+				}
+				cur[j] = v
+			}
+			prev, cur = cur, prev
+		}
+		// prev now holds the final row: cost of matching this segment
+		// ending exactly at position j. Convert to prefix-min for the
+		// next segment's free start (the * between them).
+		run := inf
+		for j := 0; j <= n; j++ {
+			if prev[j] < run {
+				run = prev[j]
+			}
+			nextBest[j] = run
+		}
+		best = nextBest
+	}
+	return best[n] <= mut
+}
+
+// OccurrenceNo is occurrence_no^mut_S(P): the number of sequences in
+// the set that contain the motif within mut mutations.
+func (m Motif) OccurrenceNo(seqs []string, mut int) int {
+	c := 0
+	for _, s := range seqs {
+		if m.MatchesWithin(s, mut) {
+			c++
+		}
+	}
+	return c
+}
+
+// EditDistance is the unit-cost Levenshtein distance, exposed for the
+// property tests of the matcher.
+func EditDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			sub := prev[j-1]
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			v := sub
+			if prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			if cur[j-1]+1 < v {
+				v = cur[j-1] + 1
+			}
+			cur[j] = v
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

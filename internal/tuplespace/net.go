@@ -1,0 +1,275 @@
+package tuplespace
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+)
+
+// Networked tuple space. The original PLinda ran its server on one
+// workstation of the LAN with clients on the others (chapter 7); this
+// file provides the same split for the Go reproduction: ServeTCP
+// exposes a Space over a listener, and Dial returns a Client whose
+// Out/In/Inp/Rd/Rdp have the same semantics as the local methods, with
+// tuples gob-encoded on the wire. Formals are transmitted as type
+// names and reconstructed server-side.
+
+// wireField is one template field on the wire: either an actual value
+// or a formal carrying its type name.
+type wireField struct {
+	Actual   any
+	IsFormal bool
+	TypeName string
+}
+
+// request is one client operation.
+type request struct {
+	Op     string // "out", "in", "inp", "rd", "rdp", "len"
+	Fields []wireField
+}
+
+// response is the server's answer.
+type response struct {
+	Tuple []any
+	OK    bool
+	Len   int
+	Err   string
+}
+
+func init() {
+	gob.Register(wireField{})
+	gob.Register([]any(nil))
+	// Basic field types the miners use; applications with custom field
+	// types register them with RegisterWireType.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register(false)
+	gob.Register([]byte(nil))
+	gob.Register([]int(nil))
+	gob.Register([]float64(nil))
+	gob.Register([]string(nil))
+}
+
+// RegisterWireType makes a concrete tuple-field type transferable over
+// the networked tuple space and usable as a formal. Both the server
+// and the client process must register it.
+func RegisterWireType(sample any) {
+	gob.Register(sample)
+	wireTypesMu.Lock()
+	wireTypes[reflect.TypeOf(sample).String()] = reflect.TypeOf(sample)
+	wireTypesMu.Unlock()
+}
+
+var (
+	wireTypesMu sync.Mutex
+	wireTypes   = map[string]reflect.Type{
+		"int":       reflect.TypeOf(int(0)),
+		"int64":     reflect.TypeOf(int64(0)),
+		"float64":   reflect.TypeOf(float64(0)),
+		"string":    reflect.TypeOf(""),
+		"bool":      reflect.TypeOf(false),
+		"[]uint8":   reflect.TypeOf([]byte(nil)),
+		"[]int":     reflect.TypeOf([]int(nil)),
+		"[]float64": reflect.TypeOf([]float64(nil)),
+		"[]string":  reflect.TypeOf([]string(nil)),
+	}
+)
+
+func encodeFields(fields []any) ([]wireField, error) {
+	out := make([]wireField, len(fields))
+	for i, f := range fields {
+		if fo, ok := f.(formal); ok {
+			out[i] = wireField{IsFormal: true, TypeName: fo.t.String()}
+			continue
+		}
+		out[i] = wireField{Actual: f}
+	}
+	return out, nil
+}
+
+func decodeFields(fields []wireField) ([]any, error) {
+	out := make([]any, len(fields))
+	for i, f := range fields {
+		if !f.IsFormal {
+			out[i] = f.Actual
+			continue
+		}
+		wireTypesMu.Lock()
+		t, ok := wireTypes[f.TypeName]
+		wireTypesMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("tuplespace: unknown wire type %q (RegisterWireType it)", f.TypeName)
+		}
+		out[i] = formal{t}
+	}
+	return out, nil
+}
+
+// ServeTCP serves the space on the listener until the listener is
+// closed; each accepted connection handles one operation at a time.
+// It returns after the listener closes.
+func ServeTCP(l net.Listener, s *Space) error {
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req request
+				if err := dec.Decode(&req); err != nil {
+					return // connection closed
+				}
+				resp := serveOne(s, &req)
+				if err := enc.Encode(resp); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func serveOne(s *Space, req *request) *response {
+	fields, err := decodeFields(req.Fields)
+	if err != nil {
+		return &response{Err: err.Error()}
+	}
+	switch req.Op {
+	case "out":
+		if err := s.Out(fields...); err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{OK: true}
+	case "in":
+		t, err := s.In(fields...)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{Tuple: t, OK: true}
+	case "rd":
+		t, err := s.Rd(fields...)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{Tuple: t, OK: true}
+	case "inp":
+		t, ok := s.Inp(fields...)
+		return &response{Tuple: t, OK: ok}
+	case "rdp":
+		t, ok := s.Rdp(fields...)
+		return &response{Tuple: t, OK: ok}
+	case "len":
+		return &response{OK: true, Len: s.Len()}
+	default:
+		return &response{Err: fmt.Sprintf("tuplespace: unknown op %q", req.Op)}
+	}
+}
+
+// Client is a remote handle on a served Space. A Client serializes its
+// operations over one connection; dial one Client per worker for
+// concurrency (a blocking In occupies its connection, exactly like a
+// blocked Linda process).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a served tuple space.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op string, fields []any) (*response, error) {
+	wf, err := encodeFields(fields)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(&request{Op: op, Fields: wf}); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+// Out places a tuple in the remote space.
+func (c *Client) Out(fields ...any) error {
+	_, err := c.roundTrip("out", fields)
+	return err
+}
+
+// In blocks until a matching tuple exists remotely and removes it.
+func (c *Client) In(tmpl ...any) (Tuple, error) {
+	resp, err := c.roundTrip("in", tmpl)
+	if err != nil {
+		return nil, err
+	}
+	return Tuple(resp.Tuple), nil
+}
+
+// Rd blocks until a matching tuple exists and returns a copy.
+func (c *Client) Rd(tmpl ...any) (Tuple, error) {
+	resp, err := c.roundTrip("rd", tmpl)
+	if err != nil {
+		return nil, err
+	}
+	return Tuple(resp.Tuple), nil
+}
+
+// Inp is the non-blocking destructive match.
+func (c *Client) Inp(tmpl ...any) (Tuple, bool, error) {
+	resp, err := c.roundTrip("inp", tmpl)
+	if err != nil {
+		return nil, false, err
+	}
+	return Tuple(resp.Tuple), resp.OK, nil
+}
+
+// Rdp is the non-blocking non-destructive match.
+func (c *Client) Rdp(tmpl ...any) (Tuple, bool, error) {
+	resp, err := c.roundTrip("rdp", tmpl)
+	if err != nil {
+		return nil, false, err
+	}
+	return Tuple(resp.Tuple), resp.OK, nil
+}
+
+// Len reports the remote tuple count.
+func (c *Client) Len() (int, error) {
+	resp, err := c.roundTrip("len", nil)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Len, nil
+}

@@ -1,0 +1,215 @@
+package tuplespace
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer serves a fresh space on an ephemeral port and returns
+// its address plus a shutdown func.
+func startServer(t *testing.T) (*Space, string, func()) {
+	t.Helper()
+	s := New()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeTCP(l, s) //nolint:errcheck
+	}()
+	return s, l.Addr().String(), func() {
+		l.Close()
+		s.Close()
+		<-done
+	}
+}
+
+func TestNetOutInRoundTrip(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Out("task", 7, 2.5, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	tu, err := c.In("task", FormalInt, FormalFloat, FormalInts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu[1].(int) != 7 || tu[2].(float64) != 2.5 || tu[3].([]int)[1] != 2 {
+		t.Fatalf("tuple %v", tu)
+	}
+	if _, ok, _ := c.Inp("task", FormalInt, FormalFloat, FormalInts); ok {
+		t.Fatal("tuple not consumed")
+	}
+}
+
+func TestNetBlockingInAcrossClients(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	producer, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Close()
+	consumer, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumer.Close()
+
+	got := make(chan Tuple, 1)
+	go func() {
+		tu, err := consumer.In("late", FormalString)
+		if err == nil {
+			got <- tu
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("In returned before Out")
+	default:
+	}
+	if err := producer.Out("late", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tu := <-got:
+		if tu[1].(string) != "payload" {
+			t.Fatalf("tuple %v", tu)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked In never woke across the wire")
+	}
+}
+
+func TestNetRdpAndLen(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, _ := Dial(addr)
+	defer c.Close()
+	c.Out("x", 1)
+	if _, ok, err := c.Rdp("x", FormalInt); err != nil || !ok {
+		t.Fatalf("rdp: %v %v", ok, err)
+	}
+	n, err := c.Len()
+	if err != nil || n != 1 {
+		t.Fatalf("len=%d err=%v", n, err)
+	}
+}
+
+func TestNetMasterWorkerVectorAddition(t *testing.T) {
+	// The figure 2.4/2.5 Linda vector addition with the master and two
+	// workers on separate connections — the NOW deployment shape, over
+	// localhost TCP.
+	_, addr, stop := startServer(t)
+	defer stop()
+
+	const n, chunks = 100, 5
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = i
+		b[i] = 3 * i
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for {
+				tu, err := c.In("task", FormalInt, FormalInts, FormalInts)
+				if err != nil {
+					return
+				}
+				which := tu[1].(int)
+				if which < 0 {
+					return
+				}
+				av, bv := tu[2].([]int), tu[3].([]int)
+				sum := make([]int, len(av))
+				for i := range av {
+					sum[i] = av[i] + bv[i]
+				}
+				if err := c.Out("result", which, sum); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	master, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*n/chunks, (i+1)*n/chunks
+		if err := master.Out("task", i, a[lo:hi], b[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	result := make([]int, n)
+	for i := 0; i < chunks; i++ {
+		tu, err := master.In("result", i, FormalInts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(result[i*n/chunks:], tu[2].([]int))
+	}
+	for w := 0; w < 2; w++ {
+		master.Out("task", -1, []int(nil), []int(nil))
+	}
+	wg.Wait()
+	for i, v := range result {
+		if v != 4*i {
+			t.Fatalf("result[%d]=%d want %d", i, v, 4*i)
+		}
+	}
+}
+
+func TestNetCustomTypeNeedsRegistration(t *testing.T) {
+	type custom struct{ A int }
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, _ := Dial(addr)
+	defer c.Close()
+	// Formals of unregistered types are rejected with a clear error.
+	if _, err := c.In("y", Formal(custom{})); err == nil {
+		t.Fatal("unregistered wire type accepted")
+	}
+}
+
+func TestNetRegisteredCustomType(t *testing.T) {
+	type point struct{ X, Y int }
+	RegisterWireType(point{})
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, _ := Dial(addr)
+	defer c.Close()
+	if err := c.Out("p", point{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	tu, err := c.In("p", Formal(point{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tu[1].(point).Y != 4 {
+		t.Fatalf("tuple %v", tu)
+	}
+}

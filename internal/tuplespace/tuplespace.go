@@ -1,0 +1,379 @@
+// Package tuplespace implements a Linda tuple space: an associative,
+// generative shared memory addressed by field matching rather than by
+// location. It is the coordination substrate underneath the Persistent
+// Linda runtime (package plinda) used by every parallel data mining
+// program in this repository, following Carriero and Gelernter's Linda
+// model as described in chapter 2 of Li's "Free Parallel Data Mining".
+//
+// A tuple is an ordered sequence of typed values. A template is a tuple
+// in which some fields are formals (typed wildcards, built with Formal
+// or the typed helpers such as FormalInt). The blocking operations In
+// and Rd wait until a matching tuple appears; the predicate forms Inp
+// and Rdp return immediately.
+package tuplespace
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrClosed is returned by blocking operations when the space is closed
+// while they wait, and by all operations on an already closed space.
+var ErrClosed = errors.New("tuplespace: space closed")
+
+// Tuple is an ordered sequence of typed values stored in a space.
+type Tuple []any
+
+// String renders the tuple in Linda's conventional parenthesized form.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, f := range t {
+		switch v := f.(type) {
+		case string:
+			parts[i] = fmt.Sprintf("%q", v)
+		default:
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// formal is a typed wildcard field in a template.
+type formal struct{ t reflect.Type }
+
+func (f formal) String() string { return "?" + f.t.String() }
+
+// Formal returns a template field that matches any tuple field whose
+// dynamic type equals the dynamic type of sample. The value of sample
+// itself is ignored.
+func Formal(sample any) any { return formal{reflect.TypeOf(sample)} }
+
+// Typed formal helpers for the field types used throughout the miners.
+var (
+	FormalInt     = Formal(int(0))
+	FormalInt64   = Formal(int64(0))
+	FormalFloat   = Formal(float64(0))
+	FormalString  = Formal("")
+	FormalBool    = Formal(false)
+	FormalBytes   = Formal([]byte(nil))
+	FormalInts    = Formal([]int(nil))
+	FormalFloats  = Formal([]float64(nil))
+	FormalStrings = Formal([]string(nil))
+)
+
+// Template is a tuple pattern: a mix of actual values and formals.
+type Template []any
+
+// Matches reports whether the template matches the tuple: same arity,
+// every actual equal in type and value, every formal equal in type.
+func (tm Template) Matches(t Tuple) bool {
+	if len(tm) != len(t) {
+		return false
+	}
+	for i, f := range tm {
+		if fo, ok := f.(formal); ok {
+			if reflect.TypeOf(t[i]) != fo.t {
+				return false
+			}
+			continue
+		}
+		if reflect.TypeOf(f) != reflect.TypeOf(t[i]) {
+			return false
+		}
+		if !reflect.DeepEqual(f, t[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// signature computes the partition key for a tuple or template: the
+// arity, the type of each field, and — following the common Linda
+// convention of a leading string tag — the value of the first field
+// when it is a string actual. Templates whose first field is a formal
+// string fall back to the type-only signature and scan that partition.
+func signature(fields []any) (part string, tagged bool) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", len(fields))
+	for i, f := range fields {
+		var t reflect.Type
+		if fo, ok := f.(formal); ok {
+			t = fo.t
+		} else {
+			t = reflect.TypeOf(f)
+		}
+		if t == nil {
+			b.WriteString("nil;")
+			continue
+		}
+		b.WriteString(t.String())
+		b.WriteByte(';')
+		if i == 0 {
+			if s, ok := f.(string); ok {
+				fmt.Fprintf(&b, "tag=%q;", s)
+				tagged = true
+			}
+		}
+	}
+	return b.String(), tagged
+}
+
+// Stats counts operations on a space; useful for tests and for the
+// communication-cost accounting in the NOW experiments.
+type Stats struct {
+	Outs, Ins, Rds, Blocked int64
+}
+
+type waiter struct {
+	tmpl    Template
+	take    bool // In (destructive) vs Rd
+	ch      chan Tuple
+	seq     int64
+	removed bool
+}
+
+// Space is a concurrency-safe Linda tuple space.
+//
+// The zero value is not usable; create spaces with New.
+type Space struct {
+	mu       sync.Mutex
+	parts    map[string][]Tuple
+	waiters  []*waiter
+	nextSeq  int64
+	closed   bool
+	stats    Stats
+	tupleCnt int
+}
+
+// New returns an empty tuple space ready for use.
+func New() *Space {
+	return &Space{parts: make(map[string][]Tuple)}
+}
+
+// Out places a tuple into the space, waking any blocked In/Rd whose
+// template matches. It never blocks.
+func (s *Space) Out(fields ...any) error {
+	t := Tuple(append([]any(nil), fields...))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.stats.Outs++
+	// Serve matching readers first (non-destructive), then at most one
+	// taker; only store the tuple if no taker consumed it.
+	taken := false
+	for _, w := range s.waiters {
+		if w.removed || !w.tmpl.Matches(t) {
+			continue
+		}
+		if w.take {
+			if !taken {
+				w.removed = true
+				w.ch <- t
+				taken = true
+			}
+			continue
+		}
+		w.removed = true
+		w.ch <- t
+	}
+	s.compactWaitersLocked()
+	if !taken {
+		key, _ := signature(t)
+		s.parts[key] = append(s.parts[key], t)
+		s.tupleCnt++
+	}
+	return nil
+}
+
+func (s *Space) compactWaitersLocked() {
+	live := s.waiters[:0]
+	for _, w := range s.waiters {
+		if !w.removed {
+			live = append(live, w)
+		}
+	}
+	s.waiters = live
+}
+
+// candidates returns, without copying tuples, the partitions a template
+// may match. A fully tagged template hits exactly one partition; a
+// template with a formal first string field must scan all partitions
+// with compatible type signatures.
+func (s *Space) candidatesLocked(tm Template) []string {
+	key, _ := signature(tm)
+	if _, ok := s.parts[key]; ok {
+		// The exact signature partition always matches structurally.
+		if first, isFormal := tm[0].(formal); !isFormal || first.t.Kind() != reflect.String {
+			return []string{key}
+		}
+	}
+	// Formal leading string (or no exact hit): scan every partition.
+	keys := make([]string, 0, len(s.parts))
+	for k := range s.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic scan order
+	return keys
+}
+
+func (s *Space) findLocked(tm Template, take bool) (Tuple, bool) {
+	if len(tm) == 0 {
+		return nil, false
+	}
+	for _, key := range s.candidatesLocked(tm) {
+		list := s.parts[key]
+		for i, t := range list {
+			if tm.Matches(t) {
+				if take {
+					s.parts[key] = append(list[:i], list[i+1:]...)
+					if len(s.parts[key]) == 0 {
+						delete(s.parts, key)
+					}
+					s.tupleCnt--
+				}
+				return t, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// Inp is the non-blocking destructive match: if a matching tuple
+// exists it is removed and returned with true, else ok is false.
+func (s *Space) Inp(tmplFields ...any) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	s.stats.Ins++
+	return s.findLocked(Template(tmplFields), true)
+}
+
+// Rdp is the non-blocking non-destructive match.
+func (s *Space) Rdp(tmplFields ...any) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	s.stats.Rds++
+	return s.findLocked(Template(tmplFields), false)
+}
+
+// In blocks until a matching tuple exists, removes it, and returns it.
+// It returns ErrClosed if the space is closed before a match arrives.
+func (s *Space) In(tmplFields ...any) (Tuple, error) {
+	return s.wait(Template(tmplFields), true)
+}
+
+// Rd blocks until a matching tuple exists and returns a copy of it,
+// leaving it in the space.
+func (s *Space) Rd(tmplFields ...any) (Tuple, error) {
+	return s.wait(Template(tmplFields), false)
+}
+
+func (s *Space) wait(tm Template, take bool) (Tuple, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if take {
+		s.stats.Ins++
+	} else {
+		s.stats.Rds++
+	}
+	if t, ok := s.findLocked(tm, take); ok {
+		s.mu.Unlock()
+		return t, nil
+	}
+	s.stats.Blocked++
+	w := &waiter{tmpl: tm, take: take, ch: make(chan Tuple, 1), seq: s.nextSeq}
+	s.nextSeq++
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	t, ok := <-w.ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return t, nil
+}
+
+// Close unblocks all waiting operations with ErrClosed and rejects all
+// subsequent operations. Stored tuples remain readable via Snapshot.
+func (s *Space) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, w := range s.waiters {
+		if !w.removed {
+			close(w.ch)
+		}
+	}
+	s.waiters = nil
+}
+
+// Len reports the number of tuples currently stored.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tupleCnt
+}
+
+// Stats returns a copy of the operation counters.
+func (s *Space) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Snapshot returns a deep-enough copy of all stored tuples in a
+// deterministic order, for use by the PLinda checkpointer. Field values
+// are shared, so callers must treat them as immutable (all miners in
+// this repository do).
+func (s *Space) Snapshot() []Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.parts))
+	for k := range s.parts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Tuple
+	for _, k := range keys {
+		for _, t := range s.parts[k] {
+			out = append(out, append(Tuple(nil), t...))
+		}
+	}
+	return out
+}
+
+// Restore replaces the space contents with the given tuples, waking
+// any blocked operations that now match. Used for rollback recovery.
+func (s *Space) Restore(tuples []Tuple) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.parts = make(map[string][]Tuple)
+	s.tupleCnt = 0
+	s.mu.Unlock()
+	for _, t := range tuples {
+		if err := s.Out(t...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,378 @@
+package tuplespace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOutInpRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Out("task", 7, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	tu, ok := s.Inp("task", FormalInt, FormalFloat)
+	if !ok {
+		t.Fatal("expected a match")
+	}
+	if tu[1].(int) != 7 || tu[2].(float64) != 3.5 {
+		t.Fatalf("wrong tuple: %v", tu)
+	}
+	if _, ok := s.Inp("task", FormalInt, FormalFloat); ok {
+		t.Fatal("tuple should have been consumed")
+	}
+}
+
+func TestRdpDoesNotConsume(t *testing.T) {
+	s := New()
+	s.Out("x", 1)
+	for i := 0; i < 3; i++ {
+		if _, ok := s.Rdp("x", FormalInt); !ok {
+			t.Fatalf("read %d failed", i)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestActualValueMatching(t *testing.T) {
+	s := New()
+	s.Out("result", 3, "motif-A")
+	s.Out("result", 4, "motif-B")
+	tu, ok := s.Inp("result", 4, FormalString)
+	if !ok || tu[2].(string) != "motif-B" {
+		t.Fatalf("got %v ok=%v", tu, ok)
+	}
+}
+
+func TestTypeMismatchDoesNotMatch(t *testing.T) {
+	s := New()
+	s.Out("n", int64(5))
+	if _, ok := s.Inp("n", FormalInt); ok {
+		t.Fatal("int formal must not match int64 field")
+	}
+	if _, ok := s.Inp("n", FormalInt64); !ok {
+		t.Fatal("int64 formal must match int64 field")
+	}
+}
+
+func TestArityMismatch(t *testing.T) {
+	s := New()
+	s.Out("a", 1, 2)
+	if _, ok := s.Inp("a", FormalInt); ok {
+		t.Fatal("shorter template must not match")
+	}
+	if _, ok := s.Inp("a", FormalInt, FormalInt, FormalInt); ok {
+		t.Fatal("longer template must not match")
+	}
+}
+
+func TestSliceFieldsMatchByValue(t *testing.T) {
+	s := New()
+	s.Out("vec", []int{1, 2, 3})
+	if _, ok := s.Inp("vec", []int{1, 2, 4}); ok {
+		t.Fatal("different slice contents must not match as actual")
+	}
+	tu, ok := s.Inp("vec", []int{1, 2, 3})
+	if !ok {
+		t.Fatal("equal slice actual should match")
+	}
+	if got := tu[1].([]int); got[2] != 3 {
+		t.Fatalf("bad payload %v", got)
+	}
+}
+
+func TestInBlocksUntilOut(t *testing.T) {
+	s := New()
+	done := make(chan Tuple)
+	go func() {
+		tu, err := s.In("late", FormalInt)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- tu
+	}()
+	select {
+	case <-done:
+		t.Fatal("In returned before Out")
+	case <-time.After(10 * time.Millisecond):
+	}
+	s.Out("late", 42)
+	select {
+	case tu := <-done:
+		if tu[1].(int) != 42 {
+			t.Fatalf("got %v", tu)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("In never woke up")
+	}
+}
+
+func TestRdWaitersAllWakeButTupleStays(t *testing.T) {
+	s := New()
+	const readers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Rd("broadcast", FormalInt); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Out("broadcast", 1)
+	wg.Wait()
+	if s.Len() != 1 {
+		t.Fatalf("Rd consumed the tuple: Len=%d", s.Len())
+	}
+}
+
+func TestOnlyOneInWaiterConsumes(t *testing.T) {
+	s := New()
+	const takers = 8
+	results := make(chan error, takers)
+	for i := 0; i < takers; i++ {
+		go func() {
+			_, err := s.In("one", FormalInt)
+			results <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Out("one", 99)
+	select {
+	case err := <-results:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no taker woke")
+	}
+	// The rest must still be blocked; close and confirm they all error.
+	s.Close()
+	for i := 0; i < takers-1; i++ {
+		if err := <-results; err != ErrClosed {
+			t.Fatalf("waiter %d: err=%v, want ErrClosed", i, err)
+		}
+	}
+}
+
+func TestCloseRejectsOps(t *testing.T) {
+	s := New()
+	s.Close()
+	if err := s.Out("x", 1); err != ErrClosed {
+		t.Fatalf("Out after close: %v", err)
+	}
+	if _, err := s.In("x", FormalInt); err != ErrClosed {
+		t.Fatalf("In after close: %v", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Out("t", i)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 10 {
+		t.Fatalf("snapshot has %d tuples", len(snap))
+	}
+	s.Inp("t", 3)
+	s.Inp("t", 4)
+	if s.Len() != 8 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("after restore Len=%d, want 10", s.Len())
+	}
+	if _, ok := s.Inp("t", 3); !ok {
+		t.Fatal("restored tuple (t,3) missing")
+	}
+}
+
+func TestRestoreWakesWaiters(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		s.In("restored", FormalInt)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	s.Restore([]Tuple{{"restored", 5}})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken by Restore")
+	}
+}
+
+func TestFormalStringFirstFieldScans(t *testing.T) {
+	s := New()
+	s.Out("alpha", 1)
+	s.Out("beta", 2)
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		tu, ok := s.Inp(FormalString, FormalInt)
+		if !ok {
+			t.Fatalf("scan %d failed", i)
+		}
+		seen[tu[0].(string)] = true
+	}
+	if !seen["alpha"] || !seen["beta"] {
+		t.Fatalf("scanned %v", seen)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New()
+	s.Out("a", 1)
+	s.Inp("a", FormalInt)
+	s.Rdp("a", FormalInt)
+	st := s.Stats()
+	if st.Outs != 1 || st.Ins != 1 || st.Rds != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tu := Tuple{"task", 3, 1.5}
+	if got := tu.String(); got != `("task", 3, 1.5)` {
+		t.Fatalf("String() = %s", got)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	s := New()
+	const n = 200
+	var wg sync.WaitGroup
+	sum := make(chan int, n)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tu, err := s.In("work", FormalInt)
+				if err != nil {
+					return
+				}
+				v := tu[1].(int)
+				if v < 0 {
+					return
+				}
+				sum <- v
+			}
+		}()
+	}
+	for i := 1; i <= n; i++ {
+		s.Out("work", i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-sum
+	}
+	for w := 0; w < 4; w++ {
+		s.Out("work", -1) // poison
+	}
+	wg.Wait()
+	if want := n * (n + 1) / 2; total != want {
+		t.Fatalf("sum=%d want %d", total, want)
+	}
+}
+
+// Property: any tuple outed is retrievable by a template made of
+// formals of the same types, and by the tuple itself as all-actuals.
+func TestPropertyOutThenInMatches(t *testing.T) {
+	f := func(a int, b string, c float64, d bool) bool {
+		s := New()
+		s.Out(a, b, c, d)
+		if _, ok := s.Rdp(FormalInt, FormalString, FormalFloat, FormalBool); !ok {
+			return false
+		}
+		tu, ok := s.Inp(a, b, c, d)
+		if !ok {
+			return false
+		}
+		return tu[0].(int) == a && tu[1].(string) == b && tu[2].(float64) == c && tu[3].(bool) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the number of tuples is conserved: Outs minus successful
+// Inps equals Len.
+func TestPropertyConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s := New()
+		outs, takes := 0, 0
+		for _, op := range ops {
+			if op%3 == 0 {
+				s.Out("c", int(op))
+				outs++
+			} else {
+				if _, ok := s.Inp("c", FormalInt); ok {
+					takes++
+				}
+			}
+		}
+		return s.Len() == outs-takes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot/restore is lossless for arbitrary int payloads.
+func TestPropertySnapshotLossless(t *testing.T) {
+	f := func(vals []int) bool {
+		s := New()
+		for _, v := range vals {
+			s.Out("p", v)
+		}
+		snap := s.Snapshot()
+		s2 := New()
+		if err := s2.Restore(snap); err != nil {
+			return false
+		}
+		if s2.Len() != len(vals) {
+			return false
+		}
+		for _, v := range vals {
+			if _, ok := s2.Inp("p", v); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOutInp(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Out("bench", i)
+		s.Inp("bench", FormalInt)
+	}
+}
+
+func BenchmarkTaggedPartitionLookup(b *testing.B) {
+	s := New()
+	for i := 0; i < 64; i++ {
+		s.Out(fmt.Sprintf("tag%d", i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rdp("tag33", FormalInt)
+	}
+}
