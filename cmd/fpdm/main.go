@@ -1,29 +1,53 @@
 // Command fpdm is the experiment and demo driver of the Free Parallel
 // Data Mining reproduction. Usage:
 //
-//	fpdm list             list all reproducible tables and figures
-//	fpdm exp <id>...      run experiments by id (e.g. t4.2 f6.3); "all" runs everything
+//	fpdm list                       list all reproducible tables and figures
+//	fpdm [-debug-addr a] exp <id>...  run experiments by id (e.g. t4.2 f6.3); "all" runs everything
+//
+// With -debug-addr, live metrics, the operation trace, and pprof are
+// served while experiments run, at /debug/metrics, /debug/trace and
+// /debug/pprof/ on the given address.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"freepdm/internal/core"
 	"freepdm/internal/experiments"
+	"freepdm/internal/obs"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060)")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	switch os.Args[1] {
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		tracer := obs.NewTracer(4096)
+		core.SetObserver(reg, tracer)
+		experiments.SetObserver(reg, tracer)
+		ds, err := obs.ServeDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpdm: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "fpdm: debug endpoints at http://%s/debug/{metrics,trace,pprof}\n", ds.Addr())
+	}
+	switch args[0] {
 	case "list":
 		for _, e := range experiments.All() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
 	case "exp":
-		ids := os.Args[2:]
+		ids := args[1:]
 		if len(ids) == 0 {
 			usage()
 			os.Exit(2)
@@ -53,5 +77,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fpdm list | fpdm exp <id>...|all")
+	fmt.Fprintln(os.Stderr, "usage: fpdm [-debug-addr addr] list | exp <id>...|all")
 }

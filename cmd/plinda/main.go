@@ -11,8 +11,12 @@
 //	resume <name>      let a suspended process continue
 //	checkpoint <file>  checkpoint the tuple space to disk
 //	restore <file>     roll the tuple space back to a checkpoint
-//	stats              transaction/recovery counters
+//	stats              metrics-registry snapshot (counters/gauges/latencies)
+//	trace [n]          last n trace events (default 20)
 //	quit               shut the server down
+//
+// With -debug-addr the same counters, the trace ring, and net/http/pprof
+// are served over HTTP at /debug/metrics, /debug/trace and /debug/pprof/.
 //
 // The demo keeps running (and finishing, and producing correct
 // results) no matter how often its workers are killed.
@@ -20,20 +24,40 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"freepdm/internal/core"
 	"freepdm/internal/mining/motif"
+	"freepdm/internal/obs"
 	"freepdm/internal/plinda"
 	"freepdm/internal/seq"
 )
 
 func main() {
+	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
 	srv := plinda.NewServer()
 	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(4096)
+	srv.Observe(reg, tracer)
+	core.SetObserver(reg, tracer)
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, reg, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plinda: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("plinda: debug endpoints at http://%s/debug/{metrics,trace,pprof}\n", ds.Addr())
+	}
 
 	fmt.Println("plinda: starting server and the motif-discovery demo (3 workers)")
 	corpus := seq.CyclinsSpec(42).Generate()
@@ -123,11 +147,61 @@ func main() {
 		case "stats":
 			fmt.Printf("commits=%d aborts=%d kills=%d recoveries=%d tuples=%d\n",
 				srv.Commits(), srv.Aborts(), srv.Kills(), srv.Respawns(), srv.Space().Len())
+			printSnapshot(reg.Snapshot())
+		case "trace":
+			n := 20
+			if arg != "" {
+				fmt.Sscanf(arg, "%d", &n)
+			}
+			evs := tracer.Events()
+			if len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+			for _, e := range evs {
+				line := fmt.Sprintf("%s %-6s %-10s", e.Time.Format("15:04:05.000"), e.Kind, e.Name)
+				if e.Dur > 0 {
+					line += fmt.Sprintf(" dur=%s", e.Dur)
+				}
+				for _, k := range sortedKeys(e.Attrs) {
+					line += fmt.Sprintf(" %s=%v", k, e.Attrs[k])
+				}
+				fmt.Println(line)
+			}
+			fmt.Printf("(%d of %d recorded events)\n", len(evs), tracer.Total())
 		case "quit", "exit":
 			return
 		default:
-			fmt.Println("commands: ps, kill <p>, migrate <p>, suspend <p>, resume <p>, checkpoint <f>, restore <f>, stats, quit")
+			fmt.Println("commands: ps, kill <p>, migrate <p>, suspend <p>, resume <p>, checkpoint <f>, restore <f>, stats, trace [n], quit")
 		}
 		fmt.Print("> ")
 	}
+}
+
+// printSnapshot renders a registry snapshot as sorted name=value lines,
+// summarizing histograms by count/mean/max.
+func printSnapshot(s obs.Snapshot) {
+	for _, k := range sortedKeys(s.Counters) {
+		fmt.Printf("  %-24s %d\n", k, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		fmt.Printf("  %-24s %d\n", k, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if h.Count == 0 {
+			fmt.Printf("  %-24s count=0\n", k)
+			continue
+		}
+		mean := time.Duration(h.SumNanos / h.Count)
+		fmt.Printf("  %-24s count=%d mean=%s max=%s\n", k, h.Count, mean, time.Duration(h.MaxNanos))
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"freepdm/internal/obs"
+)
+
+// coreObs is the package-wide instrument set shared by the traversal
+// engines (SolveEDT/SolveETT) and the PLinda masters (RunPLED/RunPLET).
+// It lives behind an atomic pointer so the engines' hot loops pay one
+// pointer load when unobserved.
+type coreObs struct {
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	evaluated *obs.Counter   // patterns whose goodness was computed
+	good      *obs.Counter   // patterns that passed the predicate
+	pruned    *obs.Counter   // patterns skipped by subpattern pruning
+	tasks     *obs.Counter   // task tuples sent by PLED/PLET programs
+	results   *obs.Counter   // result/good tuples collected by masters
+	goodness  *obs.Histogram // per-pattern evaluation latency
+}
+
+var coreObserver atomic.Pointer[coreObs]
+
+// SetObserver attaches a metrics registry and/or tracer to the mining
+// engines in this package (either may be nil; nil+nil detaches).
+// Metrics use the "core." prefix; trace events use kind "master" and
+// mark the phase transitions of the parallel traversals: E-dag level
+// completions, task seeding, worker poisoning, and result draining.
+// The observer is package-global because the engines are free
+// functions; callers that need isolation should use separate
+// registries per run.
+func SetObserver(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil && tracer == nil {
+		coreObserver.Store(nil)
+		return
+	}
+	coreObserver.Store(&coreObs{
+		reg:       reg,
+		tracer:    tracer,
+		evaluated: reg.Counter("core.evaluated"),
+		good:      reg.Counter("core.good"),
+		pruned:    reg.Counter("core.pruned"),
+		tasks:     reg.Counter("core.tasks"),
+		results:   reg.Counter("core.results"),
+		goodness:  reg.Histogram("core.goodness"),
+	})
+}
+
+// timeGoodness evaluates pr.Goodness(p), observing its latency and the
+// evaluation counter when an observer is attached.
+func timeGoodness(o *coreObs, pr Problem, p Pattern) float64 {
+	if o == nil {
+		return pr.Goodness(p)
+	}
+	start := time.Now()
+	g := pr.Goodness(p)
+	o.goodness.Observe(time.Since(start))
+	o.evaluated.Inc()
+	return g
+}

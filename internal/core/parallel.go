@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 )
 
 // SolveEDT runs the parallel E-dag traversal (PEDT) with the given
@@ -15,9 +16,16 @@ func SolveEDT(pr Problem, workers int) ([]Result, Stats) {
 	}
 	var results []Result
 	var st Stats
+	o := coreObserver.Load()
 	good := map[string]bool{pr.Root().Key(): true}
 	level := pr.Children(pr.Root())
+	depth := 0
 	for len(level) > 0 {
+		depth++
+		var levelStart time.Time
+		if o != nil {
+			levelStart = time.Now()
+		}
 		// Dedup and prune against the previous level.
 		seen := map[string]bool{}
 		var eval []Pattern
@@ -32,9 +40,10 @@ func SolveEDT(pr Problem, workers int) ([]Result, Stats) {
 				st.Pruned++
 			}
 		}
-		scores := parallelGoodness(pr, eval, workers)
+		scores := parallelGoodness(pr, eval, workers, o)
 		st.Evaluated += len(eval)
 		var next []Pattern
+		goodBefore := st.Good
 		for i, p := range eval {
 			if pr.Good(p, scores[i]) {
 				st.Good++
@@ -43,13 +52,23 @@ func SolveEDT(pr Problem, workers int) ([]Result, Stats) {
 				next = append(next, pr.Children(p)...)
 			}
 		}
+		if o != nil {
+			o.good.Add(int64(st.Good - goodBefore))
+			if o.tracer != nil {
+				o.tracer.Record("master", "level", time.Since(levelStart),
+					"depth", depth, "evaluated", len(eval), "good", st.Good-goodBefore)
+			}
+		}
 		level = next
+	}
+	if o != nil {
+		o.pruned.Add(int64(st.Pruned))
 	}
 	SortResults(results)
 	return results, st
 }
 
-func parallelGoodness(pr Problem, ps []Pattern, workers int) []float64 {
+func parallelGoodness(pr Problem, ps []Pattern, workers int, o *coreObs) []float64 {
 	scores := make([]float64, len(ps))
 	if len(ps) == 0 {
 		return scores
@@ -64,7 +83,7 @@ func parallelGoodness(pr Problem, ps []Pattern, workers int) []float64 {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				scores[i] = pr.Goodness(ps[i])
+				scores[i] = timeGoodness(o, pr, ps[i])
 			}
 		}()
 	}
@@ -109,6 +128,7 @@ func SolveETT(pr Problem, workers int, strategy Strategy) ([]Result, Stats) {
 		results []Result
 		st      Stats
 	)
+	o := coreObserver.Load()
 	tasks := make(chan Pattern)
 	var pending sync.WaitGroup
 	var wg sync.WaitGroup
@@ -118,13 +138,16 @@ func SolveETT(pr Problem, workers int, strategy Strategy) ([]Result, Stats) {
 		for len(stack) > 0 {
 			p := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			g := pr.Goodness(p)
+			g := timeGoodness(o, pr, p)
 			mu.Lock()
 			st.Evaluated++
 			if pr.Good(p, g) {
 				st.Good++
 				results = append(results, Result{p, g})
 				mu.Unlock()
+				if o != nil {
+					o.good.Inc()
+				}
 				stack = append(stack, pr.Children(p)...)
 			} else {
 				mu.Unlock()
@@ -133,13 +156,16 @@ func SolveETT(pr Problem, workers int, strategy Strategy) ([]Result, Stats) {
 	}
 
 	evalNode := func(p Pattern) []Pattern {
-		g := pr.Goodness(p)
+		g := timeGoodness(o, pr, p)
 		mu.Lock()
 		defer mu.Unlock()
 		st.Evaluated++
 		if pr.Good(p, g) {
 			st.Good++
 			results = append(results, Result{p, g})
+			if o != nil {
+				o.good.Inc()
+			}
 			return pr.Children(p)
 		}
 		return nil
@@ -158,6 +184,9 @@ func SolveETT(pr Problem, workers int, strategy Strategy) ([]Result, Stats) {
 					children := evalNode(p)
 					// Re-offer children to the pool without blocking the
 					// worker: grow the pool asynchronously.
+					if o != nil {
+						o.tasks.Add(int64(len(children)))
+					}
 					pending.Add(len(children))
 					for _, c := range children {
 						c := c
@@ -170,6 +199,12 @@ func SolveETT(pr Problem, workers int, strategy Strategy) ([]Result, Stats) {
 	}
 
 	top := pr.Children(pr.Root())
+	if o != nil {
+		o.tasks.Add(int64(len(top)))
+		if o.tracer != nil {
+			o.tracer.Record("master", "seed", 0, "strategy", strategy.String(), "tasks", len(top))
+		}
+	}
 	pending.Add(len(top))
 	go func() {
 		for _, p := range top {

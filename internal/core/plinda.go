@@ -27,6 +27,7 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		workers = 1
 	}
 
+	o := coreObserver.Load()
 	worker := func(p *plinda.Proc) error {
 		for {
 			if err := p.Xstart(); err != nil {
@@ -44,7 +45,7 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if err != nil {
 				return err
 			}
-			if err := p.Out("result", key, pr.Goodness(pat)); err != nil {
+			if err := p.Out("result", key, timeGoodness(o, pr, pat)); err != nil {
 				return err
 			}
 			if err := p.Xcommit(); err != nil {
@@ -73,6 +74,9 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			}
 			queued[pat.Key()] = true
 			sent++
+			if o != nil {
+				o.tasks.Inc()
+			}
 			return p.Out("task", pat.Key())
 		}
 		var consider func(pat Pattern) error
@@ -128,12 +132,18 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			}
 			key, score := tu[1].(string), tu[2].(float64)
 			done++
+			if o != nil {
+				o.results.Inc()
+			}
 			pat, err := dec.Decode(key)
 			if err != nil {
 				return err
 			}
 			if pr.Good(pat, score) {
 				good[key] = true
+				if o != nil {
+					o.good.Inc()
+				}
 				results = append(results, Result{pat, score})
 				if err := childPattern(pat); err != nil {
 					return err
@@ -165,6 +175,9 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if err := p.Out("task", poisonKey); err != nil {
 				return err
 			}
+		}
+		if o != nil && o.tracer != nil {
+			o.tracer.Record("master", "poison", 0, "program", "pled", "workers", workers, "tasks", sent, "results", done)
 		}
 		return p.Xcommit()
 	}
@@ -199,6 +212,7 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		workers = 1
 	}
 
+	o := coreObserver.Load()
 	worker := func(p *plinda.Proc) error {
 		for {
 			if err := p.Xstart(); err != nil {
@@ -216,13 +230,19 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if err != nil {
 				return err
 			}
-			score := pr.Goodness(pat)
+			score := timeGoodness(o, pr, pat)
 			if pr.Good(pat, score) {
+				if o != nil {
+					o.good.Inc()
+				}
 				if err := p.Out("good", key, score); err != nil {
 					return err
 				}
 				children := pr.Children(pat)
 				keys := make([]string, len(children))
+				if o != nil {
+					o.tasks.Add(int64(len(children)))
+				}
 				for i, c := range children {
 					keys[i] = c.Key()
 					if err := p.Out("task", c.Key()); err != nil {
@@ -255,6 +275,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			return err
 		}
 		keys := make([]string, len(top))
+		if o != nil {
+			o.tasks.Add(int64(len(top)))
+			if o.tracer != nil {
+				o.tracer.Record("master", "seed", 0, "program", "plet", "tasks", len(top))
+			}
+		}
 		for i, c := range top {
 			keys[i] = c.Key()
 			if err := p.Out("task", c.Key()); err != nil {
@@ -295,6 +321,9 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				return err
 			}
 		}
+		if o != nil && o.tracer != nil {
+			o.tracer.Record("master", "poison", 0, "program", "plet", "workers", workers)
+		}
 		// Drain the good-pattern report tuples.
 		for {
 			tu, ok, err := p.Inp("good", tuplespace.FormalString, tuplespace.FormalFloat)
@@ -309,6 +338,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				return err
 			}
 			results = append(results, Result{pat, tu[2].(float64)})
+		}
+		if o != nil {
+			o.results.Add(int64(len(results)))
+			if o.tracer != nil {
+				o.tracer.Record("master", "drain", 0, "program", "plet", "results", len(results))
+			}
 		}
 		return p.Xcommit()
 	}

@@ -82,11 +82,11 @@ func simulate(run settingRun, strategy core.Strategy, depth, machines int) float
 	tr := run.trace.Chunked(run.trace.TotalCost()/110, depth)
 	tasks, pre := tr.Tasks(strategy, depth)
 	scaled := batchTasks(scaleTasks(tasks, run.scale), 20)
-	c := &now.Cluster{
+	c := observed(&now.Cluster{
 		Machines:  now.Uniform(machines),
 		Overhead:  overheadSec,
 		MasterPre: pre * run.scale,
-	}
+	})
 	return c.Run(scaled).Makespan
 }
 
@@ -208,11 +208,11 @@ func init() {
 			tr := run.trace.Chunked(run.trace.TotalCost()/110, depth)
 			tasks, pre := tr.Tasks(core.LoadBalanced, depth)
 			tasks = batchTasks(scaleTasks(tasks, run.scale), 20)
-			c := &now.Cluster{
+			c := observed(&now.Cluster{
 				Machines:  now.Heterogeneous(n, 1.0, 0.85, 1.1, 0.95, 1.05),
 				Overhead:  overheadSec,
 				MasterPre: pre * run.scale,
-			}
+			})
 			t := c.Run(tasks).Makespan
 			fmt.Fprintf(tw, "%d\t%.0f\t%.1f\n", n, t, now.Speedup(seqT, t))
 		}

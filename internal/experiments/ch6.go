@@ -104,7 +104,7 @@ func (c *cvCosts) cvParallel(v, n int) float64 {
 		avg += c.aux[i]
 	}
 	avg /= float64(len(tasks))
-	cl := &now.Cluster{Machines: now.Uniform(n), Overhead: commFraction * avg}
+	cl := observed(&now.Cluster{Machines: now.Uniform(n), Overhead: commFraction * avg})
 	return cl.Run(tasks).Makespan
 }
 
@@ -136,7 +136,7 @@ func (tc *trialCosts) parallel(trials, n int) float64 {
 		avg += tc.costs[i]
 	}
 	avg /= float64(len(tasks))
-	cl := &now.Cluster{Machines: now.Uniform(n), Overhead: commFraction * avg}
+	cl := observed(&now.Cluster{Machines: now.Uniform(n), Overhead: commFraction * avg})
 	return cl.Run(tasks).Makespan
 }
 

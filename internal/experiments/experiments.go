@@ -12,7 +12,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 	"text/tabwriter"
+
+	"freepdm/internal/now"
+	"freepdm/internal/obs"
 )
 
 // Experiment is one reproducible table or figure.
@@ -43,6 +47,37 @@ func ByID(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// expObs carries the registry/tracer the experiment runners thread into
+// the simulated clusters they build.
+type expObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+}
+
+var observer atomic.Pointer[expObs]
+
+// SetObserver makes every NOW cluster the experiments simulate report
+// its machine busy/idle/up/down timeline through the given registry and
+// tracer (either may be nil; nil+nil detaches). Used by `fpdm
+// -debug-addr` to expose the chapter 4/6 utilization data live.
+func SetObserver(reg *obs.Registry, tracer *obs.Tracer) {
+	if reg == nil && tracer == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&expObs{reg: reg, tracer: tracer})
+}
+
+// observed fills in a cluster's Registry/Tracer from the package
+// observer and returns it, for use at cluster construction sites.
+func observed(c *now.Cluster) *now.Cluster {
+	if o := observer.Load(); o != nil {
+		c.Registry = o.reg
+		c.Tracer = o.tracer
+	}
+	return c
 }
 
 // table starts a tabwriter with the experiment's title.

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"freepdm/internal/obs"
 )
 
 func init() {
@@ -178,5 +180,26 @@ func TestBatchTasksConservesCost(t *testing.T) {
 	}
 	if len(batched) > len(tasks) {
 		t.Fatalf("batching grew the task list: %d -> %d", len(tasks), len(batched))
+	}
+}
+
+func TestObservedExperimentReportsSimulatorMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	SetObserver(reg, nil)
+	defer SetObserver(nil, nil)
+	e, ok := ByID("f4.8")
+	if !ok {
+		t.Fatal("f4.8 not registered")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["now.tasks"] == 0 {
+		t.Fatalf("observed f4.8 recorded no simulated tasks: %v", s.Counters)
+	}
+	if h, ok := s.Histograms["now.task"]; !ok || h.Count == 0 {
+		t.Fatal("no simulated task-duration observations")
 	}
 }

@@ -20,6 +20,9 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+	"time"
+
+	"freepdm/internal/obs"
 )
 
 // Machine models one workstation.
@@ -70,6 +73,21 @@ type Cluster struct {
 	// MasterPre and MasterPost are sequential master phases before any
 	// task is available and after the last result is collected.
 	MasterPre, MasterPost float64
+
+	// Registry and Tracer optionally observe the simulated run (either
+	// may be nil). Counters/histograms use the "now." prefix; trace
+	// events use kind "now" and cover machine up/down and worker
+	// busy/idle transitions — the idle/busy timelines chapter 4 argues
+	// its strategy choices from. Durations and the "t" attribute are in
+	// simulated (virtual) time, scaled as 1 simulated second = 1s Dur.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
+}
+
+// simSeconds renders virtual seconds as a time.Duration for Event.Dur
+// and histogram observations.
+func simSeconds(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
 }
 
 // Result summarizes a simulated run.
@@ -161,6 +179,17 @@ func (c *Cluster) Run(initial []*Task) Result {
 	res := Result{Busy: make([]float64, n)}
 	nowT := start
 
+	var (
+		mTasks   = c.Registry.Counter("now.tasks")
+		mRetries = c.Registry.Counter("now.retries")
+		mBusy    = c.Registry.Gauge("now.busy_machines")
+		mUp      = c.Registry.Gauge("now.up_machines")
+		mTaskDur = c.Registry.Histogram("now.task")
+	)
+	// Gauges describe the run in progress; restart them per Run.
+	mBusy.Set(0)
+	mUp.Set(0)
+
 	dispatch := func() {
 		for len(ready) > 0 {
 			mi := -1
@@ -180,6 +209,10 @@ func (c *Cluster) Run(initial []*Task) Result {
 			ms[mi].started = nowT
 			ms[mi].epoch++
 			dur := (c.Overhead + t.Cost) / c.Machines[mi].Speed
+			mBusy.Add(1)
+			if c.Tracer != nil {
+				c.Tracer.Record("now", "busy", 0, "machine", mi, "task", t.Name, "t", nowT)
+			}
 			push(nowT+dur, evTaskDone, mi, t, ms[mi].epoch)
 		}
 	}
@@ -191,15 +224,25 @@ func (c *Cluster) Run(initial []*Task) Result {
 		switch e.kind {
 		case evMachineUp:
 			ms[e.m].up = true
+			mUp.Add(1)
+			if c.Tracer != nil {
+				c.Tracer.Record("now", "up", 0, "machine", e.m, "t", nowT)
+			}
 		case evMachineDown:
 			ms[e.m].up = false
+			mUp.Add(-1)
+			if c.Tracer != nil {
+				c.Tracer.Record("now", "down", 0, "machine", e.m, "t", nowT)
+			}
 			if ms[e.m].busy {
 				// The task is lost with the incarnation and re-queued;
 				// PLinda's abort makes the partial execution vanish.
 				res.Retries++
+				mRetries.Inc()
 				ready = append(ready, ms[e.m].cur)
 				ms[e.m].busy = false
 				ms[e.m].cur = nil
+				mBusy.Add(-1)
 			}
 		case evTaskDone:
 			if !ms[e.m].up || ms[e.m].cur != e.task || ms[e.m].epoch != e.epoch {
@@ -210,6 +253,12 @@ func (c *Cluster) Run(initial []*Task) Result {
 			ms[e.m].cur = nil
 			res.Busy[e.m] += nowT - ms[e.m].started
 			res.Tasks++
+			mTasks.Inc()
+			mBusy.Add(-1)
+			mTaskDur.Observe(simSeconds(nowT - ms[e.m].started))
+			if c.Tracer != nil {
+				c.Tracer.Record("now", "idle", simSeconds(nowT-ms[e.m].started), "machine", e.m, "task", e.task.Name, "t", nowT)
+			}
 			outstanding--
 			if e.task.Spawn != nil {
 				children := e.task.Spawn()

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"freepdm/internal/obs"
 )
 
 func tasks(costs ...float64) []*Task {
@@ -226,5 +228,69 @@ func BenchmarkSimulate1000Tasks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := &Cluster{Machines: Uniform(16), Overhead: 0.05}
 		c.Run(tasks(costs...))
+	}
+}
+
+func TestObservedRunRecordsMetricsAndTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	c := &Cluster{
+		Machines: []Machine{{Speed: 1, FailAt: 1.5, BackAt: 2.5}, {Speed: 1}},
+		Registry: reg,
+		Tracer:   tr,
+	}
+	res := c.Run(tasks(1, 1, 1, 1))
+	snap := reg.Snapshot()
+	if got := snap.Counters["now.tasks"]; got != int64(res.Tasks) {
+		t.Fatalf("now.tasks=%d want %d", got, res.Tasks)
+	}
+	if got := snap.Counters["now.retries"]; got != int64(res.Retries) {
+		t.Fatalf("now.retries=%d want %d", got, res.Retries)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("expected the FailAt machine to lose a task")
+	}
+	// After the run every machine is idle and the failed machine is back.
+	if got := snap.Gauges["now.busy_machines"]; got != 0 {
+		t.Fatalf("busy_machines=%d want 0", got)
+	}
+	if got := snap.Gauges["now.up_machines"]; got != 2 {
+		t.Fatalf("up_machines=%d want 2", got)
+	}
+	h := snap.Histograms["now.task"]
+	if h.Count != int64(res.Tasks) {
+		t.Fatalf("now.task count=%d want %d", h.Count, res.Tasks)
+	}
+	var busy, idle, down int
+	for _, e := range tr.Events() {
+		if e.Kind != "now" {
+			t.Fatalf("unexpected event kind %q", e.Kind)
+		}
+		switch e.Name {
+		case "busy":
+			busy++
+		case "idle":
+			idle++
+		case "down":
+			down++
+		}
+	}
+	// Every completion had a dispatch; the lost execution was dispatched
+	// but never completed.
+	if busy != res.Tasks+res.Retries {
+		t.Fatalf("busy events=%d want %d", busy, res.Tasks+res.Retries)
+	}
+	if idle != res.Tasks {
+		t.Fatalf("idle events=%d want %d", idle, res.Tasks)
+	}
+	if down != 1 {
+		t.Fatalf("down events=%d want 1", down)
+	}
+}
+
+func TestUnobservedRunStillWorks(t *testing.T) {
+	c := &Cluster{Machines: Uniform(2)}
+	if res := c.Run(tasks(1, 1)); res.Tasks != 2 {
+		t.Fatalf("tasks=%d", res.Tasks)
 	}
 }

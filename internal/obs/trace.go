@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record. Kind groups events by
+// subsystem ("tuple", "txn", "proc", "net", "now", "master"); Name is
+// the specific transition ("out", "commit", "spawn", "busy", ...); Dur
+// is the measured duration when the event closes an interval (a
+// blocked tuple op's wait, a transaction's lifetime, a simulated
+// task's execution), zero otherwise.
+type Event struct {
+	Time  time.Time      `json:"time"`
+	Kind  string         `json:"kind"`
+	Name  string         `json:"name"`
+	Dur   time.Duration  `json:"dur_ns"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of Events. When full, new events
+// overwrite the oldest; Total reports how many were ever recorded so
+// readers can detect loss. A nil *Tracer drops everything, so
+// instrumented code can record unconditionally — but callers that
+// build attribute maps should still nil-check to skip the allocation.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64
+}
+
+// NewTracer returns a tracer keeping the last capacity events
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event with the current time. attrs are alternating
+// key, value pairs; a trailing key without a value is dropped. No-op
+// on a nil receiver.
+func (t *Tracer) Record(kind, name string, dur time.Duration, attrs ...any) {
+	if t == nil {
+		return
+	}
+	e := Event{Time: time.Now(), Kind: kind, Name: name, Dur: dur}
+	if len(attrs) >= 2 {
+		e.Attrs = make(map[string]any, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			k, ok := attrs[i].(string)
+			if !ok {
+				continue
+			}
+			e.Attrs[k] = attrs[i+1]
+		}
+	}
+	t.Emit(e)
+}
+
+// Emit appends a fully built event, stamping Time if unset. No-op on a
+// nil receiver.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.total%uint64(cap(t.buf))] = e
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first. Safe on nil.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		return append(out, t.buf...)
+	}
+	start := int(t.total % uint64(cap(t.buf)))
+	out = append(out, t.buf[start:]...)
+	return append(out, t.buf[:start]...)
+}
+
+// Total reports how many events were ever recorded, including those
+// already overwritten.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return cap(t.buf)
+}

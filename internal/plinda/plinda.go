@@ -29,7 +29,9 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
 )
 
@@ -104,11 +106,65 @@ type Server struct {
 	respawns int
 	commits  int
 	aborts   int
+
+	obs atomic.Pointer[serverObs] // nil until Observe
 }
 
-// NewServer starts an empty PLinda server.
-func NewServer() *Server {
-	return &Server{space: tuplespace.New(), procs: make(map[string]*procState)}
+// serverObs holds the server's attached instruments; individual
+// instrument pointers may be nil (no-op).
+type serverObs struct {
+	spawns, exits, kills, respawns        *obs.Counter
+	xstarts, commits, aborts, contCommits *obs.Counter
+	checkpoints, restores                 *obs.Counter
+	procs                                 *obs.Gauge
+	txnDur                                *obs.Histogram
+	tracer                                *obs.Tracer
+}
+
+// NewServer starts an empty PLinda server with a private tuple space.
+func NewServer() *Server { return NewServerOn(tuplespace.New()) }
+
+// NewServerOn starts a PLinda server on an existing tuple space. This
+// is the chapter 7 deployment shape: one server process owns the
+// space, local PLinda processes and remote tuplespace clients (via
+// tuplespace.ServeTCP on the same space) share it.
+func NewServerOn(space *tuplespace.Space) *Server {
+	return &Server{space: space, procs: make(map[string]*procState)}
+}
+
+// Observe attaches a metrics registry and/or tracer to the server and
+// its tuple space (either may be nil). Server metrics use the
+// "plinda." prefix: transaction and lifecycle counters, a live-process
+// gauge, and a transaction-duration histogram. Trace events use kind
+// "txn" (begin/commit/abort/continuation-commit) and kind "proc"
+// (spawn/kill/respawn/exit/checkpoint/restore).
+func (s *Server) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	s.space.Observe(reg, tracer)
+	o := &serverObs{
+		spawns:      reg.Counter("plinda.spawns"),
+		exits:       reg.Counter("plinda.exits"),
+		kills:       reg.Counter("plinda.kills"),
+		respawns:    reg.Counter("plinda.respawns"),
+		xstarts:     reg.Counter("plinda.xstarts"),
+		commits:     reg.Counter("plinda.commits"),
+		aborts:      reg.Counter("plinda.aborts"),
+		contCommits: reg.Counter("plinda.continuation_commits"),
+		checkpoints: reg.Counter("plinda.checkpoints"),
+		restores:    reg.Counter("plinda.restores"),
+		procs:       reg.Gauge("plinda.live_procs"),
+		txnDur:      reg.Histogram("plinda.txn"),
+		tracer:      tracer,
+	}
+	s.mu.Lock()
+	live := 0
+	for _, ps := range s.procs {
+		if ps.status != Done && ps.status != Failed {
+			live++
+		}
+	}
+	o.procs.Set(int64(live))
+	s.mu.Unlock()
+	s.obs.Store(o)
 }
 
 // Space exposes the underlying tuple space (the server process owns
@@ -140,6 +196,13 @@ func (s *Server) Spawn(name string, fn ProcFunc) error {
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	if o := s.obs.Load(); o != nil {
+		o.spawns.Inc()
+		o.procs.Add(1)
+		if o.tracer != nil {
+			o.tracer.Record("proc", "spawn", 0, "proc", name)
+		}
+	}
 	go s.run(ps)
 	return nil
 }
@@ -163,6 +226,7 @@ func (s *Server) run(ps *procState) {
 			ps.status = Done
 			close(ps.done)
 			s.mu.Unlock()
+			s.recordExit(ps, Done, nil)
 			return
 		}
 		if !errors.Is(err, ErrKilled) || ps.incarnation+1 > MaxRespawns || s.closed {
@@ -170,15 +234,40 @@ func (s *Server) run(ps *procState) {
 			ps.err = err
 			close(ps.done)
 			s.mu.Unlock()
+			s.recordExit(ps, Failed, err)
 			return
 		}
 		// Failure handling: abort was already performed by the
 		// incarnation's runner; arm a fresh kill channel and re-spawn.
 		ps.status = FailureHandled
 		ps.incarnation++
+		newInc := ps.incarnation
 		ps.killCh = make(chan struct{})
 		s.respawns++
 		s.mu.Unlock()
+		if o := s.obs.Load(); o != nil {
+			o.respawns.Inc()
+			if o.tracer != nil {
+				o.tracer.Record("proc", "respawn", 0, "proc", ps.name, "incarnation", newInc)
+			}
+		}
+	}
+}
+
+// recordExit instruments the terminal transition of a logical process.
+func (s *Server) recordExit(ps *procState, st Status, err error) {
+	o := s.obs.Load()
+	if o == nil {
+		return
+	}
+	o.exits.Inc()
+	o.procs.Add(-1)
+	if o.tracer != nil {
+		attrs := []any{"proc", ps.name, "status", st.String()}
+		if err != nil {
+			attrs = append(attrs, "err", err.Error())
+		}
+		o.tracer.Record("proc", "exit", 0, attrs...)
 	}
 }
 
@@ -218,6 +307,12 @@ func (s *Server) Kill(name string) error {
 	if ps.suspended {
 		ps.suspended = false
 		ps.gate.Broadcast()
+	}
+	if o := s.obs.Load(); o != nil {
+		o.kills.Inc()
+		if o.tracer != nil {
+			o.tracer.Record("proc", "kill", 0, "proc", name, "incarnation", ps.incarnation)
+		}
 	}
 	return nil
 }
@@ -360,7 +455,16 @@ func (s *Server) Checkpoint(w io.Writer) error {
 	}
 	s.mu.Unlock()
 	cp.Tuples = s.space.Snapshot()
-	return gob.NewEncoder(w).Encode(&cp)
+	if err := gob.NewEncoder(w).Encode(&cp); err != nil {
+		return err
+	}
+	if o := s.obs.Load(); o != nil {
+		o.checkpoints.Inc()
+		if o.tracer != nil {
+			o.tracer.Record("proc", "checkpoint", 0, "tuples", len(cp.Tuples), "continuations", len(cp.Continuations))
+		}
+	}
+	return nil
 }
 
 // RestoreCheckpoint performs rollback recovery: the tuple space and
@@ -378,7 +482,16 @@ func (s *Server) RestoreCheckpoint(r io.Reader) error {
 		}
 	}
 	s.mu.Unlock()
-	return s.space.Restore(cp.Tuples)
+	if err := s.space.Restore(cp.Tuples); err != nil {
+		return err
+	}
+	if o := s.obs.Load(); o != nil {
+		o.restores.Inc()
+		if o.tracer != nil {
+			o.tracer.Record("proc", "restore", 0, "tuples", len(cp.Tuples), "continuations", len(cp.Continuations))
+		}
+	}
+	return nil
 }
 
 func init() {

@@ -1,6 +1,8 @@
 package plinda
 
 import (
+	"time"
+
 	"freepdm/internal/tuplespace"
 )
 
@@ -13,9 +15,10 @@ type Proc struct {
 	killCh      chan struct{}
 	incarnation int
 
-	txnOpen bool
-	undo    []tuplespace.Tuple // tuples removed by In/Inp inside the txn
-	buffer  []tuplespace.Tuple // tuples outed inside the txn, private until commit
+	txnOpen  bool
+	txnStart time.Time          // stamped by Xstart when the server is observed
+	undo     []tuplespace.Tuple // tuples removed by In/Inp inside the txn
+	buffer   []tuplespace.Tuple // tuples outed inside the txn, private until commit
 }
 
 // Name returns the logical process name.
@@ -66,6 +69,13 @@ func (p *Proc) Xstart() error {
 	p.txnOpen = true
 	p.undo = p.undo[:0]
 	p.buffer = p.buffer[:0]
+	if o := p.srv.obs.Load(); o != nil {
+		p.txnStart = time.Now()
+		o.xstarts.Inc()
+		if o.tracer != nil {
+			o.tracer.Record("txn", "begin", 0, "proc", p.st.name, "incarnation", p.incarnation)
+		}
+	}
 	return nil
 }
 
@@ -95,6 +105,19 @@ func (p *Proc) Xcommit(continuation ...any) error {
 	}
 	p.srv.commits++
 	p.srv.mu.Unlock()
+	if o := p.srv.obs.Load(); o != nil {
+		dur := p.txnDur()
+		o.commits.Inc()
+		o.txnDur.Observe(dur)
+		name := "commit"
+		if len(continuation) > 0 {
+			name = "continuation-commit"
+			o.contCommits.Inc()
+		}
+		if o.tracer != nil {
+			o.tracer.Record("txn", name, dur, "proc", p.st.name, "outs", len(p.buffer))
+		}
+	}
 	p.txnOpen = false
 	p.undo = p.undo[:0]
 	p.buffer = p.buffer[:0]
@@ -115,6 +138,14 @@ func (p *Proc) abort() {
 	p.srv.mu.Unlock()
 	for _, t := range p.undo {
 		p.srv.space.Out(t...) //nolint:errcheck // best-effort on shutdown
+	}
+	if o := p.srv.obs.Load(); o != nil {
+		dur := p.txnDur()
+		o.aborts.Inc()
+		o.txnDur.Observe(dur)
+		if o.tracer != nil {
+			o.tracer.Record("txn", "abort", dur, "proc", p.st.name, "undone", len(p.undo))
+		}
 	}
 	p.undo = p.undo[:0]
 	p.buffer = p.buffer[:0]
@@ -274,6 +305,15 @@ func (p *Proc) ProcEval(name string, fn ProcFunc) error {
 		return err
 	}
 	return p.srv.Spawn(name, fn)
+}
+
+// txnDur measures the open transaction's age; zero if the observer
+// was attached after Xstart (txnStart never stamped).
+func (p *Proc) txnDur() time.Duration {
+	if p.txnStart.IsZero() {
+		return 0
+	}
+	return time.Since(p.txnStart)
 }
 
 func (p *Proc) setStatus(st Status) {

@@ -7,7 +7,15 @@ import (
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"freepdm/internal/obs"
 )
+
+// ErrClientClosed is returned by Client operations after Close, and by
+// operations whose connection was abandoned after a transport error.
+var ErrClientClosed = errors.New("tuplespace: client closed")
 
 // Networked tuple space. The original PLinda ran its server on one
 // workstation of the LAN with clients on the others (chapter 7); this
@@ -110,9 +118,35 @@ func decodeFields(fields []wireField) ([]any, error) {
 	return out, nil
 }
 
+// countingConn counts bytes crossing a server connection into the
+// space's registry (nil-safe counters).
+type countingConn struct {
+	net.Conn
+	rx, tx *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.rx.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.tx.Add(int64(n))
+	return n, err
+}
+
 // ServeTCP serves the space on the listener until the listener is
 // closed; each accepted connection handles one operation at a time.
 // It returns after the listener closes.
+//
+// If the space has an observer attached (Space.Observe), the server
+// also records wire-level metrics: request/response byte counters
+// ("net.rx_bytes"/"net.tx_bytes"), connection counters, a per-op
+// latency histogram ("net.op.<op>", covering queueing plus matching —
+// for blocking in/rd this includes the wait), and kind "net" trace
+// events.
 func ServeTCP(l net.Listener, s *Space) error {
 	var wg sync.WaitGroup
 	for {
@@ -128,14 +162,41 @@ func ServeTCP(l net.Listener, s *Space) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			dec := gob.NewDecoder(conn)
-			enc := gob.NewEncoder(conn)
+			// The registry is looked up per connection so spaces observed
+			// after ServeTCP still get wire metrics on new connections.
+			reg, tracer := s.Registry(), s.Tracer()
+			var rwc net.Conn = conn
+			if reg != nil {
+				reg.Counter("net.conns").Inc()
+				reg.Gauge("net.open_conns").Add(1)
+				defer reg.Gauge("net.open_conns").Add(-1)
+				rwc = &countingConn{Conn: conn, rx: reg.Counter("net.rx_bytes"), tx: reg.Counter("net.tx_bytes")}
+			}
+			dec := gob.NewDecoder(rwc)
+			enc := gob.NewEncoder(rwc)
+			opHists := map[string]*obs.Histogram{} // per-conn cache, avoids registry lock per op
 			for {
 				var req request
 				if err := dec.Decode(&req); err != nil {
 					return // connection closed
 				}
+				var start time.Time
+				if reg != nil || tracer != nil {
+					start = time.Now()
+				}
 				resp := serveOne(s, &req)
+				if !start.IsZero() {
+					d := time.Since(start)
+					if reg != nil {
+						h, ok := opHists[req.Op]
+						if !ok {
+							h = reg.Histogram("net.op." + req.Op)
+							opHists[req.Op] = h
+						}
+						h.Observe(d)
+					}
+					tracer.Record("net", req.Op, d, "ok", resp.Err == "")
+				}
 				if err := enc.Encode(resp); err != nil {
 					return
 				}
@@ -185,23 +246,51 @@ func serveOne(s *Space, req *request) *response {
 // concurrency (a blocking In occupies its connection, exactly like a
 // blocked Linda process).
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	opTimeout time.Duration // non-blocking op deadline; guarded by mu
+	closed    atomic.Bool   // set by Close (or transport failure), read lock-free
 }
 
-// Dial connects to a served tuple space.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// Dial connects to a served tuple space with no connection or
+// per-operation timeout.
+func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0, 0) }
+
+// DialTimeout connects to a served tuple space, bounding connection
+// establishment by dialTimeout and every subsequent non-blocking
+// operation (Out, Inp, Rdp, Len) by opTimeout. Zero means unbounded.
+// The blocking operations In and Rd are unbounded by design — a Linda
+// process legitimately blocks forever — but they are released with
+// ErrClientClosed when the client is closed from another goroutine.
+func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), opTimeout: opTimeout}, nil
 }
 
-// Close releases the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// SetOpTimeout changes the deadline applied to each non-blocking
+// operation. It does not affect an operation already in flight.
+func (c *Client) SetOpTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.opTimeout = d
+	c.mu.Unlock()
+}
+
+// Close releases the connection. A concurrently blocked In/Rd is
+// unblocked with ErrClientClosed. Close does not take the operation
+// lock precisely so it can interrupt a blocked operation.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	return c.conn.Close()
+}
+
+// blockingOp reports whether the op may legitimately wait forever on
+// the server and must therefore not carry an I/O deadline.
+func blockingOp(op string) bool { return op == "in" || op == "rd" }
 
 func (c *Client) roundTrip(op string, fields []any) (*response, error) {
 	wf, err := encodeFields(fields)
@@ -210,17 +299,36 @@ func (c *Client) roundTrip(op string, fields []any) (*response, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	if c.opTimeout > 0 && !blockingOp(op) {
+		c.conn.SetDeadline(time.Now().Add(c.opTimeout)) //nolint:errcheck
+		defer c.conn.SetDeadline(time.Time{})           //nolint:errcheck
+	}
 	if err := c.enc.Encode(&request{Op: op, Fields: wf}); err != nil {
-		return nil, err
+		return nil, c.transportErr(err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+		return nil, c.transportErr(err)
 	}
 	if resp.Err != "" {
 		return nil, errors.New(resp.Err)
 	}
 	return &resp, nil
+}
+
+// transportErr handles a failed encode/decode: the gob stream may hold
+// a partial frame, so the connection is unusable — abandon it and make
+// every later operation fail fast with ErrClientClosed.
+func (c *Client) transportErr(err error) error {
+	if c.closed.Load() {
+		return ErrClientClosed
+	}
+	c.closed.Store(true)
+	c.conn.Close() //nolint:errcheck
+	return err
 }
 
 // Out places a tuple in the remote space.

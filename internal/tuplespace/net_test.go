@@ -1,10 +1,13 @@
 package tuplespace
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"freepdm/internal/obs"
 )
 
 // startServer serves a fresh space on an ephemeral port and returns
@@ -180,6 +183,119 @@ func TestNetMasterWorkerVectorAddition(t *testing.T) {
 		if v != 4*i {
 			t.Fatalf("result[%d]=%d want %d", i, v, 4*i)
 		}
+	}
+}
+
+func TestClientOpTimeoutOnHungServer(t *testing.T) {
+	// A listener that accepts connections and then never responds — the
+	// dead-server case. Non-blocking ops must time out instead of
+	// hanging forever.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold open, say nothing
+		}
+	}()
+
+	c, err := DialTimeout(l.Addr().String(), time.Second, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Out("x", 1)
+	if err == nil {
+		t.Fatal("Out against a hung server succeeded")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err=%v, want a timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("Out took %v, deadline not applied", time.Since(start))
+	}
+	// The stream is now unusable; later ops must fail fast.
+	if err := c.Out("x", 2); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("post-timeout Out err=%v, want ErrClientClosed", err)
+	}
+}
+
+func TestClientCloseUnblocksBlockedIn(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, err := DialTimeout(addr, time.Second, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.In("never", FormalInt) // blocks: no deadline on In
+		got <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case err := <-got:
+		t.Fatalf("blocking In returned early: %v", err)
+	default:
+	}
+	c.Close()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrClientClosed) {
+			t.Fatalf("err=%v, want ErrClientClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock In")
+	}
+	if _, err := c.Len(); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("op after Close err=%v, want ErrClientClosed", err)
+	}
+}
+
+func TestNetWireMetrics(t *testing.T) {
+	s, addr, stop := startServer(t)
+	defer stop()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	s.Observe(reg, tr)
+
+	c, err := Dial(addr) // dialed after Observe: new conn is counted
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Out("w", 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.In("w", FormalInt); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["net.conns"] != 1 {
+		t.Fatalf("net.conns=%d want 1", snap.Counters["net.conns"])
+	}
+	if snap.Counters["net.rx_bytes"] == 0 || snap.Counters["net.tx_bytes"] == 0 {
+		t.Fatalf("byte counters empty: %v", snap.Counters)
+	}
+	if snap.Histograms["net.op.out"].Count != 1 || snap.Histograms["net.op.in"].Count != 1 {
+		t.Fatalf("per-op latency histograms %v", snap.Histograms)
+	}
+	var netEvents int
+	for _, e := range tr.Events() {
+		if e.Kind == "net" {
+			netEvents++
+		}
+	}
+	if netEvents != 2 {
+		t.Fatalf("traced %d net events, want 2", netEvents)
 	}
 }
 

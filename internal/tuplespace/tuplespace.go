@@ -19,6 +19,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"freepdm/internal/obs"
 )
 
 // ErrClosed is returned by blocking operations when the space is closed
@@ -123,9 +127,67 @@ func signature(fields []any) (part string, tagged bool) {
 }
 
 // Stats counts operations on a space; useful for tests and for the
-// communication-cost accounting in the NOW experiments.
+// communication-cost accounting in the NOW experiments. Ins/Rds count
+// the blocking forms only; the predicate forms have their own
+// counters. Blocked counts operations that had to wait, and
+// BlockedNanos accumulates the total time they spent waiting.
 type Stats struct {
-	Outs, Ins, Rds, Blocked int64
+	Outs, Ins, Rds, Inps, Rdps, Blocked int64
+	BlockedNanos                        int64
+}
+
+// spaceObs holds a space's attached instruments. All instrument
+// pointers may be nil (their methods no-op); the whole struct is
+// reached through an atomic pointer that is nil until Observe, so the
+// unobserved hot path pays one pointer load.
+type spaceObs struct {
+	outs, ins, rds, inps, rdps, blocked *obs.Counter
+	tuples                              *obs.Gauge
+	wait                                *obs.Histogram
+	reg                                 *obs.Registry
+	tracer                              *obs.Tracer
+}
+
+// Observe attaches a metrics registry and/or tracer to the space.
+// Either may be nil. Metrics registered (under the "ts." prefix):
+// per-op counters, a stored-tuple gauge, and a block→wake wait-time
+// histogram. Trace events use kind "tuple". Observe may be called at
+// any time; in-flight operations may be counted under the previous
+// attachment.
+func (s *Space) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	o := &spaceObs{
+		outs:    reg.Counter("ts.out"),
+		ins:     reg.Counter("ts.in"),
+		rds:     reg.Counter("ts.rd"),
+		inps:    reg.Counter("ts.inp"),
+		rdps:    reg.Counter("ts.rdp"),
+		blocked: reg.Counter("ts.blocked"),
+		tuples:  reg.Gauge("ts.tuples"),
+		wait:    reg.Histogram("ts.wait"),
+		reg:     reg,
+		tracer:  tracer,
+	}
+	s.mu.Lock()
+	o.tuples.Set(int64(s.tupleCnt))
+	s.mu.Unlock()
+	s.obs.Store(o)
+}
+
+// Registry returns the registry attached by Observe, or nil. The
+// networked server (net.go) uses it for wire-level metrics.
+func (s *Space) Registry() *obs.Registry {
+	if o := s.obs.Load(); o != nil {
+		return o.reg
+	}
+	return nil
+}
+
+// Tracer returns the tracer attached by Observe, or nil.
+func (s *Space) Tracer() *obs.Tracer {
+	if o := s.obs.Load(); o != nil {
+		return o.tracer
+	}
+	return nil
 }
 
 type waiter struct {
@@ -147,6 +209,7 @@ type Space struct {
 	closed   bool
 	stats    Stats
 	tupleCnt int
+	obs      atomic.Pointer[spaceObs] // nil until Observe
 }
 
 // New returns an empty tuple space ready for use.
@@ -187,6 +250,13 @@ func (s *Space) Out(fields ...any) error {
 		key, _ := signature(t)
 		s.parts[key] = append(s.parts[key], t)
 		s.tupleCnt++
+	}
+	if o := s.obs.Load(); o != nil {
+		o.outs.Inc()
+		o.tuples.Set(int64(s.tupleCnt))
+		if o.tracer != nil {
+			o.tracer.Record("tuple", "out", 0, "arity", len(t))
+		}
 	}
 	return nil
 }
@@ -252,8 +322,16 @@ func (s *Space) Inp(tmplFields ...any) (Tuple, bool) {
 	if s.closed {
 		return nil, false
 	}
-	s.stats.Ins++
-	return s.findLocked(Template(tmplFields), true)
+	s.stats.Inps++
+	t, ok := s.findLocked(Template(tmplFields), true)
+	if o := s.obs.Load(); o != nil {
+		o.inps.Inc()
+		o.tuples.Set(int64(s.tupleCnt))
+		if o.tracer != nil {
+			o.tracer.Record("tuple", "inp", 0, "matched", ok)
+		}
+	}
+	return t, ok
 }
 
 // Rdp is the non-blocking non-destructive match.
@@ -263,8 +341,15 @@ func (s *Space) Rdp(tmplFields ...any) (Tuple, bool) {
 	if s.closed {
 		return nil, false
 	}
-	s.stats.Rds++
-	return s.findLocked(Template(tmplFields), false)
+	s.stats.Rdps++
+	t, ok := s.findLocked(Template(tmplFields), false)
+	if o := s.obs.Load(); o != nil {
+		o.rdps.Inc()
+		if o.tracer != nil {
+			o.tracer.Record("tuple", "rdp", 0, "matched", ok)
+		}
+	}
+	return t, ok
 }
 
 // In blocks until a matching tuple exists, removes it, and returns it.
@@ -280,6 +365,10 @@ func (s *Space) Rd(tmplFields ...any) (Tuple, error) {
 }
 
 func (s *Space) wait(tm Template, take bool) (Tuple, error) {
+	op := "rd"
+	if take {
+		op = "in"
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -290,17 +379,45 @@ func (s *Space) wait(tm Template, take bool) (Tuple, error) {
 	} else {
 		s.stats.Rds++
 	}
+	o := s.obs.Load()
+	if o != nil {
+		if take {
+			o.ins.Inc()
+		} else {
+			o.rds.Inc()
+		}
+	}
 	if t, ok := s.findLocked(tm, take); ok {
+		if o != nil {
+			o.tuples.Set(int64(s.tupleCnt))
+			if o.tracer != nil {
+				o.tracer.Record("tuple", op, 0, "blocked", false)
+			}
+		}
 		s.mu.Unlock()
 		return t, nil
 	}
 	s.stats.Blocked++
+	if o != nil {
+		o.blocked.Inc()
+	}
 	w := &waiter{tmpl: tm, take: take, ch: make(chan Tuple, 1), seq: s.nextSeq}
 	s.nextSeq++
 	s.waiters = append(s.waiters, w)
 	s.mu.Unlock()
 
+	blockedAt := time.Now()
 	t, ok := <-w.ch
+	waited := time.Since(blockedAt)
+	s.mu.Lock()
+	s.stats.BlockedNanos += int64(waited)
+	s.mu.Unlock()
+	if o != nil {
+		o.wait.Observe(waited)
+		if o.tracer != nil {
+			o.tracer.Record("tuple", op, waited, "blocked", true, "woken", ok)
+		}
+	}
 	if !ok {
 		return nil, ErrClosed
 	}

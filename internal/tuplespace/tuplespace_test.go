@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"freepdm/internal/obs"
 )
 
 func TestOutInpRoundTrip(t *testing.T) {
@@ -236,9 +238,84 @@ func TestStatsCounting(t *testing.T) {
 	s.Out("a", 1)
 	s.Inp("a", FormalInt)
 	s.Rdp("a", FormalInt)
+	s.Out("a", 2)
+	s.In("a", FormalInt)
+	s.Out("a", 3)
+	s.Rd("a", FormalInt)
 	st := s.Stats()
-	if st.Outs != 1 || st.Ins != 1 || st.Rds != 1 {
+	if st.Outs != 3 || st.Ins != 1 || st.Rds != 1 || st.Inps != 1 || st.Rdps != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+	if st.Blocked != 0 || st.BlockedNanos != 0 {
+		t.Fatalf("nothing blocked, stats %+v", st)
+	}
+}
+
+func TestStatsBlockedNanos(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.In("slow", FormalInt)
+	}()
+	for s.Stats().Blocked == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	s.Out("slow", 1)
+	<-done
+	st := s.Stats()
+	if st.Blocked != 1 {
+		t.Fatalf("blocked=%d want 1", st.Blocked)
+	}
+	if st.BlockedNanos < int64(5*time.Millisecond) {
+		t.Fatalf("blockedNanos=%d, want >= 5ms of wait", st.BlockedNanos)
+	}
+}
+
+func TestObserveMetricsAndTrace(t *testing.T) {
+	s := New()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(64)
+	s.Observe(reg, tr)
+
+	s.Out("m", 1)
+	s.Out("m", 2)
+	s.Inp("m", FormalInt)
+	s.Rdp("m", FormalInt)
+	s.In("m", FormalInt) // immediate
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Rd("m", FormalInt) // blocks until the Out below
+	}()
+	for reg.Counter("ts.blocked").Value() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	s.Out("m", 3)
+	<-done
+
+	snap := reg.Snapshot()
+	want := map[string]int64{"ts.out": 3, "ts.inp": 1, "ts.rdp": 1, "ts.in": 1, "ts.rd": 1, "ts.blocked": 1}
+	for name, n := range want {
+		if snap.Counters[name] != n {
+			t.Fatalf("%s=%d want %d (all: %v)", name, snap.Counters[name], n, snap.Counters)
+		}
+	}
+	if snap.Gauges["ts.tuples"] != int64(s.Len()) {
+		t.Fatalf("ts.tuples=%d want %d", snap.Gauges["ts.tuples"], s.Len())
+	}
+	if snap.Histograms["ts.wait"].Count != 1 {
+		t.Fatalf("wait histogram %+v, want one observation", snap.Histograms["ts.wait"])
+	}
+	var ops int
+	for _, e := range tr.Events() {
+		if e.Kind == "tuple" {
+			ops++
+		}
+	}
+	if ops != 7 {
+		t.Fatalf("traced %d tuple events, want 7", ops)
 	}
 }
 
