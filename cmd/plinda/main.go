@@ -36,13 +36,16 @@ import (
 	"freepdm/internal/obs"
 	"freepdm/internal/plinda"
 	"freepdm/internal/seq"
+	"freepdm/internal/tuplespace"
 )
 
 func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060)")
+	shards := flag.Int("shards", 0, "tuple-space shard count (rounded up to a power of two; 0 = derive from GOMAXPROCS)")
 	flag.Parse()
 
-	srv := plinda.NewServer()
+	space := tuplespace.NewSharded(*shards)
+	srv := plinda.NewServerOn(space)
 	defer srv.Close()
 
 	reg := obs.NewRegistry()
@@ -59,7 +62,7 @@ func main() {
 		fmt.Printf("plinda: debug endpoints at http://%s/debug/{metrics,trace,pprof}\n", ds.Addr())
 	}
 
-	fmt.Println("plinda: starting server and the motif-discovery demo (3 workers)")
+	fmt.Printf("plinda: starting server (%d tuple-space shards) and the motif-discovery demo (3 workers)\n", space.Shards())
 	corpus := seq.CyclinsSpec(42).Generate()
 	pr := motif.NewProblem(corpus, motif.Params{
 		MinOccur: 5, MaxMut: 0, MinLength: 12, MaxLength: 24,

@@ -171,10 +171,12 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		if err := p.Xstart(); err != nil {
 			return err
 		}
-		for i := 0; i < workers; i++ {
-			if err := p.Out("task", poisonKey); err != nil {
-				return err
-			}
+		poison := make([]tuplespace.Tuple, workers)
+		for i := range poison {
+			poison[i] = tuplespace.Tuple{"task", poisonKey}
+		}
+		if err := p.OutN(poison); err != nil {
+			return err
 		}
 		if o != nil && o.tracer != nil {
 			o.tracer.Record("master", "poison", 0, "program", "pled", "workers", workers, "tasks", sent, "results", done)
@@ -243,11 +245,13 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				if o != nil {
 					o.tasks.Add(int64(len(children)))
 				}
+				fanout := make([]tuplespace.Tuple, len(children))
 				for i, c := range children {
 					keys[i] = c.Key()
-					if err := p.Out("task", c.Key()); err != nil {
-						return err
-					}
+					fanout[i] = tuplespace.Tuple{"task", c.Key()}
+				}
+				if err := p.OutN(fanout); err != nil {
+					return err
 				}
 				kind := "expanded"
 				if len(children) == 0 {
@@ -281,11 +285,13 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				o.tracer.Record("master", "seed", 0, "program", "plet", "tasks", len(top))
 			}
 		}
+		seed := make([]tuplespace.Tuple, len(top))
 		for i, c := range top {
 			keys[i] = c.Key()
-			if err := p.Out("task", c.Key()); err != nil {
-				return err
-			}
+			seed[i] = tuplespace.Tuple{"task", c.Key()}
+		}
+		if err := p.OutN(seed); err != nil {
+			return err
 		}
 		track.Expanded(rootKey, keys)
 		if err := p.Xcommit(); err != nil {
@@ -316,10 +322,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		if err := p.Xstart(); err != nil {
 			return err
 		}
-		for i := 0; i < workers; i++ {
-			if err := p.Out("task", poisonKey); err != nil {
-				return err
-			}
+		poison := make([]tuplespace.Tuple, workers)
+		for i := range poison {
+			poison[i] = tuplespace.Tuple{"task", poisonKey}
+		}
+		if err := p.OutN(poison); err != nil {
+			return err
 		}
 		if o != nil && o.tracer != nil {
 			o.tracer.Record("master", "poison", 0, "program", "plet", "workers", workers)

@@ -92,11 +92,9 @@ func (p *Proc) Xcommit(continuation ...any) error {
 		p.abort()
 		return ErrKilled
 	}
-	for _, t := range p.buffer {
-		if err := p.srv.space.Out(t...); err != nil {
-			p.abort()
-			return err
-		}
+	if err := p.srv.space.OutN(p.buffer); err != nil {
+		p.abort()
+		return err
 	}
 	p.srv.mu.Lock()
 	if len(continuation) > 0 {
@@ -177,6 +175,24 @@ func (p *Proc) Out(fields ...any) error {
 		return nil
 	}
 	return p.srv.space.Out(fields...)
+}
+
+// OutN places a batch of tuples in the space, with the same semantics
+// as calling Out once per tuple in order. Inside a transaction the
+// batch joins the commit buffer; outside it is published through the
+// space's batched OutN, one waiter-delivery pass per tuple but no
+// per-tuple call overhead. Masters use it for task fan-outs.
+func (p *Proc) OutN(tuples []tuplespace.Tuple) error {
+	if err := p.gate(); err != nil {
+		return err
+	}
+	if p.txnOpen {
+		for _, t := range tuples {
+			p.buffer = append(p.buffer, append(tuplespace.Tuple(nil), t...))
+		}
+		return nil
+	}
+	return p.srv.space.OutN(tuples)
 }
 
 // takeBuffered serves In/Rd from this transaction's private buffer so

@@ -1,0 +1,165 @@
+package tuplespace
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// Micro-benchmarks for the tuple-space hot paths. Before/after numbers
+// for the sharded-space + pipelined-protocol change are recorded in
+// BENCH_tuplespace.json at the repository root; CI runs these with
+// -benchtime=1x as a smoke test so they cannot rot.
+
+// BenchmarkTuplespaceOutInp is the uncontended local hot loop: one
+// goroutine cycling a tuple through Out and Inp on a tagged signature.
+func BenchmarkTuplespaceOutInp(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Out("bench", i)
+		if _, ok := s.Inp("bench", FormalInt); !ok {
+			b.Fatal("lost tuple")
+		}
+	}
+}
+
+// benchMixed runs g goroutines, each cycling Out/Inp (with a Rdp every
+// fourth round) on its own tag — distinct signatures, so a sharded
+// space should let them proceed without contending.
+func benchMixed(b *testing.B, g int) {
+	s := New()
+	per := b.N/g + 1
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tag := fmt.Sprintf("mix%d", w)
+			for i := 0; i < per; i++ {
+				s.Out(tag, i)
+				if i%4 == 3 {
+					s.Rdp(tag, FormalInt)
+				}
+				if _, ok := s.Inp(tag, FormalInt); !ok {
+					b.Error("lost tuple")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkTuplespaceMixed is the contended mixed workload at 1, 4 and
+// 16 goroutines.
+func BenchmarkTuplespaceMixed(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("g%d", g), func(b *testing.B) { benchMixed(b, g) })
+	}
+}
+
+// BenchmarkTuplespaceWakeLatency measures the blocked-In wake path: a
+// ping-pong between the bench goroutine and a consumer that is always
+// blocked in In when the Out lands.
+func BenchmarkTuplespaceWakeLatency(b *testing.B) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			t, err := s.In("ping", FormalInt)
+			if err != nil {
+				return
+			}
+			s.Out("pong", t[1].(int))
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Out("ping", i)
+		if _, err := s.In("pong", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s.Close()
+	<-done
+}
+
+func benchTCPServer(b *testing.B) (addr string, stop func()) {
+	b.Helper()
+	s := New()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeTCP(l, s) //nolint:errcheck
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		s.Close()
+		<-done
+	}
+}
+
+// BenchmarkTuplespaceTCPRoundTrip is one client performing strictly
+// sequential Out/Inp round trips over TCP.
+func BenchmarkTuplespaceTCPRoundTrip(b *testing.B) {
+	addr, stop := benchTCPServer(b)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Out("wire", i); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := c.Inp("wire", FormalInt); err != nil || !ok {
+			b.Fatalf("inp ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkTuplespaceTCPPipelined drives one shared client connection
+// from 8 goroutines issuing Outs concurrently. A client that serializes
+// whole round trips bounds this at connection latency; a pipelined
+// client overlaps the requests.
+func BenchmarkTuplespaceTCPPipelined(b *testing.B) {
+	addr, stop := benchTCPServer(b)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const g = 8
+	per := b.N/g + 1
+	var wg sync.WaitGroup
+	b.ReportAllocs()
+	b.ResetTimer()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := c.Out("pipe", w, i); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,7 @@
 package tuplespace
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -24,6 +25,15 @@ var ErrClientClosed = errors.New("tuplespace: client closed")
 // Out/In/Inp/Rd/Rdp have the same semantics as the local methods, with
 // tuples gob-encoded on the wire. Formals are transmitted as type
 // names and reconstructed server-side.
+//
+// The protocol is pipelined and multiplexed: every request carries a
+// client-assigned ID, responses come back tagged with the same ID and
+// may arrive out of order. A Client therefore keeps exactly one
+// connection but never serializes operations on it — a blocked In
+// occupies a waiter in the server's space, not the wire. Writes on
+// both ends go through a buffered writer that is flushed only when no
+// further frame is queued behind it, so bursts of small frames
+// coalesce into few packets.
 
 // wireField is one template field on the wire: either an actual value
 // or a formal carrying its type name.
@@ -33,14 +43,19 @@ type wireField struct {
 	TypeName string
 }
 
-// request is one client operation.
+// request is one client operation. ID is echoed on the response so the
+// client can demultiplex concurrent operations on one connection.
+// Batch is used by "outn" only and carries one tuple per entry.
 type request struct {
-	Op     string // "out", "in", "inp", "rd", "rdp", "len"
+	ID     uint64
+	Op     string // "out", "outn", "in", "inp", "rd", "rdp", "len"
 	Fields []wireField
+	Batch  [][]wireField
 }
 
-// response is the server's answer.
+// response is the server's answer to the request with the same ID.
 type response struct {
+	ID    uint64
 	Tuple []any
 	OK    bool
 	Len   int
@@ -73,8 +88,10 @@ func RegisterWireType(sample any) {
 	wireTypesMu.Unlock()
 }
 
+// wireTypes is read on every formal decode and written only by
+// RegisterWireType (typically at init time), hence the RWMutex.
 var (
-	wireTypesMu sync.Mutex
+	wireTypesMu sync.RWMutex
 	wireTypes   = map[string]reflect.Type{
 		"int":       reflect.TypeOf(int(0)),
 		"int64":     reflect.TypeOf(int64(0)),
@@ -107,9 +124,9 @@ func decodeFields(fields []wireField) ([]any, error) {
 			out[i] = f.Actual
 			continue
 		}
-		wireTypesMu.Lock()
+		wireTypesMu.RLock()
 		t, ok := wireTypes[f.TypeName]
-		wireTypesMu.Unlock()
+		wireTypesMu.RUnlock()
 		if !ok {
 			return nil, fmt.Errorf("tuplespace: unknown wire type %q (RegisterWireType it)", f.TypeName)
 		}
@@ -137,16 +154,39 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// wireOps lists every protocol op, for pre-building the per-connection
+// histogram table (read concurrently by blocking-op handlers).
+var wireOps = []string{"out", "outn", "in", "inp", "rd", "rdp", "len"}
+
+// connState is the per-connection server machinery: a reader loop
+// (the calling goroutine), handler goroutines for blocking ops, and
+// one writer goroutine that owns the gob encoder.
+type connState struct {
+	s       *Space
+	respCh  chan *response
+	wg      sync.WaitGroup // in-flight blocking-op handlers
+	reg     *obs.Registry
+	tracer  *obs.Tracer
+	hists   map[string]*obs.Histogram // immutable after setup
+	flushes *obs.Counter
+	bouts   *obs.Counter
+	btuples *obs.Counter
+}
+
 // ServeTCP serves the space on the listener until the listener is
-// closed; each accepted connection handles one operation at a time.
-// It returns after the listener closes.
+// closed; each accepted connection handles requests pipelined: a
+// dedicated reader decodes frames, non-blocking ops run inline,
+// blocking in/rd run in their own goroutines, and a dedicated writer
+// streams tagged responses back as they complete. It returns after the
+// listener closes.
 //
 // If the space has an observer attached (Space.Observe), the server
 // also records wire-level metrics: request/response byte counters
 // ("net.rx_bytes"/"net.tx_bytes"), connection counters, a per-op
 // latency histogram ("net.op.<op>", covering queueing plus matching —
-// for blocking in/rd this includes the wait), and kind "net" trace
-// events.
+// for blocking in/rd this includes the wait), batch counters
+// ("net.batch_outs"/"net.batch_tuples"), a response-flush counter
+// ("net.flushes"), and kind "net" trace events.
 func ServeTCP(l net.Listener, s *Space) error {
 	var wg sync.WaitGroup
 	for {
@@ -162,50 +202,120 @@ func ServeTCP(l net.Listener, s *Space) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			// The registry is looked up per connection so spaces observed
-			// after ServeTCP still get wire metrics on new connections.
-			reg, tracer := s.Registry(), s.Tracer()
-			var rwc net.Conn = conn
-			if reg != nil {
-				reg.Counter("net.conns").Inc()
-				reg.Gauge("net.open_conns").Add(1)
-				defer reg.Gauge("net.open_conns").Add(-1)
-				rwc = &countingConn{Conn: conn, rx: reg.Counter("net.rx_bytes"), tx: reg.Counter("net.tx_bytes")}
-			}
-			dec := gob.NewDecoder(rwc)
-			enc := gob.NewEncoder(rwc)
-			opHists := map[string]*obs.Histogram{} // per-conn cache, avoids registry lock per op
-			for {
-				var req request
-				if err := dec.Decode(&req); err != nil {
-					return // connection closed
-				}
-				var start time.Time
-				if reg != nil || tracer != nil {
-					start = time.Now()
-				}
-				resp := serveOne(s, &req)
-				if !start.IsZero() {
-					d := time.Since(start)
-					if reg != nil {
-						h, ok := opHists[req.Op]
-						if !ok {
-							h = reg.Histogram("net.op." + req.Op)
-							opHists[req.Op] = h
-						}
-						h.Observe(d)
-					}
-					tracer.Record("net", req.Op, d, "ok", resp.Err == "")
-				}
-				if err := enc.Encode(resp); err != nil {
-					return
-				}
-			}
+			serveConn(conn, s)
 		}()
 	}
 }
 
-func serveOne(s *Space, req *request) *response {
+func serveConn(conn net.Conn, s *Space) {
+	// The registry is looked up per connection so spaces observed
+	// after ServeTCP still get wire metrics on new connections.
+	cs := &connState{
+		s:      s,
+		respCh: make(chan *response, 64),
+		reg:    s.Registry(),
+		tracer: s.Tracer(),
+	}
+	var rwc net.Conn = conn
+	if cs.reg != nil {
+		cs.reg.Counter("net.conns").Inc()
+		cs.reg.Gauge("net.open_conns").Add(1)
+		defer cs.reg.Gauge("net.open_conns").Add(-1)
+		rwc = &countingConn{Conn: conn, rx: cs.reg.Counter("net.rx_bytes"), tx: cs.reg.Counter("net.tx_bytes")}
+		cs.hists = make(map[string]*obs.Histogram, len(wireOps))
+		for _, op := range wireOps {
+			cs.hists[op] = cs.reg.Histogram("net.op." + op)
+		}
+		cs.flushes = cs.reg.Counter("net.flushes")
+		cs.bouts = cs.reg.Counter("net.batch_outs")
+		cs.btuples = cs.reg.Counter("net.batch_tuples")
+	}
+
+	// Writer: sole owner of the encoder. Flushes only when no response
+	// is queued behind the one just encoded, coalescing bursts (e.g.
+	// the wakeups after an OutN) into one packet. Keeps draining after
+	// an encode error so handler sends never block.
+	bw := bufio.NewWriter(rwc)
+	enc := gob.NewEncoder(bw)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var werr error
+		for resp := range cs.respCh {
+			if werr != nil {
+				continue
+			}
+			if werr = enc.Encode(resp); werr != nil {
+				continue
+			}
+			if len(cs.respCh) == 0 {
+				if werr = bw.Flush(); werr == nil {
+					cs.flushes.Inc()
+				}
+			}
+		}
+	}()
+
+	dec := gob.NewDecoder(rwc)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			break // connection closed
+		}
+		if req.Op == "in" || req.Op == "rd" {
+			// Blocking ops get their own goroutine so they cannot stall
+			// the requests pipelined behind them.
+			r := req
+			cs.wg.Add(1)
+			go func() {
+				defer cs.wg.Done()
+				cs.handle(&r)
+			}()
+			continue
+		}
+		cs.handle(&req)
+	}
+	cs.wg.Wait() // blocked handlers resolve when the space closes
+	close(cs.respCh)
+	<-writerDone
+}
+
+// handle executes one request and queues its response.
+func (cs *connState) handle(req *request) {
+	var start time.Time
+	if cs.reg != nil || cs.tracer != nil {
+		start = time.Now()
+	}
+	resp := serveOne(cs, req)
+	resp.ID = req.ID
+	if !start.IsZero() {
+		d := time.Since(start)
+		if cs.hists != nil {
+			cs.hists[req.Op].Observe(d)
+		}
+		cs.tracer.Record("net", req.Op, d, "ok", resp.Err == "")
+	}
+	cs.respCh <- resp
+}
+
+func serveOne(cs *connState, req *request) *response {
+	s := cs.s
+	if req.Op == "outn" {
+		tuples := make([]Tuple, len(req.Batch))
+		for i, wf := range req.Batch {
+			fields, err := decodeFields(wf)
+			if err != nil {
+				return &response{Err: err.Error()}
+			}
+			tuples[i] = Tuple(fields)
+		}
+		if err := s.OutN(tuples); err != nil {
+			return &response{Err: err.Error()}
+		}
+		cs.bouts.Inc()
+		cs.btuples.Add(int64(len(tuples)))
+		return &response{OK: true}
+	}
 	fields, err := decodeFields(req.Fields)
 	if err != nil {
 		return &response{Err: err.Error()}
@@ -241,17 +351,37 @@ func serveOne(s *Space, req *request) *response {
 	}
 }
 
-// Client is a remote handle on a served Space. A Client serializes its
-// operations over one connection; dial one Client per worker for
-// concurrency (a blocking In occupies its connection, exactly like a
-// blocked Linda process).
+// timeoutError is the error returned when a non-blocking operation's
+// response does not arrive within the op timeout. It implements
+// net.Error so callers can detect the timeout generically.
+type timeoutError struct{ op string }
+
+func (e *timeoutError) Error() string {
+	return "tuplespace: " + e.op + " timed out awaiting response"
+}
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// Client is a remote handle on a served Space. Operations are
+// pipelined over one connection and may be issued from any number of
+// goroutines concurrently: a blocking In parks on a response channel
+// while other operations keep flowing. One Client per process is
+// enough; dialing more only helps to spread load across server
+// connections.
 type Client struct {
-	mu        sync.Mutex
-	conn      net.Conn
-	enc       *gob.Encoder
-	dec       *gob.Decoder
-	opTimeout time.Duration // non-blocking op deadline; guarded by mu
-	closed    atomic.Bool   // set by Close (or transport failure), read lock-free
+	conn net.Conn
+
+	wmu sync.Mutex // owns enc + bw
+	bw  *bufio.Writer
+	enc *gob.Encoder
+	wq  atomic.Int32 // writers queued or encoding; used to coalesce flushes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *response // nil after fail/Close
+	nextID  atomic.Uint64
+
+	opTimeout atomic.Int64 // nanoseconds; non-blocking ops only
+	closed    atomic.Bool
 }
 
 // Dial connects to a served tuple space with no connection or
@@ -260,86 +390,175 @@ func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0, 0) }
 
 // DialTimeout connects to a served tuple space, bounding connection
 // establishment by dialTimeout and every subsequent non-blocking
-// operation (Out, Inp, Rdp, Len) by opTimeout. Zero means unbounded.
-// The blocking operations In and Rd are unbounded by design — a Linda
-// process legitimately blocks forever — but they are released with
-// ErrClientClosed when the client is closed from another goroutine.
+// operation (Out, OutN, Inp, Rdp, Len) by opTimeout. Zero means
+// unbounded. The blocking operations In and Rd are unbounded by design
+// — a Linda process legitimately blocks forever — but they are
+// released with ErrClientClosed when the client is closed from another
+// goroutine.
 func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), opTimeout: opTimeout}, nil
+	bw := bufio.NewWriter(conn)
+	c := &Client{
+		conn:    conn,
+		bw:      bw,
+		enc:     gob.NewEncoder(bw),
+		pending: make(map[uint64]chan *response),
+	}
+	c.opTimeout.Store(int64(opTimeout))
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop is the sole reader of the connection: it demultiplexes
+// tagged responses to the goroutines awaiting them.
+func (c *Client) readLoop() {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			c.fail()
+			return
+		}
+		c.pmu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- &resp // cap 1; the sole send for this ID
+		}
+	}
+}
+
+// fail abandons the connection: the gob stream may hold a partial
+// frame, so every pending and future operation resolves to
+// ErrClientClosed. Reports whether the client was already failed.
+func (c *Client) fail() bool {
+	already := c.closed.Swap(true)
+	if !already {
+		c.conn.Close() //nolint:errcheck
+	}
+	c.pmu.Lock()
+	p := c.pending
+	c.pending = nil
+	c.pmu.Unlock()
+	// Channels still in the map have no response in flight to them
+	// (readLoop removes a channel before sending), so closing is safe
+	// and wakes the waiting operation with ErrClientClosed.
+	for _, ch := range p {
+		close(ch)
+	}
+	return already
 }
 
 // SetOpTimeout changes the deadline applied to each non-blocking
 // operation. It does not affect an operation already in flight.
-func (c *Client) SetOpTimeout(d time.Duration) {
-	c.mu.Lock()
-	c.opTimeout = d
-	c.mu.Unlock()
-}
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout.Store(int64(d)) }
 
-// Close releases the connection. A concurrently blocked In/Rd is
-// unblocked with ErrClientClosed. Close does not take the operation
-// lock precisely so it can interrupt a blocked operation.
+// Close releases the connection. Every blocked or in-flight operation
+// is unblocked with ErrClientClosed.
 func (c *Client) Close() error {
-	c.closed.Store(true)
-	return c.conn.Close()
+	c.fail()
+	return nil
 }
 
 // blockingOp reports whether the op may legitimately wait forever on
-// the server and must therefore not carry an I/O deadline.
+// the server and must therefore not carry a timeout.
 func blockingOp(op string) bool { return op == "in" || op == "rd" }
 
-func (c *Client) roundTrip(op string, fields []any) (*response, error) {
+func (c *Client) roundTrip(req *request) (*response, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *response, 1)
+	c.pmu.Lock()
+	if c.pending == nil {
+		c.pmu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.pending[req.ID] = ch
+	c.pmu.Unlock()
+
+	// Encode under the write lock; flush only if no other writer is
+	// queued behind us (it will flush for both).
+	c.wq.Add(1)
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	queued := c.wq.Add(-1)
+	if err == nil && queued == 0 {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		if c.fail() {
+			return nil, ErrClientClosed
+		}
+		return nil, err
+	}
+
+	var timeoutC <-chan time.Time
+	if d := time.Duration(c.opTimeout.Load()); d > 0 && !blockingOp(req.Op) {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrClientClosed
+		}
+		if resp.Err != "" {
+			return nil, errors.New(resp.Err)
+		}
+		return resp, nil
+	case <-timeoutC:
+		// The response may still arrive, but the caller is gone; the
+		// connection state is no longer trustworthy — abandon it, like
+		// a transport error.
+		c.fail()
+		return nil, &timeoutError{op: req.Op}
+	}
+}
+
+func (c *Client) op(op string, fields []any) (*response, error) {
 	wf, err := encodeFields(fields)
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed.Load() {
-		return nil, ErrClientClosed
-	}
-	if c.opTimeout > 0 && !blockingOp(op) {
-		c.conn.SetDeadline(time.Now().Add(c.opTimeout)) //nolint:errcheck
-		defer c.conn.SetDeadline(time.Time{})           //nolint:errcheck
-	}
-	if err := c.enc.Encode(&request{Op: op, Fields: wf}); err != nil {
-		return nil, c.transportErr(err)
-	}
-	var resp response
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, c.transportErr(err)
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	return &resp, nil
-}
-
-// transportErr handles a failed encode/decode: the gob stream may hold
-// a partial frame, so the connection is unusable — abandon it and make
-// every later operation fail fast with ErrClientClosed.
-func (c *Client) transportErr(err error) error {
-	if c.closed.Load() {
-		return ErrClientClosed
-	}
-	c.closed.Store(true)
-	c.conn.Close() //nolint:errcheck
-	return err
+	return c.roundTrip(&request{Op: op, Fields: wf})
 }
 
 // Out places a tuple in the remote space.
 func (c *Client) Out(fields ...any) error {
-	_, err := c.roundTrip("out", fields)
+	_, err := c.op("out", fields)
+	return err
+}
+
+// OutN places a batch of tuples in the remote space in one round trip,
+// with the same semantics as calling Out per tuple in order. Masters
+// use it for task fan-outs, where per-tuple round trips dominate.
+func (c *Client) OutN(tuples []Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	batch := make([][]wireField, len(tuples))
+	for i, t := range tuples {
+		wf, err := encodeFields(t)
+		if err != nil {
+			return err
+		}
+		batch[i] = wf
+	}
+	_, err := c.roundTrip(&request{Op: "outn", Batch: batch})
 	return err
 }
 
 // In blocks until a matching tuple exists remotely and removes it.
 func (c *Client) In(tmpl ...any) (Tuple, error) {
-	resp, err := c.roundTrip("in", tmpl)
+	resp, err := c.op("in", tmpl)
 	if err != nil {
 		return nil, err
 	}
@@ -348,7 +567,7 @@ func (c *Client) In(tmpl ...any) (Tuple, error) {
 
 // Rd blocks until a matching tuple exists and returns a copy.
 func (c *Client) Rd(tmpl ...any) (Tuple, error) {
-	resp, err := c.roundTrip("rd", tmpl)
+	resp, err := c.op("rd", tmpl)
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +576,7 @@ func (c *Client) Rd(tmpl ...any) (Tuple, error) {
 
 // Inp is the non-blocking destructive match.
 func (c *Client) Inp(tmpl ...any) (Tuple, bool, error) {
-	resp, err := c.roundTrip("inp", tmpl)
+	resp, err := c.op("inp", tmpl)
 	if err != nil {
 		return nil, false, err
 	}
@@ -366,7 +585,7 @@ func (c *Client) Inp(tmpl ...any) (Tuple, bool, error) {
 
 // Rdp is the non-blocking non-destructive match.
 func (c *Client) Rdp(tmpl ...any) (Tuple, bool, error) {
-	resp, err := c.roundTrip("rdp", tmpl)
+	resp, err := c.op("rdp", tmpl)
 	if err != nil {
 		return nil, false, err
 	}
@@ -375,7 +594,7 @@ func (c *Client) Rdp(tmpl ...any) (Tuple, bool, error) {
 
 // Len reports the remote tuple count.
 func (c *Client) Len() (int, error) {
-	resp, err := c.roundTrip("len", nil)
+	resp, err := c.op("len", nil)
 	if err != nil {
 		return 0, err
 	}

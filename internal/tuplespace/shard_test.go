@@ -1,0 +1,447 @@
+package tuplespace
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"freepdm/internal/obs"
+)
+
+// Tests that the Linda semantics survive the sharded space: signature
+// routing, readers-before-one-taker, FIFO among takers, the cross-shard
+// slow path for formal-first-string templates, and Close reaching
+// waiters on every shard. Run in CI under -race.
+
+func TestNewShardedRounding(t *testing.T) {
+	if got := NewSharded(5).Shards(); got != 8 {
+		t.Fatalf("NewSharded(5).Shards()=%d want 8", got)
+	}
+	if got := NewSharded(64).Shards(); got != 64 {
+		t.Fatalf("NewSharded(64).Shards()=%d want 64", got)
+	}
+	if got := NewSharded(100000).Shards(); got != 256 {
+		t.Fatalf("NewSharded(100000).Shards()=%d want cap 256", got)
+	}
+	if got := New().Shards(); got < 8 {
+		t.Fatalf("New().Shards()=%d want >= 8", got)
+	}
+}
+
+// waitBlocked polls until n operations have registered and parked.
+func waitBlocked(t *testing.T, s *Space, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().Blocked < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d ops blocked", s.Stats().Blocked, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestShardedReadersServedBeforeOneTaker(t *testing.T) {
+	s := NewSharded(16)
+	reads := make(chan Tuple, 3)
+	took := make(chan Tuple, 1)
+	// Register reader, taker, reader, reader — every reader must see the
+	// tuple regardless of its position relative to the winning taker.
+	go func() {
+		tu, err := s.Rd("mix", FormalInt)
+		if err == nil {
+			reads <- tu
+		}
+	}()
+	waitBlocked(t, s, 1)
+	go func() {
+		tu, err := s.In("mix", FormalInt)
+		if err == nil {
+			took <- tu
+		}
+	}()
+	waitBlocked(t, s, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			tu, err := s.Rd("mix", FormalInt)
+			if err == nil {
+				reads <- tu
+			}
+		}()
+	}
+	waitBlocked(t, s, 4)
+	s.Out("mix", 7)
+	for i := 0; i < 3; i++ {
+		select {
+		case tu := <-reads:
+			if tu[1].(int) != 7 {
+				t.Fatalf("reader %d got %v", i, tu)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("reader %d not served", i)
+		}
+	}
+	select {
+	case tu := <-took:
+		if tu[1].(int) != 7 {
+			t.Fatalf("taker got %v", tu)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("taker not served")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d after take, want 0", s.Len())
+	}
+}
+
+func TestShardedTakerFIFO(t *testing.T) {
+	s := NewSharded(16)
+	const takers = 6
+	woke := make(chan int, takers)
+	for i := 0; i < takers; i++ {
+		i := i
+		go func() {
+			if _, err := s.In("fifo", FormalInt); err == nil {
+				woke <- i
+			}
+		}()
+		// Each taker must be parked before the next registers, so
+		// arrival order is deterministic.
+		waitBlocked(t, s, int64(i+1))
+	}
+	for i := 0; i < takers; i++ {
+		s.Out("fifo", i)
+		select {
+		case got := <-woke:
+			if got != i {
+				t.Fatalf("wake %d went to taker %d: not FIFO", i, got)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("no taker woke for Out %d", i)
+		}
+	}
+}
+
+func TestShardedTakerFIFOAcrossCrossAndExact(t *testing.T) {
+	// A formal-first-string taker (cross-shard list) registered before
+	// an exact-tag taker (shard list) must win the first tuple: FIFO is
+	// by arrival order across both lists.
+	s := NewSharded(16)
+	woke := make(chan string, 2)
+	go func() {
+		if _, err := s.In(FormalString, FormalInt); err == nil {
+			woke <- "cross"
+		}
+	}()
+	waitBlocked(t, s, 1)
+	go func() {
+		if _, err := s.In("xtag", FormalInt); err == nil {
+			woke <- "exact"
+		}
+	}()
+	waitBlocked(t, s, 2)
+	s.Out("xtag", 1)
+	select {
+	case got := <-woke:
+		if got != "cross" {
+			t.Fatalf("first wake went to %q, want the earlier cross-shard taker", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no taker woke")
+	}
+	s.Out("xtag", 2)
+	select {
+	case got := <-woke:
+		if got != "exact" {
+			t.Fatalf("second wake went to %q", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("exact taker never woke")
+	}
+}
+
+func TestCrossShardBlockedWaiterWokenByAnyTag(t *testing.T) {
+	s := NewSharded(16)
+	got := make(chan Tuple, 1)
+	go func() {
+		tu, err := s.In(FormalString, FormalInt)
+		if err == nil {
+			got <- tu
+		}
+	}()
+	waitBlocked(t, s, 1)
+	s.Out("surprise-tag", 42)
+	select {
+	case tu := <-got:
+		if tu[0].(string) != "surprise-tag" || tu[1].(int) != 42 {
+			t.Fatalf("got %v", tu)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cross-shard waiter never woken")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d want 0", s.Len())
+	}
+}
+
+func TestCrossShardClaimsPreexistingTuples(t *testing.T) {
+	// Tuples on many different tags (hence many shards) must all be
+	// reachable through one formal-first-string template, without ever
+	// blocking, and arity filtering must hold.
+	s := NewSharded(16)
+	const n = 40
+	for i := 0; i < n; i++ {
+		s.Out(fmt.Sprintf("tag-%d", i), i)
+		s.Out(fmt.Sprintf("tag-%d", i), i, i) // wrong arity: must be skipped
+	}
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		done := make(chan Tuple, 1)
+		go func() {
+			tu, err := s.In(FormalString, FormalInt)
+			if err == nil {
+				done <- tu
+			}
+		}()
+		select {
+		case tu := <-done:
+			seen[tu[1].(int)] = true
+		case <-time.After(2 * time.Second):
+			t.Fatalf("In %d blocked on stored tuples", i)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("claimed %d distinct tuples, want %d", len(seen), n)
+	}
+	if s.Len() != n { // the arity-2 tuples remain
+		t.Fatalf("Len=%d want %d", s.Len(), n)
+	}
+}
+
+func TestCrossShardRdLeavesTuple(t *testing.T) {
+	s := NewSharded(16)
+	s.Out("only", 9)
+	tu, err := s.Rd(FormalString, FormalInt)
+	if err != nil || tu[1].(int) != 9 {
+		t.Fatalf("Rd got %v err=%v", tu, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("cross-shard Rd consumed the tuple: Len=%d", s.Len())
+	}
+}
+
+func TestCloseReleasesWaitersOnEveryShard(t *testing.T) {
+	s := NewSharded(32)
+	const n = 24
+	errs := make(chan error, n+1)
+	for i := 0; i < n; i++ {
+		tag := fmt.Sprintf("shardtag-%d", i) // spread across shards
+		go func() {
+			_, err := s.In(tag, FormalInt)
+			errs <- err
+		}()
+	}
+	go func() { // plus one cross-shard waiter
+		_, err := s.Rd(FormalString, FormalFloat)
+		errs <- err
+	}()
+	waitBlocked(t, s, n+1)
+	s.Close()
+	for i := 0; i < n+1; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("waiter %d: err=%v want ErrClosed", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d never released by Close", i)
+		}
+	}
+}
+
+func TestShardedConcurrentMixedTagsConserve(t *testing.T) {
+	// Hammer distinct signatures from many goroutines and check global
+	// conservation; catches lost wakeups and double deliveries.
+	s := New()
+	const g, per = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < g; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tag := fmt.Sprintf("cc-%d", w)
+			for i := 0; i < per; i++ {
+				s.Out(tag, i)
+				tu, err := s.In(tag, FormalInt)
+				if err != nil || tu[1].(int) != i {
+					t.Errorf("worker %d round %d: %v %v", w, i, tu, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("Len=%d want 0", s.Len())
+	}
+	if st := s.Stats(); st.Outs != g*per || st.Ins != g*per {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestClientPipelinesAroundBlockedIn drives non-blocking traffic over
+// the same connection that holds a blocked In. The pre-pipelining
+// client serialized whole round trips under one mutex, so every one of
+// these Outs would have hung behind the In and this test would time
+// out; the multiplexed client must keep the connection flowing.
+func TestClientPipelinesAroundBlockedIn(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	inDone := make(chan Tuple, 1)
+	go func() {
+		tu, err := c.In("the-answer", FormalInt)
+		if err == nil {
+			inDone <- tu
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the In reach the server
+
+	// All on the same connection, all while the In is blocked.
+	for i := 0; i < 25; i++ {
+		if err := c.Out("side", i); err != nil {
+			t.Fatalf("Out %d alongside blocked In: %v", i, err)
+		}
+	}
+	if n, err := c.Len(); err != nil || n != 25 {
+		t.Fatalf("Len=%d err=%v want 25", n, err)
+	}
+	if _, ok, err := c.Inp("side", 13); err != nil || !ok {
+		t.Fatalf("Inp alongside blocked In: ok=%v err=%v", ok, err)
+	}
+	select {
+	case <-inDone:
+		t.Fatal("In returned without a matching tuple")
+	default:
+	}
+	if err := c.Out("the-answer", 42); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case tu := <-inDone:
+		if tu[1].(int) != 42 {
+			t.Fatalf("In got %v", tu)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked In never completed")
+	}
+}
+
+// TestClientConcurrentBlockingIns checks that one connection carries
+// multiple simultaneously blocked Ins, each demultiplexed to its own
+// caller.
+func TestClientConcurrentBlockingIns(t *testing.T) {
+	_, addr, stop := startServer(t)
+	defer stop()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 5
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tu, err := c.In("par", i, FormalString)
+			if err != nil {
+				t.Errorf("In %d: %v", i, err)
+				return
+			}
+			if want := fmt.Sprintf("payload-%d", i); tu[2].(string) != want {
+				t.Errorf("In %d got %v", i, tu)
+			}
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	tuples := make([]Tuple, n)
+	for i := 0; i < n; i++ {
+		tuples[i] = Tuple{"par", i, fmt.Sprintf("payload-%d", i)}
+	}
+	if err := c.OutN(tuples); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+func TestClientOutNRoundTrip(t *testing.T) {
+	s, addr, stop := startServer(t)
+	defer stop()
+	reg := obs.NewRegistry()
+	s.Observe(reg, nil)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.OutN(nil); err != nil { // empty batch: no round trip
+		t.Fatal(err)
+	}
+	batch := make([]Tuple, 10)
+	for i := range batch {
+		batch[i] = Tuple{"bulk", i, float64(i) / 2}
+	}
+	if err := c.OutN(batch); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Len(); err != nil || n != 10 {
+		t.Fatalf("Len=%d err=%v want 10", n, err)
+	}
+	for i := 0; i < 10; i++ {
+		tu, ok, err := c.Inp("bulk", i, FormalFloat)
+		if err != nil || !ok {
+			t.Fatalf("tuple %d missing: ok=%v err=%v", i, ok, err)
+		}
+		if tu[2].(float64) != float64(i)/2 {
+			t.Fatalf("tuple %d payload %v", i, tu)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["net.batch_outs"] != 1 {
+		t.Fatalf("net.batch_outs=%d want 1", snap.Counters["net.batch_outs"])
+	}
+	if snap.Counters["net.batch_tuples"] != 10 {
+		t.Fatalf("net.batch_tuples=%d want 10", snap.Counters["net.batch_tuples"])
+	}
+}
+
+func TestPerShardGaugesSumToTotal(t *testing.T) {
+	s := NewSharded(8)
+	reg := obs.NewRegistry()
+	s.Observe(reg, nil)
+	for i := 0; i < 50; i++ {
+		s.Out(fmt.Sprintf("g-%d", i%7), i)
+	}
+	for i := 0; i < 10; i++ {
+		s.Inp(fmt.Sprintf("g-%d", i%7), FormalInt)
+	}
+	snap := reg.Snapshot()
+	var sum int64
+	for i := 0; i < s.Shards(); i++ {
+		sum += snap.Gauges[fmt.Sprintf("ts.shard.%d.tuples", i)]
+	}
+	if sum != int64(s.Len()) || snap.Gauges["ts.tuples"] != int64(s.Len()) {
+		t.Fatalf("shard gauges sum=%d ts.tuples=%d Len=%d", sum, snap.Gauges["ts.tuples"], s.Len())
+	}
+}

@@ -10,13 +10,31 @@
 // or the typed helpers such as FormalInt). The blocking operations In
 // and Rd wait until a matching tuple appears; the predicate forms Inp
 // and Rdp return immediately.
+//
+// Internally the space is partitioned twice. Tuples are grouped into
+// partitions by signature (arity, field types, and the value of a
+// leading string tag), and partitions are distributed over lock-striped
+// shards by signature hash, so operations on different signatures never
+// contend on a lock. Each shard keeps its own tuple lists and its own
+// waiter list; an Out only wakes waiters registered for its signature.
+// The one cross-shard case — a template whose first field is a formal
+// string, which may match any tagged partition of its arity — takes a
+// slow path: its waiters live on a shared list every shard consults,
+// and its polls scan the shards in order. Templates are compiled once
+// per operation into a matcher with fast-path equality for the scalar,
+// string and []byte field types the miners use, falling back to
+// reflection only for other types.
 package tuplespace
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"reflect"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +92,8 @@ type Template []any
 
 // Matches reports whether the template matches the tuple: same arity,
 // every actual equal in type and value, every formal equal in type.
+// This is the reference semantics; the space itself matches through
+// compiled templates, which agree with Matches on every input.
 func (tm Template) Matches(t Tuple) bool {
 	if len(tm) != len(t) {
 		return false
@@ -95,35 +115,261 @@ func (tm Template) Matches(t Tuple) bool {
 	return true
 }
 
-// signature computes the partition key for a tuple or template: the
-// arity, the type of each field, and — following the common Linda
-// convention of a leading string tag — the value of the first field
-// when it is a string actual. Templates whose first field is a formal
-// string fall back to the type-only signature and scan that partition.
-func signature(fields []any) (part string, tagged bool) {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d:", len(fields))
-	for i, f := range fields {
-		var t reflect.Type
-		if fo, ok := f.(formal); ok {
-			t = fo.t
-		} else {
-			t = reflect.TypeOf(f)
-		}
-		if t == nil {
-			b.WriteString("nil;")
-			continue
-		}
-		b.WriteString(t.String())
-		b.WriteByte(';')
-		if i == 0 {
-			if s, ok := f.(string); ok {
-				fmt.Fprintf(&b, "tag=%q;", s)
-				tagged = true
-			}
+// Pre-resolved reflect.Types for the field types with fast-path
+// matching.
+var (
+	typeInt     = reflect.TypeOf(int(0))
+	typeInt64   = reflect.TypeOf(int64(0))
+	typeFloat64 = reflect.TypeOf(float64(0))
+	typeString  = reflect.TypeOf("")
+	typeBool    = reflect.TypeOf(false)
+	typeBytes   = reflect.TypeOf([]byte(nil))
+)
+
+// matchKind selects the comparison strategy for one compiled field.
+type matchKind uint8
+
+const (
+	kindOther matchKind = iota // reflect.TypeOf + reflect.DeepEqual
+	kindInt
+	kindInt64
+	kindFloat64
+	kindString
+	kindBool
+	kindBytes
+)
+
+func kindOf(t reflect.Type) matchKind {
+	switch t {
+	case typeInt:
+		return kindInt
+	case typeInt64:
+		return kindInt64
+	case typeFloat64:
+		return kindFloat64
+	case typeString:
+		return kindString
+	case typeBool:
+		return kindBool
+	case typeBytes:
+		return kindBytes
+	}
+	return kindOther
+}
+
+// typeName returns the signature spelling of a field type without
+// calling Type.String on the common types.
+func typeName(t reflect.Type) string {
+	switch t {
+	case typeInt:
+		return "int"
+	case typeInt64:
+		return "int64"
+	case typeFloat64:
+		return "float64"
+	case typeString:
+		return "string"
+	case typeBool:
+		return "bool"
+	case typeBytes:
+		return "[]uint8"
+	}
+	return t.String()
+}
+
+// compiledField is one template field with its comparison pre-resolved
+// so the inner match loop performs no repeated reflect.TypeOf calls.
+type compiledField struct {
+	kind    matchKind
+	isForm  bool
+	typ     reflect.Type // kindOther: exact dynamic type (nil for nil actuals)
+	actual  any          // kindOther actuals: DeepEqual operand
+	aInt    int64
+	aFloat  float64
+	aString string
+	aBool   bool
+	aBytes  []byte
+}
+
+func (cf *compiledField) match(v any) bool {
+	switch cf.kind {
+	case kindInt:
+		x, ok := v.(int)
+		return ok && (cf.isForm || int64(x) == cf.aInt)
+	case kindInt64:
+		x, ok := v.(int64)
+		return ok && (cf.isForm || x == cf.aInt)
+	case kindFloat64:
+		x, ok := v.(float64)
+		return ok && (cf.isForm || x == cf.aFloat)
+	case kindString:
+		x, ok := v.(string)
+		return ok && (cf.isForm || x == cf.aString)
+	case kindBool:
+		x, ok := v.(bool)
+		return ok && (cf.isForm || x == cf.aBool)
+	case kindBytes:
+		x, ok := v.([]byte)
+		// nil and empty are distinct, matching reflect.DeepEqual.
+		return ok && (cf.isForm || ((x == nil) == (cf.aBytes == nil) && bytes.Equal(x, cf.aBytes)))
+	}
+	if reflect.TypeOf(v) != cf.typ {
+		return false
+	}
+	return cf.isForm || reflect.DeepEqual(cf.actual, v)
+}
+
+// appendTag appends the value of a leading string tag to a signature,
+// length-prefixed rather than quoted: injectivity is all a partition
+// key needs, and avoiding escape analysis of the tag bytes keeps the
+// hot path cheap.
+func appendTag(sig []byte, v string) []byte {
+	sig = append(sig, "tag="...)
+	sig = strconv.AppendInt(sig, int64(len(v)), 10)
+	sig = append(sig, ':')
+	sig = append(sig, v...)
+	return append(sig, ';')
+}
+
+// compiledTemplate is a template prepared for repeated matching: the
+// per-field matchers plus the signature routing information. The
+// inline arrays let the non-blocking path keep the whole compiled form
+// on the caller's stack.
+type compiledTemplate struct {
+	fields []compiledField
+	sig    []byte // signature partition key
+	cross  bool   // leading formal string: may match any tagged partition
+	prefix string // cross templates: "<arity>:string;" candidate-key prefix
+
+	farr [6]compiledField
+	sbuf [88]byte
+}
+
+func (ct *compiledTemplate) match(t Tuple) bool {
+	if len(ct.fields) != len(t) {
+		return false
+	}
+	for i := range ct.fields {
+		if !ct.fields[i].match(t[i]) {
+			return false
 		}
 	}
-	return b.String(), tagged
+	return true
+}
+
+// compileFrom prepares the template for matching, computing its
+// signature and per-field matchers in one pass.
+func (ct *compiledTemplate) compileFrom(tm Template) {
+	if len(tm) <= len(ct.farr) {
+		ct.fields = ct.farr[:len(tm)]
+	} else {
+		ct.fields = make([]compiledField, len(tm))
+	}
+	sig := ct.sbuf[:0]
+	sig = strconv.AppendInt(sig, int64(len(tm)), 10)
+	sig = append(sig, ':')
+	for i, f := range tm {
+		cf := &ct.fields[i]
+		if fo, ok := f.(formal); ok {
+			cf.isForm = true
+			cf.typ = fo.t
+			cf.kind = kindOf(fo.t)
+			if fo.t == nil {
+				sig = append(sig, "nil;"...)
+				continue
+			}
+			sig = append(sig, typeName(fo.t)...)
+			sig = append(sig, ';')
+			if i == 0 && cf.kind == kindString {
+				ct.cross = true
+			}
+			continue
+		}
+		switch v := f.(type) {
+		case int:
+			cf.kind, cf.aInt = kindInt, int64(v)
+			sig = append(sig, "int;"...)
+		case int64:
+			cf.kind, cf.aInt = kindInt64, v
+			sig = append(sig, "int64;"...)
+		case float64:
+			cf.kind, cf.aFloat = kindFloat64, v
+			sig = append(sig, "float64;"...)
+		case string:
+			cf.kind, cf.aString = kindString, v
+			sig = append(sig, "string;"...)
+			if i == 0 {
+				sig = appendTag(sig, v)
+			}
+		case bool:
+			cf.kind, cf.aBool = kindBool, v
+			sig = append(sig, "bool;"...)
+		case []byte:
+			cf.kind, cf.aBytes = kindBytes, v
+			sig = append(sig, "[]uint8;"...)
+		default:
+			cf.kind, cf.actual = kindOther, f
+			cf.typ = reflect.TypeOf(f)
+			if cf.typ == nil {
+				sig = append(sig, "nil;"...)
+				continue
+			}
+			sig = append(sig, cf.typ.String()...)
+			sig = append(sig, ';')
+		}
+	}
+	ct.sig = sig
+	if ct.cross {
+		// A cross signature starts with "<arity>:string;" — the prefix
+		// every matchable partition key shares.
+		ct.prefix = string(sig[:bytes.IndexByte(sig, ';')+1])
+	}
+}
+
+// signatureOf appends the partition key for a tuple to sig: the arity,
+// the type of each field, and — following the common Linda convention
+// of a leading string tag — the value of the first field when it is a
+// string actual.
+func signatureOf(sig []byte, fields []any) []byte {
+	sig = strconv.AppendInt(sig, int64(len(fields)), 10)
+	sig = append(sig, ':')
+	for i, f := range fields {
+		if fo, ok := f.(formal); ok {
+			if fo.t == nil {
+				sig = append(sig, "nil;"...)
+				continue
+			}
+			sig = append(sig, typeName(fo.t)...)
+			sig = append(sig, ';')
+			continue
+		}
+		switch v := f.(type) {
+		case int:
+			sig = append(sig, "int;"...)
+		case int64:
+			sig = append(sig, "int64;"...)
+		case float64:
+			sig = append(sig, "float64;"...)
+		case string:
+			sig = append(sig, "string;"...)
+			if i == 0 {
+				sig = appendTag(sig, v)
+			}
+		case bool:
+			sig = append(sig, "bool;"...)
+		case []byte:
+			sig = append(sig, "[]uint8;"...)
+		default:
+			t := reflect.TypeOf(f)
+			if t == nil {
+				sig = append(sig, "nil;"...)
+				continue
+			}
+			sig = append(sig, t.String()...)
+			sig = append(sig, ';')
+		}
+	}
+	return sig
 }
 
 // Stats counts operations on a space; useful for tests and for the
@@ -143,6 +389,7 @@ type Stats struct {
 type spaceObs struct {
 	outs, ins, rds, inps, rdps, blocked *obs.Counter
 	tuples                              *obs.Gauge
+	shardTuples                         []*obs.Gauge
 	wait                                *obs.Histogram
 	reg                                 *obs.Registry
 	tracer                              *obs.Tracer
@@ -150,26 +397,31 @@ type spaceObs struct {
 
 // Observe attaches a metrics registry and/or tracer to the space.
 // Either may be nil. Metrics registered (under the "ts." prefix):
-// per-op counters, a stored-tuple gauge, and a block→wake wait-time
-// histogram. Trace events use kind "tuple". Observe may be called at
-// any time; in-flight operations may be counted under the previous
-// attachment.
+// per-op counters, a stored-tuple gauge, one stored-tuple gauge per
+// shard ("ts.shard.<i>.tuples"), and a block→wake wait-time histogram.
+// Trace events use kind "tuple". Observe may be called at any time;
+// in-flight operations may be counted under the previous attachment.
 func (s *Space) Observe(reg *obs.Registry, tracer *obs.Tracer) {
 	o := &spaceObs{
-		outs:    reg.Counter("ts.out"),
-		ins:     reg.Counter("ts.in"),
-		rds:     reg.Counter("ts.rd"),
-		inps:    reg.Counter("ts.inp"),
-		rdps:    reg.Counter("ts.rdp"),
-		blocked: reg.Counter("ts.blocked"),
-		tuples:  reg.Gauge("ts.tuples"),
-		wait:    reg.Histogram("ts.wait"),
-		reg:     reg,
-		tracer:  tracer,
+		outs:        reg.Counter("ts.out"),
+		ins:         reg.Counter("ts.in"),
+		rds:         reg.Counter("ts.rd"),
+		inps:        reg.Counter("ts.inp"),
+		rdps:        reg.Counter("ts.rdp"),
+		blocked:     reg.Counter("ts.blocked"),
+		tuples:      reg.Gauge("ts.tuples"),
+		shardTuples: make([]*obs.Gauge, len(s.shards)),
+		wait:        reg.Histogram("ts.wait"),
+		reg:         reg,
+		tracer:      tracer,
 	}
-	s.mu.Lock()
-	o.tuples.Set(int64(s.tupleCnt))
-	s.mu.Unlock()
+	for i, sh := range s.shards {
+		o.shardTuples[i] = reg.Gauge("ts.shard." + strconv.Itoa(i) + ".tuples")
+		sh.mu.Lock()
+		o.shardTuples[i].Set(sh.count)
+		sh.mu.Unlock()
+	}
+	o.tuples.Set(s.tupleCnt.Load())
 	s.obs.Store(o)
 }
 
@@ -191,69 +443,165 @@ func (s *Space) Tracer() *obs.Tracer {
 }
 
 type waiter struct {
-	tmpl    Template
+	ct      *compiledTemplate
 	take    bool // In (destructive) vs Rd
 	ch      chan Tuple
 	seq     int64
-	removed bool
+	removed bool // guarded by the lock of the list holding the waiter
 }
 
-// Space is a concurrency-safe Linda tuple space.
+// partition is the tuple list of one signature. Partitions are held by
+// pointer so the hot paths can mutate the list through a no-allocation
+// map lookup (parts[string(sigBytes)]) without re-assigning the entry.
+type partition struct {
+	tuples []Tuple
+}
+
+// shard is one lock stripe of the space: the partitions whose signature
+// hashes here, plus the waiters blocked on those signatures.
+type shard struct {
+	mu      sync.Mutex
+	idx     int
+	parts   map[string]*partition
+	waiters []*waiter
+	sorted  []string // sorted partition keys; nil = stale, rebuilt on demand
+	count   int64    // stored tuples in this shard
+	closed  bool
+}
+
+// sortedKeysLocked returns the shard's partition keys in sorted order,
+// rebuilding the cache only after a partition was created or deleted.
+func (sh *shard) sortedKeysLocked() []string {
+	if sh.sorted == nil {
+		sh.sorted = make([]string, 0, len(sh.parts))
+		for k := range sh.parts {
+			sh.sorted = append(sh.sorted, k)
+		}
+		sort.Strings(sh.sorted)
+	}
+	return sh.sorted
+}
+
+// Space is a concurrency-safe Linda tuple space, lock-striped over
+// signature shards.
 //
-// The zero value is not usable; create spaces with New.
+// The zero value is not usable; create spaces with New or NewSharded.
 type Space struct {
-	mu       sync.Mutex
-	parts    map[string][]Tuple
-	waiters  []*waiter
-	nextSeq  int64
-	closed   bool
-	stats    Stats
-	tupleCnt int
-	obs      atomic.Pointer[spaceObs] // nil until Observe
+	shards []*shard
+	mask   uint64
+
+	// xwait holds waiters whose template has a leading formal string —
+	// the only templates that can match tuples on more than one shard.
+	// Every Out consults this list (cheaply skipped via the atomic
+	// counter when empty). Lock order: shard.mu before xwait.mu.
+	xwait struct {
+		mu     sync.Mutex
+		list   []*waiter
+		n      atomic.Int64 // live (non-removed) entries
+		closed bool
+	}
+
+	seq      atomic.Int64 // waiter arrival order, for FIFO fairness
+	tupleCnt atomic.Int64
+	closed   atomic.Bool
+
+	stOuts, stIns, stRds, stInps, stRdps atomic.Int64
+	stBlocked, stBlockedNanos            atomic.Int64
+
+	obs atomic.Pointer[spaceObs] // nil until Observe
 }
 
-// New returns an empty tuple space ready for use.
-func New() *Space {
-	return &Space{parts: make(map[string][]Tuple)}
+// New returns an empty tuple space with a shard count derived from
+// GOMAXPROCS.
+func New() *Space { return NewSharded(0) }
+
+// NewSharded returns an empty tuple space striped over n shards,
+// rounded up to a power of two and capped at 256. n <= 0 selects the
+// default (at least 8, growing with GOMAXPROCS).
+func NewSharded(n int) *Space {
+	if n <= 0 {
+		n = 4 * runtime.GOMAXPROCS(0)
+		if n < 8 {
+			n = 8
+		}
+	}
+	if n > 256 {
+		n = 256
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Space{shards: make([]*shard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{idx: i, parts: make(map[string]*partition)}
+	}
+	return s
+}
+
+// Shards reports the number of lock stripes in the space.
+func (s *Space) Shards() int { return len(s.shards) }
+
+// shardSeed keys signature hashing for shard routing; per-process like
+// the runtime's own map seed.
+var shardSeed = maphash.MakeSeed()
+
+// shardOf routes a signature key to its shard.
+func (s *Space) shardOf(sig []byte) *shard {
+	return s.shards[maphash.Bytes(shardSeed, sig)&s.mask]
 }
 
 // Out places a tuple into the space, waking any blocked In/Rd whose
 // template matches. It never blocks.
 func (s *Space) Out(fields ...any) error {
-	t := Tuple(append([]any(nil), fields...))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	return s.out(Tuple(append([]any(nil), fields...)))
+}
+
+// OutN places a batch of tuples into the space. It is equivalent to
+// calling Out once per tuple (including waking waiters per tuple) and
+// exists so batch producers — and the networked server's "outn"
+// request — share one call. On a closed space the batch stops at the
+// first rejected tuple.
+func (s *Space) OutN(tuples []Tuple) error {
+	for _, t := range tuples {
+		if err := s.out(append(Tuple(nil), t...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// out stores or delivers t, taking ownership of the slice.
+func (s *Space) out(t Tuple) error {
+	var sbuf [88]byte
+	sig := signatureOf(sbuf[:0], t)
+	sh := s.shardOf(sig)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	s.stats.Outs++
-	// Serve matching readers first (non-destructive), then at most one
-	// taker; only store the tuple if no taker consumed it.
-	taken := false
-	for _, w := range s.waiters {
-		if w.removed || !w.tmpl.Matches(t) {
-			continue
-		}
-		if w.take {
-			if !taken {
-				w.removed = true
-				w.ch <- t
-				taken = true
-			}
-			continue
-		}
-		w.removed = true
-		w.ch <- t
-	}
-	s.compactWaitersLocked()
+	s.stOuts.Add(1)
+	o := s.obs.Load()
+	taken := s.deliverLocked(sh, t)
 	if !taken {
-		key, _ := signature(t)
-		s.parts[key] = append(s.parts[key], t)
-		s.tupleCnt++
+		p := sh.parts[string(sig)] // no-alloc lookup
+		if p == nil {
+			p = &partition{}
+			sh.parts[string(sig)] = p
+			sh.sorted = nil
+		}
+		p.tuples = append(p.tuples, t)
+		sh.count++
+		s.tupleCnt.Add(1)
+		if o != nil {
+			o.tuples.Add(1)
+			o.shardTuples[sh.idx].Add(1)
+		}
 	}
-	if o := s.obs.Load(); o != nil {
+	sh.mu.Unlock()
+	if o != nil {
 		o.outs.Inc()
-		o.tuples.Set(int64(s.tupleCnt))
 		if o.tracer != nil {
 			o.tracer.Record("tuple", "out", 0, "arity", len(t))
 		}
@@ -261,95 +609,183 @@ func (s *Space) Out(fields ...any) error {
 	return nil
 }
 
-func (s *Space) compactWaitersLocked() {
-	live := s.waiters[:0]
-	for _, w := range s.waiters {
+// deliverLocked serves t to blocked waiters: every matching reader is
+// woken, then the earliest-registered matching taker consumes it. The
+// shard's own waiters and the cross-shard list are walked merged in
+// arrival order, preserving FIFO fairness between them. Called with
+// sh.mu held; takes xwait.mu only when cross-shard waiters exist.
+func (s *Space) deliverLocked(sh *shard, t Tuple) bool {
+	var xs []*waiter
+	xlocked := false
+	if s.xwait.n.Load() > 0 {
+		s.xwait.mu.Lock()
+		xlocked = true
+		xs = s.xwait.list
+	}
+	taken := false
+	ws := sh.waiters
+	if len(ws) > 0 || len(xs) > 0 {
+		i, j := 0, 0
+		for i < len(ws) || j < len(xs) {
+			var w *waiter
+			switch {
+			case i >= len(ws):
+				w = xs[j]
+				j++
+			case j >= len(xs) || ws[i].seq < xs[j].seq:
+				w = ws[i]
+				i++
+			default:
+				w = xs[j]
+				j++
+			}
+			if w.removed || !w.ct.match(t) {
+				continue
+			}
+			if w.take {
+				if !taken {
+					w.removed = true
+					w.ch <- t
+					taken = true
+				}
+				continue
+			}
+			w.removed = true
+			w.ch <- t
+		}
+		compactWaiters(&sh.waiters)
+	}
+	if xlocked {
+		n := compactWaiters(&s.xwait.list)
+		s.xwait.n.Store(int64(n))
+		s.xwait.mu.Unlock()
+	}
+	return taken
+}
+
+func compactWaiters(ws *[]*waiter) int {
+	live := (*ws)[:0]
+	for _, w := range *ws {
 		if !w.removed {
 			live = append(live, w)
 		}
 	}
-	s.waiters = live
+	for i := len(live); i < len(*ws); i++ {
+		(*ws)[i] = nil
+	}
+	*ws = live
+	return len(live)
 }
 
-// candidates returns, without copying tuples, the partitions a template
-// may match. A fully tagged template hits exactly one partition; a
-// template with a formal first string field must scan all partitions
-// with compatible type signatures.
-func (s *Space) candidatesLocked(tm Template) []string {
-	key, _ := signature(tm)
-	if _, ok := s.parts[key]; ok {
-		// The exact signature partition always matches structurally.
-		if first, isFormal := tm[0].(formal); !isFormal || first.t.Kind() != reflect.String {
-			return []string{key}
-		}
-	}
-	// Formal leading string (or no exact hit): scan every partition.
-	keys := make([]string, 0, len(s.parts))
-	for k := range s.parts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys) // deterministic scan order
-	return keys
-}
-
-func (s *Space) findLocked(tm Template, take bool) (Tuple, bool) {
-	if len(tm) == 0 {
+// findInShardLocked searches one shard for a match, removing the tuple
+// when take is set. Cross-shard templates consult only the partitions
+// whose key carries the template's arity-and-leading-string prefix,
+// through the shard's cached sorted key list.
+func (s *Space) findInShardLocked(sh *shard, ct *compiledTemplate, take bool) (Tuple, bool) {
+	if len(ct.fields) == 0 {
 		return nil, false
 	}
-	for _, key := range s.candidatesLocked(tm) {
-		list := s.parts[key]
-		for i, t := range list {
-			if tm.Matches(t) {
-				if take {
-					s.parts[key] = append(list[:i], list[i+1:]...)
-					if len(s.parts[key]) == 0 {
-						delete(s.parts, key)
-					}
-					s.tupleCnt--
-				}
-				return t, true
+	if !ct.cross {
+		p := sh.parts[string(ct.sig)] // no-alloc lookup
+		if p == nil {
+			return nil, false
+		}
+		t, ok := s.scanPartitionLocked(sh, p, ct, take)
+		if ok && take && len(p.tuples) == 0 {
+			delete(sh.parts, string(ct.sig))
+			sh.sorted = nil
+		}
+		return t, ok
+	}
+	keys := sh.sortedKeysLocked()
+	for _, k := range keys[sort.SearchStrings(keys, ct.prefix):] {
+		if !strings.HasPrefix(k, ct.prefix) {
+			break
+		}
+		p := sh.parts[k]
+		if t, ok := s.scanPartitionLocked(sh, p, ct, take); ok {
+			if take && len(p.tuples) == 0 {
+				delete(sh.parts, k)
+				sh.sorted = nil
 			}
+			return t, ok
 		}
 	}
 	return nil, false
 }
 
-// Inp is the non-blocking destructive match: if a matching tuple
-// exists it is removed and returned with true, else ok is false.
-func (s *Space) Inp(tmplFields ...any) (Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+func (s *Space) scanPartitionLocked(sh *shard, p *partition, ct *compiledTemplate, take bool) (Tuple, bool) {
+	for i, t := range p.tuples {
+		if !ct.match(t) {
+			continue
+		}
+		if take {
+			p.tuples = append(p.tuples[:i], p.tuples[i+1:]...)
+			sh.count--
+			s.tupleCnt.Add(-1)
+			if o := s.obs.Load(); o != nil {
+				o.tuples.Add(-1)
+				o.shardTuples[sh.idx].Add(-1)
+			}
+		}
+		return t, true
+	}
+	return nil, false
+}
+
+// poll is the non-blocking match: Inp (take) and Rdp.
+func (s *Space) poll(tm Template, take bool) (Tuple, bool) {
+	if s.closed.Load() {
 		return nil, false
 	}
-	s.stats.Inps++
-	t, ok := s.findLocked(Template(tmplFields), true)
+	var ct compiledTemplate // stack-compiled: poll never retains it
+	ct.compileFrom(tm)
+	op := "rdp"
+	if take {
+		s.stInps.Add(1)
+		op = "inp"
+	} else {
+		s.stRdps.Add(1)
+	}
+	var t Tuple
+	var ok bool
+	if ct.cross {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			t, ok = s.findInShardLocked(sh, &ct, take)
+			sh.mu.Unlock()
+			if ok {
+				break
+			}
+		}
+	} else {
+		sh := s.shardOf(ct.sig)
+		sh.mu.Lock()
+		t, ok = s.findInShardLocked(sh, &ct, take)
+		sh.mu.Unlock()
+	}
 	if o := s.obs.Load(); o != nil {
-		o.inps.Inc()
-		o.tuples.Set(int64(s.tupleCnt))
+		if take {
+			o.inps.Inc()
+		} else {
+			o.rdps.Inc()
+		}
 		if o.tracer != nil {
-			o.tracer.Record("tuple", "inp", 0, "matched", ok)
+			o.tracer.Record("tuple", op, 0, "matched", ok)
 		}
 	}
 	return t, ok
 }
 
+// Inp is the non-blocking destructive match: if a matching tuple
+// exists it is removed and returned with true, else ok is false.
+func (s *Space) Inp(tmplFields ...any) (Tuple, bool) {
+	return s.poll(Template(tmplFields), true)
+}
+
 // Rdp is the non-blocking non-destructive match.
 func (s *Space) Rdp(tmplFields ...any) (Tuple, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, false
-	}
-	s.stats.Rdps++
-	t, ok := s.findLocked(Template(tmplFields), false)
-	if o := s.obs.Load(); o != nil {
-		o.rdps.Inc()
-		if o.tracer != nil {
-			o.tracer.Record("tuple", "rdp", 0, "matched", ok)
-		}
-	}
-	return t, ok
+	return s.poll(Template(tmplFields), false)
 }
 
 // In blocks until a matching tuple exists, removes it, and returns it.
@@ -365,19 +801,18 @@ func (s *Space) Rd(tmplFields ...any) (Tuple, error) {
 }
 
 func (s *Space) wait(tm Template, take bool) (Tuple, error) {
-	op := "rd"
-	if take {
-		op = "in"
-	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	// Heap-compiled: a registered waiter retains it.
+	ct := &compiledTemplate{}
+	ct.compileFrom(tm)
+	op := "rd"
 	if take {
-		s.stats.Ins++
+		s.stIns.Add(1)
+		op = "in"
 	} else {
-		s.stats.Rds++
+		s.stRds.Add(1)
 	}
 	o := s.obs.Load()
 	if o != nil {
@@ -387,31 +822,88 @@ func (s *Space) wait(tm Template, take bool) (Tuple, error) {
 			o.rds.Inc()
 		}
 	}
-	if t, ok := s.findLocked(tm, take); ok {
-		if o != nil {
-			o.tuples.Set(int64(s.tupleCnt))
-			if o.tracer != nil {
+
+	if !ct.cross {
+		sh := s.shardOf(ct.sig)
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if t, ok := s.findInShardLocked(sh, ct, take); ok {
+			sh.mu.Unlock()
+			if o != nil && o.tracer != nil {
 				o.tracer.Record("tuple", op, 0, "blocked", false)
 			}
+			return t, nil
 		}
-		s.mu.Unlock()
-		return t, nil
+		w := &waiter{ct: ct, take: take, ch: make(chan Tuple, 1), seq: s.seq.Add(1)}
+		sh.waiters = append(sh.waiters, w)
+		sh.mu.Unlock()
+		return s.block(w, op, o)
 	}
-	s.stats.Blocked++
+
+	// Cross-shard template: register on the shared waiter list first so
+	// a concurrent Out on any shard can find us, then scan the shards
+	// for an already stored match, claiming our waiter slot before
+	// taking a tuple so at most one of {scan, Out} fulfills us.
+	s.xwait.mu.Lock()
+	if s.xwait.closed {
+		s.xwait.mu.Unlock()
+		return nil, ErrClosed
+	}
+	w := &waiter{ct: ct, take: take, ch: make(chan Tuple, 1), seq: s.seq.Add(1)}
+	s.xwait.list = append(s.xwait.list, w)
+	s.xwait.n.Add(1)
+	s.xwait.mu.Unlock()
+
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.closed {
+			sh.mu.Unlock()
+			break // closing: our channel is (being) closed
+		}
+		if _, ok := s.findInShardLocked(sh, ct, false); !ok {
+			sh.mu.Unlock()
+			continue
+		}
+		s.xwait.mu.Lock()
+		claimed := !w.removed && !s.xwait.closed
+		if claimed {
+			w.removed = true
+			s.xwait.n.Add(-1)
+		}
+		s.xwait.mu.Unlock()
+		if !claimed {
+			sh.mu.Unlock()
+			break // an Out delivered concurrently; consume the channel
+		}
+		// The shard lock was held across the probe, so the match is
+		// still present.
+		t, ok := s.findInShardLocked(sh, ct, take)
+		sh.mu.Unlock()
+		if ok {
+			if o != nil && o.tracer != nil {
+				o.tracer.Record("tuple", op, 0, "blocked", false)
+			}
+			return t, nil
+		}
+		break
+	}
+	return s.block(w, op, o)
+}
+
+// block parks the caller on its waiter channel until an Out delivers a
+// tuple or Close releases it.
+func (s *Space) block(w *waiter, op string, o *spaceObs) (Tuple, error) {
+	s.stBlocked.Add(1)
 	if o != nil {
 		o.blocked.Inc()
 	}
-	w := &waiter{tmpl: tm, take: take, ch: make(chan Tuple, 1), seq: s.nextSeq}
-	s.nextSeq++
-	s.waiters = append(s.waiters, w)
-	s.mu.Unlock()
-
 	blockedAt := time.Now()
 	t, ok := <-w.ch
 	waited := time.Since(blockedAt)
-	s.mu.Lock()
-	s.stats.BlockedNanos += int64(waited)
-	s.mu.Unlock()
+	s.stBlockedNanos.Add(int64(waited))
 	if o != nil {
 		o.wait.Observe(waited)
 		if o.tracer != nil {
@@ -427,51 +919,76 @@ func (s *Space) wait(tm Template, take bool) (Tuple, error) {
 // Close unblocks all waiting operations with ErrClosed and rejects all
 // subsequent operations. Stored tuples remain readable via Snapshot.
 func (s *Space) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Swap(true) {
 		return
 	}
-	s.closed = true
-	for _, w := range s.waiters {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.closed = true
+		ws := sh.waiters
+		sh.waiters = nil
+		sh.mu.Unlock()
+		for _, w := range ws {
+			if !w.removed {
+				close(w.ch)
+			}
+		}
+	}
+	s.xwait.mu.Lock()
+	s.xwait.closed = true
+	xs := s.xwait.list
+	s.xwait.list = nil
+	s.xwait.n.Store(0)
+	s.xwait.mu.Unlock()
+	for _, w := range xs {
 		if !w.removed {
 			close(w.ch)
 		}
 	}
-	s.waiters = nil
 }
 
 // Len reports the number of tuples currently stored.
-func (s *Space) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tupleCnt
-}
+func (s *Space) Len() int { return int(s.tupleCnt.Load()) }
 
 // Stats returns a copy of the operation counters.
 func (s *Space) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Outs:         s.stOuts.Load(),
+		Ins:          s.stIns.Load(),
+		Rds:          s.stRds.Load(),
+		Inps:         s.stInps.Load(),
+		Rdps:         s.stRdps.Load(),
+		Blocked:      s.stBlocked.Load(),
+		BlockedNanos: s.stBlockedNanos.Load(),
+	}
 }
 
 // Snapshot returns a deep-enough copy of all stored tuples in a
 // deterministic order, for use by the PLinda checkpointer. Field values
 // are shared, so callers must treat them as immutable (all miners in
-// this repository do).
+// this repository do). All shards are locked for the duration, so the
+// snapshot is a consistent cut.
 func (s *Space) Snapshot() []Tuple {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]string, 0, len(s.parts))
-	for k := range s.parts {
-		keys = append(keys, k)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	var keys []string
+	byKey := make(map[string][]Tuple)
+	for _, sh := range s.shards {
+		for k, p := range sh.parts {
+			keys = append(keys, k)
+			byKey[k] = p.tuples
+		}
 	}
 	sort.Strings(keys)
 	var out []Tuple
 	for _, k := range keys {
-		for _, t := range s.parts[k] {
+		for _, t := range byKey[k] {
 			out = append(out, append(Tuple(nil), t...))
 		}
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
 	}
 	return out
 }
@@ -479,14 +996,23 @@ func (s *Space) Snapshot() []Tuple {
 // Restore replaces the space contents with the given tuples, waking
 // any blocked operations that now match. Used for rollback recovery.
 func (s *Space) Restore(tuples []Tuple) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	s.parts = make(map[string][]Tuple)
-	s.tupleCnt = 0
-	s.mu.Unlock()
+	o := s.obs.Load()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		removed := sh.count
+		sh.parts = make(map[string]*partition)
+		sh.sorted = nil
+		sh.count = 0
+		s.tupleCnt.Add(-removed)
+		if o != nil && removed != 0 {
+			o.tuples.Add(-removed)
+			o.shardTuples[sh.idx].Add(-removed)
+		}
+		sh.mu.Unlock()
+	}
 	for _, t := range tuples {
 		if err := s.Out(t...); err != nil {
 			return err
