@@ -1,0 +1,91 @@
+// Lindalint statically checks the tuple-space protocol contracts of
+// this module: it loads packages through go/types and verifies that
+// every Out has a matching In, that formals stay out of stored
+// tuples, that blocking operations are not reachable under a lock,
+// and that tuple-op errors are handled. See README.md ("Static
+// analysis") for the check catalogue and the suppression syntax.
+//
+// Usage:
+//
+//	lindalint [-checks list] [packages]
+//
+// Packages are directory patterns relative to the current directory
+// ("./..." by default, recursing like the go tool). The exit status
+// is 0 when the tree is clean, 1 when findings are reported, and 2
+// when loading or type-checking fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"freepdm/internal/lint"
+)
+
+func main() {
+	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(lint.AllChecks, ",")+")")
+	flag.Parse()
+
+	var enabled map[string]bool
+	if *checksFlag != "" {
+		enabled = make(map[string]bool)
+		known := make(map[string]bool)
+		for _, c := range lint.AllChecks {
+			known[c] = true
+		}
+		for _, c := range strings.Split(*checksFlag, ",") {
+			c = strings.TrimSpace(c)
+			if !known[c] {
+				fmt.Fprintf(os.Stderr, "lindalint: unknown check %q (have %s)\n", c, strings.Join(lint.AllChecks, ", "))
+				os.Exit(2)
+			}
+			enabled[c] = true
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, dir := range dirs {
+		ps, err := loader.Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, ps...)
+	}
+
+	findings := lint.Run(pkgs, enabled)
+	for _, f := range findings {
+		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "lindalint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lindalint:", err)
+	os.Exit(2)
+}

@@ -7,11 +7,6 @@ import (
 	"freepdm/internal/tuplespace"
 )
 
-// Tuple tags used by the PLinda data mining programs.
-const (
-	poisonKey = "\x00poison"
-)
-
 // RunPLED executes a data mining application as a Persistent Linda
 // parallel E-dag traversal program (PLED): the master of figure 3.4
 // and workers of figure 3.5. The problem must implement Decoder so
@@ -33,19 +28,19 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if err := p.Xstart(); err != nil {
 				return err
 			}
-			tu, err := p.In("task", tuplespace.FormalString)
+			tu, err := p.In(TagTask, tuplespace.FormalString)
 			if err != nil {
 				return err
 			}
 			key := tu[1].(string)
-			if key == poisonKey {
+			if key == PoisonKey {
 				return p.Xcommit()
 			}
 			pat, err := dec.Decode(key)
 			if err != nil {
 				return err
 			}
-			if err := p.Out("result", key, timeGoodness(o, pr, pat)); err != nil {
+			if err := p.Out(TagResult, key, timeGoodness(o, pr, pat)); err != nil {
 				return err
 			}
 			if err := p.Xcommit(); err != nil {
@@ -77,7 +72,7 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if o != nil {
 				o.tasks.Inc()
 			}
-			return p.Out("task", pat.Key())
+			return p.Out(TagTask, pat.Key())
 		}
 		var consider func(pat Pattern) error
 		consider = func(pat Pattern) error {
@@ -126,7 +121,7 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if err := p.Xstart(); err != nil {
 				return err
 			}
-			tu, err := p.In("result", tuplespace.FormalString, tuplespace.FormalFloat)
+			tu, err := p.In(TagResult, tuplespace.FormalString, tuplespace.FormalFloat)
 			if err != nil {
 				return err
 			}
@@ -173,7 +168,7 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		}
 		poison := make([]tuplespace.Tuple, workers)
 		for i := range poison {
-			poison[i] = tuplespace.Tuple{"task", poisonKey}
+			poison[i] = tuplespace.Tuple{TagTask, PoisonKey}
 		}
 		if err := p.OutN(poison); err != nil {
 			return err
@@ -220,12 +215,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if err := p.Xstart(); err != nil {
 				return err
 			}
-			tu, err := p.In("task", tuplespace.FormalString)
+			tu, err := p.In(TagTask, tuplespace.FormalString)
 			if err != nil {
 				return err
 			}
 			key := tu[1].(string)
-			if key == poisonKey {
+			if key == PoisonKey {
 				return p.Xcommit()
 			}
 			pat, err := dec.Decode(key)
@@ -237,7 +232,7 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				if o != nil {
 					o.good.Inc()
 				}
-				if err := p.Out("good", key, score); err != nil {
+				if err := p.Out(TagGood, key, score); err != nil {
 					return err
 				}
 				children := pr.Children(pat)
@@ -248,19 +243,19 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				fanout := make([]tuplespace.Tuple, len(children))
 				for i, c := range children {
 					keys[i] = c.Key()
-					fanout[i] = tuplespace.Tuple{"task", c.Key()}
+					fanout[i] = tuplespace.Tuple{TagTask, c.Key()}
 				}
 				if err := p.OutN(fanout); err != nil {
 					return err
 				}
-				kind := "expanded"
+				kind := CtlExpanded
 				if len(children) == 0 {
-					kind = "pruned"
+					kind = CtlPruned
 				}
-				if err := p.Out("ctl", kind, key, keys); err != nil {
+				if err := p.Out(TagCtl, kind, key, keys); err != nil {
 					return err
 				}
-			} else if err := p.Out("ctl", "pruned", key, []string(nil)); err != nil {
+			} else if err := p.Out(TagCtl, CtlPruned, key, []string(nil)); err != nil {
 				return err
 			}
 			if err := p.Xcommit(); err != nil {
@@ -288,7 +283,7 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		seed := make([]tuplespace.Tuple, len(top))
 		for i, c := range top {
 			keys[i] = c.Key()
-			seed[i] = tuplespace.Tuple{"task", c.Key()}
+			seed[i] = tuplespace.Tuple{TagTask, c.Key()}
 		}
 		if err := p.OutN(seed); err != nil {
 			return err
@@ -304,12 +299,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			}
 			// Every task produces exactly one control tuple: an
 			// expansion listing its children, or a prune.
-			tu, err := p.In("ctl", tuplespace.FormalString, tuplespace.FormalString, tuplespace.FormalStrings)
+			tu, err := p.In(TagCtl, tuplespace.FormalString, tuplespace.FormalString, tuplespace.FormalStrings)
 			if err != nil {
 				return err
 			}
 			kind, key := tu[1].(string), tu[2].(string)
-			if kind == "expanded" {
+			if kind == CtlExpanded {
 				track.Expanded(key, tu[3].([]string))
 			} else {
 				track.Pruned(key)
@@ -324,7 +319,7 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		}
 		poison := make([]tuplespace.Tuple, workers)
 		for i := range poison {
-			poison[i] = tuplespace.Tuple{"task", poisonKey}
+			poison[i] = tuplespace.Tuple{TagTask, PoisonKey}
 		}
 		if err := p.OutN(poison); err != nil {
 			return err
@@ -334,7 +329,7 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		}
 		// Drain the good-pattern report tuples.
 		for {
-			tu, ok, err := p.Inp("good", tuplespace.FormalString, tuplespace.FormalFloat)
+			tu, ok, err := p.Inp(TagGood, tuplespace.FormalString, tuplespace.FormalFloat)
 			if err != nil {
 				return err
 			}

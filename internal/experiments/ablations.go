@@ -155,11 +155,13 @@ func init() {
 		// up to k tasks. Measure tuple-space operations per completed
 		// task for both.
 		const tasks = 200
-		runCfg := func(chunk int) (ops int64, redone int) {
+		runCfg := func(chunk int) (ops int64, err error) {
 			srv := plinda.NewServer()
 			defer srv.Close()
 			for i := 0; i < tasks; i++ {
-				srv.Space().Out("work", i)
+				if err := srv.Space().Out("work", i); err != nil {
+					return 0, err
+				}
 			}
 			srv.Spawn("w", func(p *plinda.Proc) error {
 				for {
@@ -188,13 +190,30 @@ func init() {
 					}
 				}
 			})
-			srv.WaitAll()
-			return int64(srv.Commits()), srv.Respawns()
+			if err := srv.WaitAll(); err != nil {
+				return 0, err
+			}
+			// Drain the result tuples: every task must have produced
+			// exactly one.
+			done := 0
+			for {
+				if _, ok := srv.Space().Inp("done", tuplespace.FormalInt); !ok {
+					break
+				}
+				done++
+			}
+			if done != tasks {
+				return 0, fmt.Errorf("a.txn: %d done tuples for %d tasks", done, tasks)
+			}
+			return int64(srv.Commits()), nil
 		}
 		tw := table(w, "Transaction commits per completed task (200 tasks); coarser transactions commit less but lose more work per failure")
 		fmt.Fprintln(tw, "Granularity\tCommits\tCommits/task")
 		for _, chunk := range []int{1, 10, 50} {
-			commits, _ := runCfg(chunk)
+			commits, err := runCfg(chunk)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(tw, "%d task/txn\t%d\t%.2f\n", chunk, commits, float64(commits)/tasks)
 		}
 		return tw.Flush()

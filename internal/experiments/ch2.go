@@ -90,7 +90,9 @@ func runPLindaCmp() (cmpOutcome, error) {
 	srv := plinda.NewServer()
 	defer srv.Close()
 	for i := 0; i < cmpTasks; i++ {
-		srv.Space().Out("work", i)
+		if err := srv.Space().Out("work", i); err != nil {
+			return cmpOutcome{}, err
+		}
 	}
 	worker := func(p *plinda.Proc) error {
 		for {

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Check names, in reporting order. Each is documented in README.md
+// ("Static analysis") and implemented in contract.go / checks.go.
+const (
+	CheckContract   = "tuple-contract" // producer/consumer signature cross-reference
+	CheckFormal     = "formal-misuse"  // formal template field passed to Out / stored in a Tuple
+	CheckCrossShard = "cross-shard"    // leading formal-string template: cross-shard slow path
+	CheckLock       = "lock-blocking"  // blocking In/Rd reachable while a sync lock is held
+	CheckErr        = "tuple-errcheck" // discarded tuple-op error result
+)
+
+// AllChecks lists every check name lindalint knows.
+var AllChecks = []string{CheckContract, CheckFormal, CheckCrossShard, CheckLock, CheckErr}
+
+// Finding is one diagnostic, anchored to a source position.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+// String renders the finding in the canonical
+// "file:line: [check-name] message" form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Run analyzes the packages and returns the surviving findings,
+// sorted by position. enabled selects the checks to run; nil enables
+// all of them. Findings suppressed by a "// lint:ignore check-name
+// reason" comment on the same or the preceding line are dropped, as
+// are tuple-errcheck findings on lines carrying a "//nolint:errcheck"
+// comment.
+func Run(pkgs []*Package, enabled map[string]bool) []Finding {
+	on := func(check string) bool { return enabled == nil || enabled[check] }
+	var all []Finding
+	for _, pkg := range pkgs {
+		a := newAnalysis(pkg)
+		if on(CheckContract) {
+			all = append(all, a.checkContract()...)
+		}
+		if on(CheckFormal) {
+			all = append(all, a.checkFormalMisuse()...)
+		}
+		if on(CheckCrossShard) {
+			all = append(all, a.checkCrossShard()...)
+		}
+		if on(CheckLock) {
+			all = append(all, a.checkLockBlocking()...)
+		}
+		if on(CheckErr) {
+			all = append(all, a.checkErrors()...)
+		}
+		all = a.suppress(all)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
+	})
+	return dedup(all)
+}
+
+func dedup(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// suppress drops the findings of this package's files that are
+// covered by an ignore directive, leaving findings of other packages
+// (already filtered) untouched.
+func (a *analysis) suppress(fs []Finding) []Finding {
+	out := fs[:0]
+	for _, f := range fs {
+		dirs := a.ignores[f.Pos.Filename]
+		if dirs == nil {
+			out = append(out, f)
+			continue
+		}
+		if dirs.covers(f.Pos.Line, f.Check) || dirs.covers(f.Pos.Line-1, f.Check) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// fileIgnores records the ignore directives of one file by line.
+type fileIgnores map[int][]string
+
+func (fi fileIgnores) covers(line int, check string) bool {
+	for _, name := range fi[line] {
+		if name == check || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores scans a file's comments for suppression directives:
+//
+//	// lint:ignore check-name reason
+//	// lint:ignore check-a,check-b reason
+//	//nolint:errcheck
+//
+// A lint:ignore directive requires a non-empty reason and suppresses
+// the named checks on its own line and the next. nolint:errcheck (the
+// pre-existing convention in this repository) suppresses
+// tuple-errcheck only.
+func collectIgnores(fset *token.FileSet, f *ast.File) fileIgnores {
+	fi := make(fileIgnores)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			line := fset.Position(c.Pos()).Line
+			trimmed := strings.TrimSpace(text)
+			if strings.HasPrefix(trimmed, "nolint:") && strings.Contains(trimmed, "errcheck") {
+				fi[line] = append(fi[line], CheckErr)
+			}
+			idx := strings.Index(text, "lint:ignore")
+			if idx < 0 {
+				continue
+			}
+			rest := strings.TrimSpace(text[idx+len("lint:ignore"):])
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				continue // a reason is required; an unexplained directive does not suppress
+			}
+			for _, name := range strings.Split(fields[0], ",") {
+				if name != "" {
+					fi[line] = append(fi[line], name)
+				}
+			}
+		}
+	}
+	return fi
+}

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// Import paths of the packages whose methods form the Linda surface.
+// The analyzer matches receivers by type identity (package path +
+// type name), so aliasing or embedding does not confuse it.
+const (
+	tuplespacePath = "freepdm/internal/tuplespace"
+	plindaPath     = "freepdm/internal/plinda"
+)
+
+// opInfo describes one tuple-space operation method.
+type opInfo struct {
+	blocking   bool // In/Rd: blocks until a match arrives
+	takes      bool // In/Inp: destructive
+	producer   bool // Out
+	consumer   bool // In/Inp/Rd/Rdp: takes a template
+	errLast    bool // last result is an error
+	errLastNet bool // last result is an error on Client/Proc only
+}
+
+var tupleOps = map[string]opInfo{
+	"Out":  {producer: true, errLast: true},
+	"OutN": {errLast: true},
+	"In":   {blocking: true, takes: true, consumer: true, errLast: true},
+	"Rd":   {blocking: true, consumer: true, errLast: true},
+	"Inp":  {takes: true, consumer: true, errLastNet: true},
+	"Rdp":  {consumer: true, errLastNet: true},
+}
+
+// opCall is one resolved tuple-op call site.
+type opCall struct {
+	call *ast.CallExpr
+	name string // method name
+	recv string // "Space", "Client", or "Proc"
+	info opInfo
+}
+
+// returnsErr reports whether this call's last result is an error.
+func (c *opCall) returnsErr() bool {
+	return c.info.errLast || (c.info.errLastNet && c.recv != "Space")
+}
+
+// analysis carries the per-package state shared by the checks.
+type analysis struct {
+	pkg     *Package
+	fset    *token.FileSet
+	ops     []*opCall
+	lits    []*ast.CompositeLit         // tuplespace.Tuple composite literals
+	formals map[types.Object]types.Type // objects holding formal values; nil type = unknown formal
+	ignores map[string]fileIgnores
+}
+
+// formalTypes maps the tuplespace.Formal* helper variables to the
+// field type each one matches.
+var formalTypes = map[string]types.Type{
+	"FormalInt":     types.Typ[types.Int],
+	"FormalInt64":   types.Typ[types.Int64],
+	"FormalFloat":   types.Typ[types.Float64],
+	"FormalString":  types.Typ[types.String],
+	"FormalBool":    types.Typ[types.Bool],
+	"FormalBytes":   types.NewSlice(types.Typ[types.Uint8]),
+	"FormalInts":    types.NewSlice(types.Typ[types.Int]),
+	"FormalFloats":  types.NewSlice(types.Typ[types.Float64]),
+	"FormalStrings": types.NewSlice(types.Typ[types.String]),
+}
+
+func newAnalysis(pkg *Package) *analysis {
+	a := &analysis{
+		pkg:     pkg,
+		fset:    pkg.Fset,
+		formals: make(map[types.Object]types.Type),
+		ignores: make(map[string]fileIgnores),
+	}
+	for _, f := range pkg.Files {
+		a.ignores[a.fset.Position(f.Pos()).Filename] = collectIgnores(a.fset, f)
+	}
+	a.collectFormalVars()
+	a.collect()
+	return a
+}
+
+// collectFormalVars records local and package-level variables whose
+// initializer is a formal expression, so aliases like
+// "formalCurve := tuplespace.Formal(classify.FoldCurve{})" resolve as
+// formals at use sites. One level of aliasing is enough for every
+// idiom in this repository.
+func (a *analysis) collectFormalVars() {
+	record := func(names []*ast.Ident, values []ast.Expr) {
+		if len(names) != len(values) {
+			return
+		}
+		for i, name := range names {
+			if t, ok := a.formalType(values[i]); ok {
+				if obj := a.pkg.Info.Defs[name]; obj != nil {
+					a.formals[obj] = t
+				}
+			}
+		}
+	}
+	for _, f := range a.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ValueSpec:
+				record(n.Names, n.Values)
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					idents := make([]*ast.Ident, 0, len(n.Lhs))
+					for _, lhs := range n.Lhs {
+						id, ok := lhs.(*ast.Ident)
+						if !ok {
+							return true
+						}
+						idents = append(idents, id)
+					}
+					record(idents, n.Rhs)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// formalType reports whether expr is a formal template field and, if
+// so, the field type it matches. A nil type means "formal of unknown
+// type" (e.g. Formal(x) where x is interface-typed), which unifies
+// with anything.
+func (a *analysis) formalType(expr ast.Expr) (types.Type, bool) {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.Ident:
+		if obj := a.pkg.Info.Uses[e]; obj != nil {
+			return a.formalObj(obj)
+		}
+	case *ast.SelectorExpr:
+		if obj := a.pkg.Info.Uses[e.Sel]; obj != nil {
+			return a.formalObj(obj)
+		}
+	case *ast.CallExpr:
+		if fn := calleeFunc(a.pkg.Info, e); fn != nil &&
+			fn.Name() == "Formal" && fn.Pkg() != nil && fn.Pkg().Path() == tuplespacePath {
+			if len(e.Args) == 1 {
+				return a.staticType(e.Args[0]), true
+			}
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+func (a *analysis) formalObj(obj types.Object) (types.Type, bool) {
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Pkg().Path() == tuplespacePath {
+		if t, ok := formalTypes[v.Name()]; ok {
+			return t, true
+		}
+	}
+	if t, ok := a.formals[obj]; ok {
+		return t, true
+	}
+	return nil, false
+}
+
+// staticType is the concrete field type an expression contributes to
+// a tuple, or nil when it cannot be known statically (interface-typed
+// expressions, untyped nil).
+func (a *analysis) staticType(expr ast.Expr) types.Type {
+	tv, ok := a.pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := types.Default(tv.Type)
+	if t == types.Typ[types.UntypedNil] || t == types.Typ[types.Invalid] {
+		return nil
+	}
+	if types.IsInterface(t) {
+		return nil
+	}
+	return t
+}
+
+// calleeFunc resolves the function or method object a call invokes.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// collect walks the package once, resolving tuple-op call sites and
+// tuplespace.Tuple composite literals.
+func (a *analysis) collect() {
+	for _, f := range a.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if op := a.tupleOpCall(n); op != nil {
+					a.ops = append(a.ops, op)
+				}
+			case *ast.CompositeLit:
+				if a.isTupleLit(n) {
+					a.lits = append(a.lits, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// tupleOpCall resolves a call to an Out/OutN/In/Inp/Rd/Rdp method on
+// tuplespace.Space, tuplespace.Client, or plinda.Proc.
+func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	info, ok := tupleOps[sel.Sel.Name]
+	if !ok {
+		return nil
+	}
+	fn, ok := a.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	named := namedOf(recv.Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		return nil
+	}
+	pkgPath, typeName := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch {
+	case pkgPath == tuplespacePath && (typeName == "Space" || typeName == "Client"):
+	case pkgPath == plindaPath && typeName == "Proc":
+	default:
+		return nil
+	}
+	return &opCall{call: call, name: sel.Sel.Name, recv: typeName, info: info}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isTupleLit reports whether the composite literal builds a
+// tuplespace.Tuple (directly, or as an implicitly typed element of a
+// []tuplespace.Tuple literal). Tuple literals are treated as
+// producers by the contract check: they exist to be passed to OutN
+// or Restore.
+func (a *analysis) isTupleLit(lit *ast.CompositeLit) bool {
+	tv, ok := a.pkg.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named := namedOf(tv.Type)
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == tuplespacePath && named.Obj().Name() == "Tuple"
+}
+
+// inTestFile reports whether pos falls in a _test.go file.
+func (a *analysis) inTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(a.fset.Position(pos).Filename, "_test.go")
+}
+
+// relPos renders a position referenced inside a message as
+// "file.go:line", with the directory stripped: cross-references stay
+// inside one package, so the base name is unambiguous and the output
+// is stable across checkouts.
+func (a *analysis) relPos(pos token.Pos) string {
+	p := a.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

@@ -1,0 +1,44 @@
+// Package clean is a correct master/worker program — the analyzer
+// must stay silent on it.
+package clean
+
+import (
+	"freepdm/internal/plinda"
+	"freepdm/internal/tuplespace"
+)
+
+func Master(s *tuplespace.Space, n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Out("task", i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Worker(p *plinda.Proc) error {
+	for {
+		tu, ok, err := p.Inp("task", tuplespace.FormalInt)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := p.Out("done", tu[1].(int)); err != nil {
+			return err
+		}
+	}
+}
+
+func Collect(s *tuplespace.Space, n int) (int, error) {
+	sum := 0
+	for i := 0; i < n; i++ {
+		tu, err := s.In("done", tuplespace.FormalInt)
+		if err != nil {
+			return 0, err
+		}
+		sum += tu[1].(int)
+	}
+	return sum, nil
+}

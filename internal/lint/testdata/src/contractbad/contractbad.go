@@ -1,0 +1,39 @@
+// Package contractbad holds deliberate contract violations for the
+// lindalint golden test: a tag typo, an arity drift, and a field-type
+// mismatch. testdata is invisible to the go tool, so this package is
+// only ever type-checked by the analyzer's own loader.
+package contractbad
+
+import "freepdm/internal/tuplespace"
+
+// CollectTypo spells the "result" tag wrong; the In can never match.
+func CollectTypo(s *tuplespace.Space) (int, error) {
+	tu, err := s.In("resutl", tuplespace.FormalInt)
+	if err != nil {
+		return 0, err
+	}
+	return tu[1].(int), nil
+}
+
+// ProduceResult is the counterpart the typo orphans.
+func ProduceResult(s *tuplespace.Space) error {
+	return s.Out("result", 7)
+}
+
+// ArityDrift grew the producer a field the consumer never learned of.
+func ArityDrift(s *tuplespace.Space) error {
+	if err := s.Out("job", 1, "payload"); err != nil {
+		return err
+	}
+	_, err := s.In("job", tuplespace.FormalInt)
+	return err
+}
+
+// TypeDrift sends an int where the consumer expects a string.
+func TypeDrift(s *tuplespace.Space) error {
+	if err := s.Out("val", 1); err != nil {
+		return err
+	}
+	_, err := s.In("val", tuplespace.FormalString)
+	return err
+}

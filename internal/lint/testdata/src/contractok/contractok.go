@@ -1,0 +1,48 @@
+// Package contractok exercises the shapes the contract check must
+// accept without a finding: matched pairs, dynamic tags, forwarding
+// calls, and Tuple literals with a matching consumer.
+package contractok
+
+import "freepdm/internal/tuplespace"
+
+func RoundTrip(s *tuplespace.Space) (int, error) {
+	if err := s.Out("task", 3); err != nil {
+		return 0, err
+	}
+	tu, err := s.In("task", tuplespace.FormalInt)
+	if err != nil {
+		return 0, err
+	}
+	return tu[1].(int), nil
+}
+
+// DynamicTag producers are never reported: the tag is unknowable
+// statically, so the call only participates as a potential match.
+func DynamicTag(s *tuplespace.Space, name string) error {
+	return s.Out(name+"-trial", 1)
+}
+
+// Forward spreads an existing tuple and contributes nothing.
+func Forward(s *tuplespace.Space, fields tuplespace.Tuple) error {
+	return s.Out(fields...)
+}
+
+// Batch builds Tuple literals — producers, they exist to be passed to
+// OutN — that Drain consumes.
+func Batch(s *tuplespace.Space, n int) error {
+	batch := make([]tuplespace.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		batch = append(batch, tuplespace.Tuple{"batch", i})
+	}
+	return s.OutN(batch)
+}
+
+func Drain(s *tuplespace.Space) int {
+	n := 0
+	for {
+		if _, ok := s.Inp("batch", tuplespace.FormalInt); !ok {
+			return n
+		}
+		n++
+	}
+}

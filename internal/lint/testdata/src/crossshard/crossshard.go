@@ -1,0 +1,23 @@
+// Package crossshard leads consumer templates with a formal string,
+// which matches every tagged partition and rides the sharded space's
+// cross-shard slow path.
+package crossshard
+
+import "freepdm/internal/tuplespace"
+
+// Drain sweeps every partition with an any-tag template.
+func Drain(s *tuplespace.Space) int {
+	n := 0
+	for {
+		if _, ok := s.Inp(tuplespace.FormalString, tuplespace.FormalInt); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// DrainQuietly acknowledges the cost, so the finding is suppressed.
+func DrainQuietly(s *tuplespace.Space) {
+	// lint:ignore cross-shard a full sweep of every partition is the point here
+	s.Inp(tuplespace.FormalString, tuplespace.FormalInt)
+}

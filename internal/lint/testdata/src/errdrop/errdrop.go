@@ -1,0 +1,19 @@
+// Package errdrop discards tuple-op errors every way the check knows
+// how to see: expression statement, go, defer, and a blank assign —
+// plus the two suppression spellings and the Space.Inp shape that has
+// no error result at all.
+package errdrop
+
+import "freepdm/internal/tuplespace"
+
+func Publish(c *tuplespace.Client, s *tuplespace.Space) {
+	c.Out("evt", 1)
+	_ = c.Out("evt", 2)
+	go c.Out("evt", 3)
+	defer c.Out("evt", 4)
+	c.Out("evt", 5) //nolint:errcheck
+	// lint:ignore tuple-errcheck shutdown path: the space is already closed
+	s.Out("evt", 6)
+	// Space.Inp returns (Tuple, bool) — no error to discard.
+	s.Inp("evt", tuplespace.FormalInt)
+}

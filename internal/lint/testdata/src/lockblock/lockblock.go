@@ -1,0 +1,50 @@
+// Package lockblock parks blocking tuple ops while sync locks are
+// held — the deadlock shape the lock-blocking check exists to catch —
+// next to the clean unlock-first variant.
+package lockblock
+
+import (
+	"sync"
+
+	"freepdm/internal/tuplespace"
+)
+
+type Cache struct {
+	mu   sync.Mutex
+	last int
+}
+
+// WaitLocked blocks in In while holding the cache lock.
+func (c *Cache) WaitLocked(s *tuplespace.Space) error {
+	c.mu.Lock()
+	tu, err := s.In("update", tuplespace.FormalInt)
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.last = tu[1].(int)
+	c.mu.Unlock()
+	return nil
+}
+
+// WaitDeferred is the defer variant: the lock is held until return.
+func (c *Cache) WaitDeferred(s *tuplespace.Space) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := s.Rd("update", tuplespace.FormalInt)
+	return err
+}
+
+// WaitUnlocked releases the lock before blocking: clean.
+func (c *Cache) WaitUnlocked(s *tuplespace.Space) error {
+	c.mu.Lock()
+	c.last = 0
+	c.mu.Unlock()
+	_, err := s.In("update", tuplespace.FormalInt)
+	return err
+}
+
+// Publish keeps the "update" contract satisfied.
+func Publish(s *tuplespace.Space) error {
+	return s.Out("update", 1)
+}

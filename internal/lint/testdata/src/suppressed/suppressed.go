@@ -1,0 +1,28 @@
+// Package suppressed exercises the ignore directives: a reasoned
+// lint:ignore suppresses, a reasonless one does not, and the
+// repository's pre-existing nolint:errcheck convention maps to
+// tuple-errcheck.
+package suppressed
+
+import "freepdm/internal/tuplespace"
+
+// WaitExternal's counterpart lives in another program; the directive
+// names the check and gives a reason, so the finding is dropped.
+func WaitExternal(s *tuplespace.Space) error {
+	// lint:ignore tuple-contract produced by the coordinator process, a separate package
+	_, err := s.In("external", tuplespace.FormalInt)
+	return err
+}
+
+// WaitUnexplained carries a directive with no reason: it does not
+// suppress, and the finding survives into the golden file.
+func WaitUnexplained(s *tuplespace.Space) error {
+	// lint:ignore tuple-contract
+	_, err := s.In("unexplained", tuplespace.FormalInt)
+	return err
+}
+
+// Fire discards the Out error under the errcheck convention.
+func Fire(c *tuplespace.Client) {
+	c.Out("external", 1) //nolint:errcheck
+}

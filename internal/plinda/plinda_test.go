@@ -259,6 +259,7 @@ func TestFailureRecovery(t *testing.T) {
 				case holdingTxn <- p.Name():
 				default:
 				}
+				// lint:ignore tuple-contract deliberately unmatched so the op blocks until the kill
 				if _, err := p.In("never-matches", tuplespace.FormalInt); err != nil {
 					return err // ErrKilled: the txn holding item 5 aborts
 				}
@@ -372,6 +373,7 @@ func TestSuspendResume(t *testing.T) {
 	steps := make(chan int, 10)
 	srv.Spawn("pausable", func(p *Proc) error {
 		for i := 0; i < 3; i++ {
+			// lint:ignore tuple-contract progress is observed through the steps channel, not the space
 			if err := p.Out("step", i); err != nil {
 				return err
 			}

@@ -154,6 +154,7 @@ func BenchmarkTuplespaceTCPPipelined(b *testing.B) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
+				// lint:ignore tuple-contract write-only benchmark: the tuples are never read back
 				if err := c.Out("pipe", w, i); err != nil {
 					b.Error(err)
 					return

@@ -130,6 +130,7 @@ func TestShardedTakerFIFOAcrossCrossAndExact(t *testing.T) {
 	s := NewSharded(16)
 	woke := make(chan string, 2)
 	go func() {
+		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
 		if _, err := s.In(FormalString, FormalInt); err == nil {
 			woke <- "cross"
 		}
@@ -165,6 +166,7 @@ func TestCrossShardBlockedWaiterWokenByAnyTag(t *testing.T) {
 	s := NewSharded(16)
 	got := make(chan Tuple, 1)
 	go func() {
+		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
 		tu, err := s.In(FormalString, FormalInt)
 		if err == nil {
 			got <- tu
@@ -199,6 +201,7 @@ func TestCrossShardClaimsPreexistingTuples(t *testing.T) {
 	for i := 0; i < n; i++ {
 		done := make(chan Tuple, 1)
 		go func() {
+			// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
 			tu, err := s.In(FormalString, FormalInt)
 			if err == nil {
 				done <- tu
@@ -222,6 +225,7 @@ func TestCrossShardClaimsPreexistingTuples(t *testing.T) {
 func TestCrossShardRdLeavesTuple(t *testing.T) {
 	s := NewSharded(16)
 	s.Out("only", 9)
+	// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
 	tu, err := s.Rd(FormalString, FormalInt)
 	if err != nil || tu[1].(int) != 9 {
 		t.Fatalf("Rd got %v err=%v", tu, err)
@@ -243,6 +247,7 @@ func TestCloseReleasesWaitersOnEveryShard(t *testing.T) {
 		}()
 	}
 	go func() { // plus one cross-shard waiter
+		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
 		_, err := s.Rd(FormalString, FormalFloat)
 		errs <- err
 	}()

@@ -63,10 +63,12 @@ func TestTypeMismatchDoesNotMatch(t *testing.T) {
 
 func TestArityMismatch(t *testing.T) {
 	s := New()
+	// lint:ignore tuple-contract arity mismatches are the point of this test
 	s.Out("a", 1, 2)
 	if _, ok := s.Inp("a", FormalInt); ok {
 		t.Fatal("shorter template must not match")
 	}
+	// lint:ignore tuple-contract arity mismatches are the point of this test
 	if _, ok := s.Inp("a", FormalInt, FormalInt, FormalInt); ok {
 		t.Fatal("longer template must not match")
 	}
@@ -222,6 +224,7 @@ func TestFormalStringFirstFieldScans(t *testing.T) {
 	s.Out("beta", 2)
 	seen := map[string]bool{}
 	for i := 0; i < 2; i++ {
+		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
 		tu, ok := s.Inp(FormalString, FormalInt)
 		if !ok {
 			t.Fatalf("scan %d failed", i)
