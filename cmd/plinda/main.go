@@ -18,20 +18,34 @@
 // With -debug-addr the same counters, the trace ring, and net/http/pprof
 // are served over HTTP at /debug/metrics, /debug/trace and /debug/pprof/.
 //
-// The demo keeps running (and finishing, and producing correct
-// results) no matter how often its workers are killed.
+// With -wal <dir> the tuple space is write-ahead logged: committed
+// tuple operations survive a server crash, and a restart with the same
+// -wal directory replays them before accepting work. With -addr the
+// space is additionally served over TCP so remote workstations can
+// join (and leave, and be killed) freely:
+//
+//	plinda -wal /tmp/demo.wal -addr :7117     # durable server + demo
+//	plinda -worker host:7117                  # remote worker; kill -9 at will
+//
+// A remote worker holds a session lease; when it is killed mid
+// transaction the server aborts the transaction and its task tuples
+// reappear for the remaining workers. The demo keeps running (and
+// finishing, and producing correct results) no matter how often its
+// workers are killed.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"freepdm/internal/core"
+	"freepdm/internal/durable"
 	"freepdm/internal/mining/motif"
 	"freepdm/internal/obs"
 	"freepdm/internal/plinda"
@@ -39,13 +53,59 @@ import (
 	"freepdm/internal/tuplespace"
 )
 
+// demoProblem builds the motif-discovery demo deterministically, so a
+// remote worker process constructs exactly the same problem (and
+// decodes the same pattern keys) as the server.
+func demoProblem() *motif.Problem {
+	corpus := seq.CyclinsSpec(42).Generate()
+	return motif.NewProblem(corpus, motif.Params{
+		MinOccur: 5, MaxMut: 0, MinLength: 12, MaxLength: 24,
+	})
+}
+
 func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060)")
 	shards := flag.Int("shards", 0, "tuple-space shard count (rounded up to a power of two; 0 = derive from GOMAXPROCS)")
+	walDir := flag.String("wal", "", "write-ahead log directory: committed tuple ops survive a crash and replay on restart")
+	addr := flag.String("addr", "", "serve the tuple space over TCP on this address so remote workers can join (e.g. :7117)")
+	workers := flag.Int("workers", 3, "local demo worker count")
+	workerAddr := flag.String("worker", "", "run as a remote worker against the server at this address (no local server)")
 	flag.Parse()
 
+	if *workerAddr != "" {
+		os.Exit(runRemoteWorker(*workerAddr))
+	}
+
 	space := tuplespace.NewSharded(*shards)
-	srv := plinda.NewServerOn(space)
+	var store tuplespace.TxnStore = space
+	var backend tuplespace.ServerBackend = space
+	if *walDir != "" {
+		ds, err := durable.Open(*walDir, space, durable.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plinda: wal: %v\n", err)
+			os.Exit(1)
+		}
+		if n := ds.Replayed(); n > 0 {
+			fmt.Printf("plinda: replayed %d WAL records from %s\n", n, *walDir)
+		}
+		store = ds
+		backend = ds
+		// A completed earlier run leaves its broadcast poison pills in
+		// the durable space; drain them so they cannot kill this run's
+		// workers at birth.
+		drained := 0
+		for {
+			_, ok, err := ds.Inp(core.TagTask, core.PoisonKey)
+			if err != nil || !ok {
+				break
+			}
+			drained++
+		}
+		if drained > 0 {
+			fmt.Printf("plinda: drained %d stale poison tuples\n", drained)
+		}
+	}
+	srv := plinda.NewServerOnStore(store)
 	defer srv.Close()
 
 	reg := obs.NewRegistry()
@@ -61,19 +121,38 @@ func main() {
 		defer ds.Close()
 		fmt.Printf("plinda: debug endpoints at http://%s/debug/{metrics,trace,pprof}\n", ds.Addr())
 	}
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plinda: listen: %v\n", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		go tuplespace.Serve(ln, backend) //nolint:errcheck — ends when ln closes
+		fmt.Printf("plinda: serving tuple space on %s (plinda -worker %s to join)\n", ln.Addr(), ln.Addr())
+	}
 
-	fmt.Printf("plinda: starting server (%d tuple-space shards) and the motif-discovery demo (3 workers)\n", space.Shards())
-	corpus := seq.CyclinsSpec(42).Generate()
-	pr := motif.NewProblem(corpus, motif.Params{
-		MinOccur: 5, MaxMut: 0, MinLength: 12, MaxLength: 24,
-	})
+	fmt.Printf("plinda: starting server (%d tuple-space shards) and the motif-discovery demo (%d workers)\n", space.Shards(), *workers)
+	pr := demoProblem()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		res, err := core.RunPLET(srv, pr, 3)
+		res, err := core.RunPLET(srv, pr, *workers)
 		if err != nil {
 			fmt.Printf("plinda: demo failed: %v\n", err)
 			return
+		}
+		if *addr != "" {
+			// Extra poison so remote workers (beyond the local count the
+			// master poisoned) terminate too.
+			extra := make([]tuplespace.Tuple, 16)
+			for i := range extra {
+				// lint:ignore tuple-contract consumed by the PLET workers in internal/core
+				extra[i] = tuplespace.Tuple{core.TagTask, core.PoisonKey}
+			}
+			if err := store.OutN(extra); err != nil {
+				fmt.Printf("plinda: remote poison: %v\n", err)
+			}
 		}
 		fmt.Printf("\nplinda: demo finished — %d active motifs:\n", len(pr.ActiveMotifs(res)))
 		for _, r := range pr.ActiveMotifs(res) {
@@ -148,8 +227,13 @@ func main() {
 			f.Close()
 			fmt.Println("tuple space rolled back")
 		case "stats":
+			tuples, err := srv.Space().Len()
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
 			fmt.Printf("commits=%d aborts=%d kills=%d recoveries=%d tuples=%d\n",
-				srv.Commits(), srv.Aborts(), srv.Kills(), srv.Respawns(), srv.Space().Len())
+				srv.Commits(), srv.Aborts(), srv.Kills(), srv.Respawns(), tuples)
 			printSnapshot(reg.Snapshot())
 		case "trace":
 			n := 20
@@ -178,6 +262,43 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+}
+
+// runRemoteWorker joins the demo as a remote workstation: it dials the
+// server with a heartbeat lease and runs the PLET worker body under a
+// standalone proc. If the process is killed (or the connection drops),
+// the server's lease machinery aborts its open transaction so the
+// task reappears; if the server restarts, the worker redials. Returns
+// a process exit code.
+func runRemoteWorker(addr string) int {
+	pr := demoProblem()
+	name := fmt.Sprintf("remote-%d", os.Getpid())
+	fmt.Printf("plinda worker %s: joining %s\n", name, addr)
+	worker := core.PLETWorker(pr)
+	var lastErr error
+	for attempt := 0; attempt <= plinda.MaxRespawns; attempt++ {
+		cl, err := tuplespace.DialOpts(addr, tuplespace.DialOptions{
+			DialTimeout: 2 * time.Second,
+			Lease:       3 * time.Second,
+			Name:        name,
+		})
+		if err != nil {
+			lastErr = err
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		err = worker(plinda.Standalone(cl))
+		cl.Close()
+		if err == nil {
+			fmt.Printf("plinda worker %s: done\n", name)
+			return 0
+		}
+		lastErr = err
+		fmt.Fprintf(os.Stderr, "plinda worker %s: incarnation failed: %v (retrying)\n", name, err)
+		time.Sleep(200 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "plinda worker %s: giving up: %v\n", name, lastErr)
+	return 1
 }
 
 // printSnapshot renders a registry snapshot as sorted name=value lines,

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"freepdm/internal/durable"
+	"freepdm/internal/obs"
+	"freepdm/internal/plinda"
+	"freepdm/internal/tuplespace"
+)
+
+// slowProblem delays every goodness evaluation so a run lasts long
+// enough for the fault-injection choreography to land mid-flight.
+type slowProblem struct {
+	*toyProblem
+	delay time.Duration
+}
+
+func (p *slowProblem) Goodness(pat Pattern) float64 {
+	time.Sleep(p.delay)
+	return p.toyProblem.Goodness(pat)
+}
+
+// TestPLEDFaultInjectionRemoteWALRestart is the full fault story end
+// to end: a PLED run over TCP where every process (master and
+// workers) is a remote session against a WAL-backed server, a worker
+// is killed mid-transaction (SIGKILL semantics: its session drops and
+// the server's lease machinery restores its task tuple), and then the
+// server itself is crashed and restarted from the WAL. The run must
+// still produce results identical to SolveSequential.
+func TestPLEDFaultInjectionRemoteWALRestart(t *testing.T) {
+	base := newToyProblem(6, 120, 0.15, 77)
+	seqRes, _ := SolveSequential(base)
+	p := &slowProblem{toyProblem: base, delay: 3 * time.Millisecond}
+
+	dir := t.TempDir()
+	ds, err := durable.Open(dir, nil, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go tuplespace.Serve(ln, ds) //nolint:errcheck
+
+	dial := func() (tuplespace.TxnStore, error) {
+		c, err := tuplespace.DialOpts(addr, tuplespace.DialOptions{
+			DialTimeout: time.Second,
+			OpTimeout:   2 * time.Second,
+			Lease:       2 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	srv := plinda.NewServerRemote(dial)
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	srv.Observe(reg, nil)
+
+	type outcome struct {
+		res []Result
+		err error
+	}
+	doneCh := make(chan outcome, 1)
+	go func() {
+		res, err := RunPLED(srv, p, 3)
+		doneCh <- outcome{res, err}
+	}()
+
+	commits := func() int64 { return reg.Snapshot().Counters["plinda.commits"] }
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			select {
+			case o := <-doneCh:
+				t.Fatalf("run finished while waiting for %s: res=%d err=%v", what, len(o.res), o.err)
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}
+
+	// Phase 1: kill a worker once real transactions are flowing. The
+	// kill closes its session abruptly mid-transaction; the server
+	// must restore its tentatively taken task for the other workers.
+	waitFor("first commits", func() bool { return commits() >= 2 })
+	if err := srv.Kill("pled-worker-0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: crash the server while the master is parked between
+	// transactions (suspension gates sit outside any wire round trip,
+	// so the crash cannot lose a commit acknowledgment), then restart
+	// it from the WAL.
+	waitFor("more progress", func() bool { return commits() >= 6 })
+	if err := srv.Suspend("pled-master"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("master suspension", func() bool {
+		for _, pi := range srv.Processes() {
+			if pi.Name == "pled-master" && pi.Status == plinda.Suspended {
+				return true
+			}
+		}
+		return false
+	})
+
+	ln.Close()
+	if err := ds.Close(); err != nil {
+		t.Fatalf("server crash (close): %v", err)
+	}
+
+	ds2, err := durable.Open(dir, nil, durable.Options{})
+	if err != nil {
+		t.Fatalf("restart from WAL: %v", err)
+	}
+	defer ds2.Close()
+	if ds2.Replayed() == 0 {
+		t.Fatal("restart replayed no WAL records")
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer ln2.Close()
+	go tuplespace.Serve(ln2, ds2) //nolint:errcheck
+
+	if err := srv.Resume("pled-master"); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case o := <-doneCh:
+		if o.err != nil {
+			t.Fatalf("PLED run failed: %v", o.err)
+		}
+		sameResults(t, seqRes, o.res, "sequential", "PLED-with-faults")
+	case <-time.After(60 * time.Second):
+		var procs []string
+		for _, pi := range srv.Processes() {
+			procs = append(procs, fmt.Sprintf("%s=%s/%d", pi.Name, pi.Status, pi.Incarnation))
+		}
+		t.Fatalf("PLED run did not finish after server restart; procs: %v", procs)
+	}
+
+	if srv.Kills() != 1 {
+		t.Fatalf("kills = %d, want 1", srv.Kills())
+	}
+	if srv.Respawns() == 0 {
+		t.Fatal("no respawns recorded: the injected faults were not exercised")
+	}
+}
+
+// TestPLETRemoteWorkerKill runs PLET with every process remote and a
+// worker killed mid-run; the lease abort must restore the worker's
+// task so the traversal still matches the sequential solver.
+func TestPLETRemoteWorkerKill(t *testing.T) {
+	base := newToyProblem(6, 120, 0.15, 91)
+	seqRes, _ := SolveSequential(base)
+	p := &slowProblem{toyProblem: base, delay: 2 * time.Millisecond}
+
+	space := tuplespace.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go tuplespace.ServeTCP(ln, space) //nolint:errcheck
+	defer space.Close()
+
+	dial := func() (tuplespace.TxnStore, error) {
+		c, err := tuplespace.DialOpts(ln.Addr().String(), tuplespace.DialOptions{
+			DialTimeout: time.Second,
+			OpTimeout:   2 * time.Second,
+			Lease:       2 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	srv := plinda.NewServerRemote(dial)
+	defer srv.Close()
+	reg := obs.NewRegistry()
+	srv.Observe(reg, nil)
+
+	type outcome struct {
+		res []Result
+		err error
+	}
+	doneCh := make(chan outcome, 1)
+	go func() {
+		res, err := RunPLET(srv, p, 3)
+		doneCh <- outcome{res, err}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for reg.Snapshot().Counters["plinda.commits"] < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for commits")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := srv.Kill("plet-worker-1"); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case o := <-doneCh:
+		if o.err != nil {
+			t.Fatalf("PLET run failed: %v", o.err)
+		}
+		sameResults(t, seqRes, o.res, "sequential", "PLET-remote-with-kill")
+	case <-time.After(60 * time.Second):
+		t.Fatal("PLET run did not finish")
+	}
+}

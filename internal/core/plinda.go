@@ -1,29 +1,26 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 
 	"freepdm/internal/plinda"
 	"freepdm/internal/tuplespace"
 )
 
-// RunPLED executes a data mining application as a Persistent Linda
-// parallel E-dag traversal program (PLED): the master of figure 3.4
-// and workers of figure 3.5. The problem must implement Decoder so
-// pattern keys can cross the tuple space. The returned results equal
-// SolveSequential's (theorem 2). Work tuples are ("task", key); result
-// tuples are ("result", key, score).
-func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
-	dec, ok := pr.(Decoder)
-	if !ok {
-		return nil, fmt.Errorf("core: problem %T does not implement Decoder", pr)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	o := coreObserver.Load()
-	worker := func(p *plinda.Proc) error {
+// PLEDWorker returns the PLED worker body (figure 3.5): repeatedly
+// take a task tuple inside a transaction, evaluate the pattern's
+// goodness, and commit the result tuple. The body is exported so a
+// remote workstation can run it standalone against a dialed session
+// (cmd/plinda -worker); the problem must implement Decoder.
+func PLEDWorker(pr Problem) plinda.ProcFunc {
+	return func(p *plinda.Proc) error {
+		dec, ok := pr.(Decoder)
+		if !ok {
+			return fmt.Errorf("core: problem %T does not implement Decoder", pr)
+		}
+		o := coreObserver.Load()
 		for {
 			if err := p.Xstart(); err != nil {
 				return err
@@ -48,169 +45,20 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			}
 		}
 	}
-
-	var results []Result
-	master := func(p *plinda.Proc) error {
-		good := map[string]bool{pr.Root().Key(): true}
-		bad := map[string]bool{}
-		// Children whose subpattern goodness is not yet known, indexed
-		// by the subpattern keys they wait on.
-		type deferred struct {
-			pat     Pattern
-			waiting map[string]bool
-		}
-		pendingBy := map[string][]*deferred{}
-		queued := map[string]bool{}
-		sent, done := 0, 0
-
-		send := func(pat Pattern) error {
-			if queued[pat.Key()] {
-				return nil
-			}
-			queued[pat.Key()] = true
-			sent++
-			if o != nil {
-				o.tasks.Inc()
-			}
-			return p.Out(TagTask, pat.Key())
-		}
-		var consider func(pat Pattern) error
-		consider = func(pat Pattern) error {
-			if queued[pat.Key()] {
-				return nil
-			}
-			waiting := map[string]bool{}
-			for _, s := range pr.Subpatterns(pat) {
-				k := s.Key()
-				if bad[k] {
-					return nil // some subpattern is not good: prune
-				}
-				if !good[k] {
-					waiting[k] = true
-				}
-			}
-			if len(waiting) == 0 {
-				return send(pat)
-			}
-			d := &deferred{pat: pat, waiting: waiting}
-			for k := range waiting {
-				pendingBy[k] = append(pendingBy[k], d)
-			}
-			return nil
-		}
-		childPattern := func(pat Pattern) error {
-			for _, c := range pr.Children(pat) {
-				if err := consider(c); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-
-		if err := p.Xstart(); err != nil {
-			return err
-		}
-		if err := childPattern(pr.Root()); err != nil {
-			return err
-		}
-		if err := p.Xcommit(); err != nil {
-			return err
-		}
-
-		for done < sent {
-			if err := p.Xstart(); err != nil {
-				return err
-			}
-			tu, err := p.In(TagResult, tuplespace.FormalString, tuplespace.FormalFloat)
-			if err != nil {
-				return err
-			}
-			key, score := tu[1].(string), tu[2].(float64)
-			done++
-			if o != nil {
-				o.results.Inc()
-			}
-			pat, err := dec.Decode(key)
-			if err != nil {
-				return err
-			}
-			if pr.Good(pat, score) {
-				good[key] = true
-				if o != nil {
-					o.good.Inc()
-				}
-				results = append(results, Result{pat, score})
-				if err := childPattern(pat); err != nil {
-					return err
-				}
-				// Release deferred children that were waiting on this key.
-				for _, d := range pendingBy[key] {
-					delete(d.waiting, key)
-					if len(d.waiting) == 0 {
-						if err := send(d.pat); err != nil {
-							return err
-						}
-					}
-				}
-				delete(pendingBy, key)
-			} else {
-				bad[key] = true
-				// Deferred children waiting on a bad subpattern are dead.
-				delete(pendingBy, key)
-			}
-			if err := p.Xcommit(); err != nil {
-				return err
-			}
-		}
-		// Poison tasks terminate the workers.
-		if err := p.Xstart(); err != nil {
-			return err
-		}
-		poison := make([]tuplespace.Tuple, workers)
-		for i := range poison {
-			poison[i] = tuplespace.Tuple{TagTask, PoisonKey}
-		}
-		if err := p.OutN(poison); err != nil {
-			return err
-		}
-		if o != nil && o.tracer != nil {
-			o.tracer.Record("master", "poison", 0, "program", "pled", "workers", workers, "tasks", sent, "results", done)
-		}
-		return p.Xcommit()
-	}
-
-	for i := 0; i < workers; i++ {
-		if err := srv.Spawn(fmt.Sprintf("pled-worker-%d", i), worker); err != nil {
-			return nil, err
-		}
-	}
-	if err := srv.Spawn("pled-master", master); err != nil {
-		return nil, err
-	}
-	if err := srv.WaitAll(); err != nil {
-		return nil, err
-	}
-	SortResults(results)
-	return results, nil
 }
 
-// RunPLET executes a data mining application as a Persistent Linda
-// parallel E-tree traversal program (PLET): workers expand good nodes
-// in place (figure 3.10, load-balanced variant of figure 4.7) and the
-// master of figure 3.9 performs termination detection by pruned-
-// subtree propagation. Good patterns are reported through
-// ("good", key, score) tuples the master drains at the end.
-func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
-	dec, ok := pr.(Decoder)
-	if !ok {
-		return nil, fmt.Errorf("core: problem %T does not implement Decoder", pr)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-
-	o := coreObserver.Load()
-	worker := func(p *plinda.Proc) error {
+// PLETWorker returns the PLET worker body (figure 3.10): take a task,
+// evaluate it, and — when good — expand its children in place,
+// reporting the expansion (or prune) through a control tuple the
+// master uses for termination detection. Exported for the same
+// remote-worker deployment as PLEDWorker.
+func PLETWorker(pr Problem) plinda.ProcFunc {
+	return func(p *plinda.Proc) error {
+		dec, ok := pr.(Decoder)
+		if !ok {
+			return fmt.Errorf("core: problem %T does not implement Decoder", pr)
+		}
+		o := coreObserver.Load()
 		for {
 			if err := p.Xstart(); err != nil {
 				return err
@@ -263,9 +111,317 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			}
 		}
 	}
+}
 
+// pledEvent is one committed master step: a result tuple taken from
+// the space. Everything else the master knows (which patterns are
+// good, which tasks were sent) is a deterministic function of the
+// event sequence, so the sequence IS the master's continuation.
+type pledEvent struct {
+	Key   string
+	Score float64
+}
+
+// pledCont is the PLED master's continuation tuple payload.
+type pledCont struct {
+	Events   []pledEvent
+	Poisoned bool
+}
+
+func encodePLEDCont(c *pledCont) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodePLEDCont(t tuplespace.Tuple, c *pledCont) error {
+	if len(t) != 1 {
+		return fmt.Errorf("core: malformed master continuation (%d fields)", len(t))
+	}
+	blob, ok := t[0].([]byte)
+	if !ok {
+		return fmt.Errorf("core: malformed master continuation field %T", t[0])
+	}
+	return gob.NewDecoder(bytes.NewReader(blob)).Decode(c)
+}
+
+// pledMaster is the E-dag scheduling state of figure 3.4, factored so
+// it can be rebuilt by replaying the committed event sequence after a
+// master failure. seed and apply return the newly queued task keys;
+// the live master outs them inside the same transaction that takes
+// the result and commits the extended event log, while a replaying
+// master discards them (the tasks are already in the space, or their
+// results already consumed).
+type pledMaster struct {
+	pr  Problem
+	dec Decoder
+
+	good, bad map[string]bool
+	queued    map[string]bool
+	// Children whose subpattern goodness is not yet known, indexed
+	// by the subpattern keys they wait on.
+	pendingBy  map[string][]*pledDeferred
+	sent, done int
+	results    []Result
+}
+
+type pledDeferred struct {
+	pat     Pattern
+	waiting map[string]bool
+}
+
+func newPLEDMaster(pr Problem, dec Decoder) *pledMaster {
+	return &pledMaster{
+		pr:        pr,
+		dec:       dec,
+		good:      map[string]bool{pr.Root().Key(): true},
+		bad:       map[string]bool{},
+		queued:    map[string]bool{},
+		pendingBy: map[string][]*pledDeferred{},
+	}
+}
+
+// send marks a pattern queued and returns its key for dispatch.
+func (m *pledMaster) send(pat Pattern, newKeys []string) []string {
+	if m.queued[pat.Key()] {
+		return newKeys
+	}
+	m.queued[pat.Key()] = true
+	m.sent++
+	return append(newKeys, pat.Key())
+}
+
+// consider queues a pattern whose subpatterns are all known good,
+// defers it when some are still unknown, and drops it when any is bad
+// (the apriori prune of theorem 2).
+func (m *pledMaster) consider(pat Pattern, newKeys []string) []string {
+	if m.queued[pat.Key()] {
+		return newKeys
+	}
+	waiting := map[string]bool{}
+	for _, s := range m.pr.Subpatterns(pat) {
+		k := s.Key()
+		if m.bad[k] {
+			return newKeys // some subpattern is not good: prune
+		}
+		if !m.good[k] {
+			waiting[k] = true
+		}
+	}
+	if len(waiting) == 0 {
+		return m.send(pat, newKeys)
+	}
+	d := &pledDeferred{pat: pat, waiting: waiting}
+	for k := range waiting {
+		m.pendingBy[k] = append(m.pendingBy[k], d)
+	}
+	return newKeys
+}
+
+func (m *pledMaster) childPatterns(pat Pattern, newKeys []string) []string {
+	for _, c := range m.pr.Children(pat) {
+		newKeys = m.consider(c, newKeys)
+	}
+	return newKeys
+}
+
+// seed queues the root's children; the first committed transaction.
+func (m *pledMaster) seed() []string {
+	return m.childPatterns(m.pr.Root(), nil)
+}
+
+// apply advances the scheduling state by one result event and returns
+// the task keys it newly queued.
+func (m *pledMaster) apply(ev pledEvent) ([]string, error) {
+	m.done++
+	pat, err := m.dec.Decode(ev.Key)
+	if err != nil {
+		return nil, err
+	}
+	var newKeys []string
+	if m.pr.Good(pat, ev.Score) {
+		m.good[ev.Key] = true
+		m.results = append(m.results, Result{pat, ev.Score})
+		newKeys = m.childPatterns(pat, newKeys)
+		// Release deferred children that were waiting on this key.
+		for _, d := range m.pendingBy[ev.Key] {
+			delete(d.waiting, ev.Key)
+			if len(d.waiting) == 0 {
+				newKeys = m.send(d.pat, newKeys)
+			}
+		}
+		delete(m.pendingBy, ev.Key)
+	} else {
+		m.bad[ev.Key] = true
+		// Deferred children waiting on a bad subpattern are dead.
+		delete(m.pendingBy, ev.Key)
+	}
+	return newKeys, nil
+}
+
+func taskTuples(keys []string) []tuplespace.Tuple {
+	ts := make([]tuplespace.Tuple, len(keys))
+	for i, k := range keys {
+		ts[i] = tuplespace.Tuple{TagTask, k}
+	}
+	return ts
+}
+
+// RunPLED executes a data mining application as a Persistent Linda
+// parallel E-dag traversal program (PLED): the master of figure 3.4
+// and workers of figure 3.5. The problem must implement Decoder so
+// pattern keys can cross the tuple space. The returned results equal
+// SolveSequential's (theorem 2). Work tuples are ("task", key); result
+// tuples are ("result", key, score).
+//
+// The master is restart-safe: each transaction commits the result
+// take, the child-task outs, and a continuation carrying the full
+// event log atomically, so a killed master incarnation replays the
+// log and resumes exactly where the last commit left off — no task is
+// re-sent and no result double-counted.
+func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
+	dec, ok := pr.(Decoder)
+	if !ok {
+		return nil, fmt.Errorf("core: problem %T does not implement Decoder", pr)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	o := coreObserver.Load()
 	var results []Result
 	master := func(p *plinda.Proc) error {
+		m := newPLEDMaster(pr, dec)
+		var cont pledCont
+		if t, ok := p.Xrecover(); ok {
+			// Silent replay: rebuild the scheduling state without
+			// re-outing tasks or double-counting metrics.
+			if err := decodePLEDCont(t, &cont); err != nil {
+				return err
+			}
+			m.seed()
+			for _, ev := range cont.Events {
+				if _, err := m.apply(ev); err != nil {
+					return err
+				}
+			}
+		} else {
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			newKeys := m.seed()
+			if err := p.OutN(taskTuples(newKeys)); err != nil {
+				return err
+			}
+			if o != nil {
+				o.tasks.Add(int64(len(newKeys)))
+			}
+			blob, err := encodePLEDCont(&cont)
+			if err != nil {
+				return err
+			}
+			if err := p.Xcommit(blob); err != nil {
+				return err
+			}
+		}
+
+		for m.done < m.sent {
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			tu, err := p.In(TagResult, tuplespace.FormalString, tuplespace.FormalFloat)
+			if err != nil {
+				return err
+			}
+			ev := pledEvent{Key: tu[1].(string), Score: tu[2].(float64)}
+			newKeys, err := m.apply(ev)
+			if err != nil {
+				return err
+			}
+			if err := p.OutN(taskTuples(newKeys)); err != nil {
+				return err
+			}
+			if o != nil {
+				o.results.Inc()
+				o.tasks.Add(int64(len(newKeys)))
+				if m.good[ev.Key] {
+					o.good.Inc()
+				}
+			}
+			cont.Events = append(cont.Events, ev)
+			blob, err := encodePLEDCont(&cont)
+			if err != nil {
+				return err
+			}
+			if err := p.Xcommit(blob); err != nil {
+				return err
+			}
+		}
+		if !cont.Poisoned {
+			// Poison tasks terminate the workers.
+			if err := p.Xstart(); err != nil {
+				return err
+			}
+			poison := make([]tuplespace.Tuple, workers)
+			for i := range poison {
+				poison[i] = tuplespace.Tuple{TagTask, PoisonKey}
+			}
+			if err := p.OutN(poison); err != nil {
+				return err
+			}
+			if o != nil && o.tracer != nil {
+				o.tracer.Record("master", "poison", 0, "program", "pled", "workers", workers, "tasks", m.sent, "results", m.done)
+			}
+			cont.Poisoned = true
+			blob, err := encodePLEDCont(&cont)
+			if err != nil {
+				return err
+			}
+			if err := p.Xcommit(blob); err != nil {
+				return err
+			}
+		}
+		results = m.results
+		return nil
+	}
+
+	worker := PLEDWorker(pr)
+	for i := 0; i < workers; i++ {
+		if err := srv.Spawn(fmt.Sprintf("pled-worker-%d", i), worker); err != nil {
+			return nil, err
+		}
+	}
+	if err := srv.Spawn("pled-master", master); err != nil {
+		return nil, err
+	}
+	if err := srv.WaitAll(); err != nil {
+		return nil, err
+	}
+	SortResults(results)
+	return results, nil
+}
+
+// RunPLET executes a data mining application as a Persistent Linda
+// parallel E-tree traversal program (PLET): workers expand good nodes
+// in place (figure 3.10, load-balanced variant of figure 4.7) and the
+// master of figure 3.9 performs termination detection by pruned-
+// subtree propagation. Good patterns are reported through
+// ("good", key, score) tuples the master drains at the end.
+func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
+	dec, ok := pr.(Decoder)
+	if !ok {
+		return nil, fmt.Errorf("core: problem %T does not implement Decoder", pr)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	o := coreObserver.Load()
+	var results []Result
+	master := func(p *plinda.Proc) error {
+		results = nil // a re-spawned master rebuilds the result list
 		rootKey := pr.Root().Key()
 		track := NewPrunedTracker(rootKey)
 		top := pr.Children(pr.Root())
@@ -351,6 +507,7 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		return p.Xcommit()
 	}
 
+	worker := PLETWorker(pr)
 	for i := 0; i < workers; i++ {
 		if err := srv.Spawn(fmt.Sprintf("plet-worker-%d", i), worker); err != nil {
 			return nil, err

@@ -1,0 +1,647 @@
+// Package durable adds crash recovery to a tuple space: a write-ahead
+// log of committed operations with periodic snapshot compaction, the
+// checkpoint-protected space of Li's chapter 5 rebuilt on package
+// tuplespace's Snapshot/Restore.
+//
+// Every committed mutation — an Out, a committed (non-transactional)
+// take, or a transaction commit (its takes and outs as one record) —
+// is appended to an append-only gob log before it is applied, so after
+// a crash Open replays the log over the latest snapshot and recovers
+// exactly the committed state. Tentative takes of open transactions
+// are deliberately NOT logged: a crash aborts them by omission, and
+// the taken tuples are simply present again in the recovered space —
+// the recovery half of the transaction contract.
+//
+// Files are generation-numbered: snap-<g>.gob is a snapshot, and
+// wal-<g>.log holds the records since that snapshot. Compaction writes
+// snap-<g+1> (tmp + rename, so a crash mid-compaction is harmless),
+// starts an empty wal-<g+1>, and deletes generation g. A torn final
+// record — a crash mid-append — is detected and truncated on replay.
+//
+// Durability level: each record is flushed to the OS before the
+// operation is applied, so the state survives process crashes (the
+// kill -9 scenario the fault-injection tests exercise); fsync happens
+// on compaction and Close, not per record, so the very last records
+// may be lost to a machine crash. Replay is idempotent at the
+// semantic level: commit records remove their takes by exact match,
+// which is a no-op when the tuple is already absent.
+package durable
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"freepdm/internal/obs"
+	"freepdm/internal/tuplespace"
+)
+
+// DefaultCompactEvery is the number of WAL records after which the log
+// is automatically compacted into a snapshot.
+const DefaultCompactEvery = 1024
+
+// Options configures a durable space.
+type Options struct {
+	// CompactEvery is the record count that triggers automatic
+	// compaction. Zero selects DefaultCompactEvery; a negative value
+	// disables automatic compaction (Compact can still be called).
+	CompactEvery int
+}
+
+// record is one WAL entry: the takes and outs of a committed
+// operation, applied atomically on replay (takes first, then outs).
+type record struct {
+	Takes []tuplespace.Tuple
+	Outs  []tuplespace.Tuple
+}
+
+// Space is a write-ahead-logged tuple space. It implements
+// tuplespace.TxnStore (and the wire server's backend interface), so
+// PLinda programs and remote clients run against it unchanged.
+//
+// A single mutex serializes WAL appends with their physical
+// application and with compaction, so the log order is the apply
+// order and a snapshot is always consistent with its log position.
+type Space struct {
+	dir string
+
+	mu           sync.Mutex
+	s            *tuplespace.Space
+	gen          uint64
+	f            *os.File
+	bw           *bufio.Writer
+	recs         int
+	compactEvery int
+	txns         map[*txn]struct{}
+	closed       bool
+
+	replayed int // records replayed by Open, for tests and doctors
+
+	appends     *obs.Counter
+	walBytes    *obs.Counter
+	compactions *obs.Counter
+}
+
+func snapPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%d.gob", gen))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+// Open recovers (or creates) a durable space in dir, replaying the
+// newest snapshot and WAL generation into s. A nil s creates a fresh
+// space. Stale generations and leftover temporary files are removed.
+func Open(dir string, s *tuplespace.Space, opts Options) (*Space, error) {
+	if s == nil {
+		s = tuplespace.New()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d := &Space{
+		dir:          dir,
+		s:            s,
+		compactEvery: opts.CompactEvery,
+		txns:         make(map[*txn]struct{}),
+	}
+	if d.compactEvery == 0 {
+		d.compactEvery = DefaultCompactEvery
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps, wals []uint64
+	for _, e := range entries {
+		var g uint64
+		switch {
+		case matchGen(e.Name(), "snap-%d.gob", &g):
+			snaps = append(snaps, g)
+		case matchGen(e.Name(), "wal-%d.log", &g):
+			wals = append(wals, g)
+		case filepath.Ext(e.Name()) == ".tmp":
+			os.Remove(filepath.Join(dir, e.Name())) //nolint:errcheck — torn compaction leftover
+		}
+	}
+	for _, g := range snaps {
+		if g > d.gen {
+			d.gen = g
+		}
+	}
+	for _, g := range wals {
+		// A WAL can be one generation ahead of its snapshot only if a
+		// crash hit between compaction steps; the snapshot rename is
+		// the commit point, so an orphan newer WAL never exists. A WAL
+		// equal to the max snapshot generation is the live one.
+		if g > d.gen {
+			d.gen = g
+		}
+	}
+
+	if err := d.recover(); err != nil {
+		return nil, err
+	}
+
+	// Drop stale generations now that recovery committed to d.gen.
+	for _, g := range snaps {
+		if g != d.gen {
+			os.Remove(snapPath(dir, g)) //nolint:errcheck
+		}
+	}
+	for _, g := range wals {
+		if g != d.gen {
+			os.Remove(walPath(dir, g)) //nolint:errcheck
+		}
+	}
+	return d, nil
+}
+
+func matchGen(name, format string, g *uint64) bool {
+	n, err := fmt.Sscanf(name, format, g)
+	return err == nil && n == 1
+}
+
+// recover loads snapshot d.gen (if present), replays its WAL —
+// truncating a torn tail record — and leaves the WAL open for append.
+func (d *Space) recover() error {
+	if data, err := os.ReadFile(snapPath(d.dir, d.gen)); err == nil {
+		var tuples []tuplespace.Tuple
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&tuples); err != nil {
+			return fmt.Errorf("durable: snapshot %d corrupt: %w", d.gen, err)
+		}
+		if err := d.s.Restore(tuples); err != nil {
+			return err
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	wp := walPath(d.dir, d.gen)
+	data, err := os.ReadFile(wp)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	good := 0 // offset of the last intact record boundary
+	for off := 0; off < len(data); {
+		rec, n := readRecord(data[off:])
+		if n == 0 {
+			break // torn tail: everything past `good` is discarded
+		}
+		if err := d.apply(rec); err != nil {
+			return err
+		}
+		off += n
+		good = off
+		d.recs++
+		d.replayed++
+	}
+
+	f, err := os.OpenFile(wp, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	d.f = f
+	d.bw = bufio.NewWriter(f)
+	return nil
+}
+
+// readRecord decodes one length-prefixed record from the head of data,
+// returning the bytes consumed; 0 means the data ends in a torn or
+// undecodable record.
+func readRecord(data []byte) (record, int) {
+	size, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < size {
+		return record{}, 0
+	}
+	var rec record
+	if err := gob.NewDecoder(bytes.NewReader(data[n : n+int(size)])).Decode(&rec); err != nil {
+		return record{}, 0
+	}
+	return rec, n + int(size)
+}
+
+// apply replays one record against the space: exact-match removal of
+// each take (a no-op if absent — idempotence), then the outs.
+func (d *Space) apply(rec record) error {
+	for _, t := range rec.Takes {
+		if _, _, err := d.s.Inp(t...); err != nil {
+			return err
+		}
+	}
+	for _, t := range rec.Outs {
+		if err := d.s.Out(t...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// append writes one record to the WAL and flushes it to the OS. Caller
+// holds d.mu. Triggers compaction when the record budget is spent.
+func (d *Space) append(rec record) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(body.Len()))
+	if _, err := d.bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := d.bw.Write(body.Bytes()); err != nil {
+		return err
+	}
+	if err := d.bw.Flush(); err != nil {
+		return err
+	}
+	d.recs++
+	d.appends.Inc()
+	d.walBytes.Add(int64(n + body.Len()))
+	if d.compactEvery > 0 && d.recs >= d.compactEvery {
+		return d.compactLocked()
+	}
+	return nil
+}
+
+// Compact forces a snapshot + fresh WAL generation.
+func (d *Space) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return tuplespace.ErrClosed
+	}
+	return d.compactLocked()
+}
+
+// compactLocked snapshots the logical state — the stored tuples plus
+// the tentative takes of open transactions, which are committed to
+// nothing yet and therefore still logically present — and rolls the
+// log to the next generation. Caller holds d.mu.
+func (d *Space) compactLocked() error {
+	tuples := d.s.Snapshot()
+	for tx := range d.txns {
+		tuples = append(tuples, tx.takes...)
+	}
+	next := d.gen + 1
+
+	tmp := snapPath(d.dir, next) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(tuples); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snapPath(d.dir, next)); err != nil {
+		return err
+	}
+
+	nf, err := os.Create(walPath(d.dir, next))
+	if err != nil {
+		return err
+	}
+	d.f.Close()                       //nolint:errcheck — already flushed; the snapshot supersedes it
+	os.Remove(walPath(d.dir, d.gen))  //nolint:errcheck
+	os.Remove(snapPath(d.dir, d.gen)) //nolint:errcheck
+	d.f = nf
+	d.bw = bufio.NewWriter(nf)
+	d.recs = 0
+	d.gen = next
+	d.compactions.Inc()
+	return nil
+}
+
+// Out logs then applies; see the package comment for the crash
+// semantics of the log-before-apply order.
+func (d *Space) Out(fields ...any) error {
+	t := append(tuplespace.Tuple(nil), fields...)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return tuplespace.ErrClosed
+	}
+	if err := d.append(record{Outs: []tuplespace.Tuple{t}}); err != nil {
+		return err
+	}
+	return d.s.Out(fields...)
+}
+
+// OutN logs the batch as one record and applies it.
+func (d *Space) OutN(tuples []tuplespace.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return tuplespace.ErrClosed
+	}
+	if err := d.append(record{Outs: tuples}); err != nil {
+		return err
+	}
+	return d.s.OutN(tuples)
+}
+
+// In is a committed (non-transactional) take: the removal is logged
+// the instant it happens. The loop takes under the WAL lock but waits
+// outside it: a non-destructive RdCtx parks until a candidate appears,
+// then the take is retried — so a tuple can never be removed without
+// its log record, and a lost race simply re-parks.
+func (d *Space) In(tmplFields ...any) (Tuple, error) {
+	return d.InCtx(context.Background(), tmplFields...)
+}
+
+// InCtx is In with cancellation.
+func (d *Space) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	for {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return nil, tuplespace.ErrClosed
+		}
+		t, ok, err := d.s.Inp(tmplFields...)
+		if err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
+		if ok {
+			if aerr := d.append(record{Takes: []tuplespace.Tuple{t}}); aerr != nil {
+				d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
+				d.mu.Unlock()
+				return nil, aerr
+			}
+			d.mu.Unlock()
+			return t, nil
+		}
+		d.mu.Unlock()
+		if _, err := d.s.RdCtx(ctx, tmplFields...); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Inp is the non-blocking committed take.
+func (d *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, false, tuplespace.ErrClosed
+	}
+	t, ok, err := d.s.Inp(tmplFields...)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := d.append(record{Takes: []tuplespace.Tuple{t}}); err != nil {
+		d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+// Rd, RdCtx, Rdp and Len are non-destructive and delegate directly.
+func (d *Space) Rd(tmplFields ...any) (Tuple, error) { return d.s.Rd(tmplFields...) }
+
+func (d *Space) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return d.s.RdCtx(ctx, tmplFields...)
+}
+
+func (d *Space) Rdp(tmplFields ...any) (Tuple, bool, error) { return d.s.Rdp(tmplFields...) }
+
+func (d *Space) Len() (int, error) { return d.s.Len() }
+
+// Close flushes and syncs the WAL, then closes the underlying space,
+// releasing every blocked operation with ErrClosed. Open transactions
+// are implicitly aborted by omission: their takes were never logged,
+// so recovery restores the tuples.
+func (d *Space) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	err := d.bw.Flush()
+	if serr := d.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	d.mu.Unlock()
+	d.s.Close() //nolint:errcheck — always nil
+	return err
+}
+
+// Underlying exposes the in-memory space, for checkpointing and
+// observation. Mutating it directly bypasses the WAL; read-only use
+// (Snapshot, Stats) is safe.
+func (d *Space) Underlying() *tuplespace.Space { return d.s }
+
+// Snapshot returns the logical state: stored tuples plus the tentative
+// takes of open transactions (logically still present — a checkpoint
+// taken now and restored later must treat unfinished transactions as
+// aborted).
+func (d *Space) Snapshot() []tuplespace.Tuple {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tuples := d.s.Snapshot()
+	for tx := range d.txns {
+		tuples = append(tuples, tx.takes...)
+	}
+	return tuples
+}
+
+// Restore replaces the space contents and immediately compacts, so the
+// restored state is the new durable baseline.
+func (d *Space) Restore(tuples []tuplespace.Tuple) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return tuplespace.ErrClosed
+	}
+	if err := d.s.Restore(tuples); err != nil {
+		return err
+	}
+	return d.compactLocked()
+}
+
+// Replayed reports how many WAL records Open replayed, for recovery
+// tests and operational sanity checks.
+func (d *Space) Replayed() int { return d.replayed }
+
+// Generation reports the current snapshot/WAL generation.
+func (d *Space) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// Observe attaches instruments to the underlying space and registers
+// the WAL's own counters: "wal.appends", "wal.bytes",
+// "wal.compactions".
+func (d *Space) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	d.s.Observe(reg, tracer)
+	d.mu.Lock()
+	d.appends = reg.Counter("wal.appends")
+	d.walBytes = reg.Counter("wal.bytes")
+	d.compactions = reg.Counter("wal.compactions")
+	d.mu.Unlock()
+}
+
+// Registry exposes the attached registry for the wire server.
+func (d *Space) Registry() *obs.Registry { return d.s.Registry() }
+
+// Tracer exposes the attached tracer for the wire server.
+func (d *Space) Tracer() *obs.Tracer { return d.s.Tracer() }
+
+// Tuple aliases tuplespace.Tuple for signature compatibility.
+type Tuple = tuplespace.Tuple
+
+// Begin opens a transaction whose takes stay tentative — physically
+// removed, recorded nowhere — until Commit logs takes and outs as one
+// atomic record. A crash or Abort before Commit leaves no trace in the
+// log, so recovery restores the takes by construction.
+func (d *Space) Begin() (tuplespace.Txn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, tuplespace.ErrClosed
+	}
+	tx := &txn{d: d}
+	d.txns[tx] = struct{}{}
+	return tx, nil
+}
+
+// txn is a transaction on a durable space. Its fields are guarded by
+// d.mu, which also serializes it against compaction (tentative takes
+// are folded into snapshots) and against the session-expiry abort the
+// wire server may issue from another goroutine.
+type txn struct {
+	d     *Space
+	takes []tuplespace.Tuple
+	done  bool
+}
+
+func (tx *txn) In(tmplFields ...any) (Tuple, error) {
+	return tx.InCtx(context.Background(), tmplFields...)
+}
+
+func (tx *txn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	d := tx.d
+	for {
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			return nil, tuplespace.ErrClosed
+		}
+		if tx.done {
+			d.mu.Unlock()
+			return nil, errFinished
+		}
+		t, ok, err := d.s.Inp(tmplFields...)
+		if err != nil {
+			d.mu.Unlock()
+			return nil, err
+		}
+		if ok {
+			tx.takes = append(tx.takes, t)
+			d.mu.Unlock()
+			return t, nil
+		}
+		d.mu.Unlock()
+		if _, err := d.s.RdCtx(ctx, tmplFields...); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (tx *txn) Inp(tmplFields ...any) (Tuple, bool, error) {
+	d := tx.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, false, tuplespace.ErrClosed
+	}
+	if tx.done {
+		return nil, false, errFinished
+	}
+	t, ok, err := d.s.Inp(tmplFields...)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	tx.takes = append(tx.takes, t)
+	return t, true, nil
+}
+
+func (tx *txn) Commit(outs []tuplespace.Tuple) error {
+	d := tx.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return tuplespace.ErrClosed
+	}
+	if tx.done {
+		return errFinished
+	}
+	tx.done = true
+	delete(d.txns, tx)
+	if err := d.append(record{Takes: tx.takes, Outs: outs}); err != nil {
+		return err
+	}
+	tx.takes = nil
+	return d.s.OutN(outs)
+}
+
+func (tx *txn) Abort() error {
+	d := tx.d
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if tx.done {
+		return nil
+	}
+	tx.done = true
+	delete(d.txns, tx)
+	takes := tx.takes
+	tx.takes = nil
+	if d.closed {
+		// The WAL never saw these takes; recovery restores them.
+		return nil
+	}
+	// Physical restore only — the log still holds the records that
+	// produced these tuples, and no take record, so replay agrees.
+	return d.s.OutN(takes)
+}
+
+var errFinished = tuplespace.ErrTxnFinished
+
+// Interface conformance, checked at compile time.
+var (
+	_ tuplespace.TxnStore = (*Space)(nil)
+	_ tuplespace.Txn      = (*txn)(nil)
+)

@@ -1,0 +1,306 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"freepdm/internal/obs"
+	"freepdm/internal/tuplespace"
+)
+
+// tupleSet renders a snapshot as a sorted multiset for comparison.
+func tupleSet(tuples []tuplespace.Tuple) []string {
+	out := make([]string, len(tuples))
+	for i, t := range tuples {
+		out[i] = fmt.Sprint([]any(t))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameTuples(t *testing.T, want, got []tuplespace.Tuple, label string) {
+	t.Helper()
+	w, g := tupleSet(want), tupleSet(got)
+	if len(w) != len(g) {
+		t.Fatalf("%s: %d tuples, want %d\nwant %v\ngot  %v", label, len(g), len(w), w, g)
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("%s: tuple %d = %s, want %s", label, i, g[i], w[i])
+		}
+	}
+}
+
+func TestDurableCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Out("item", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := d.Inp("item", 3); err != nil || !ok {
+		t.Fatalf("Inp: ok=%v err=%v", ok, err)
+	}
+	want := d.Snapshot()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Replayed() == 0 {
+		t.Fatal("no WAL records replayed")
+	}
+	sameTuples(t, want, d2.Snapshot(), "after recovery")
+	if _, ok, err := d2.Inp("item", 3); err != nil || ok {
+		t.Fatalf("taken tuple resurrected: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := d2.Inp("item", 4); err != nil || !ok {
+		t.Fatalf("surviving tuple lost: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestDurableTruncatedTail tears the last WAL record (a crash mid
+// write) and verifies recovery replays the intact prefix, truncates
+// the tail, and keeps accepting appends.
+func TestDurableTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Out("rec", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := d.Generation()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wp := filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+	fi, err := os.Stat(wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wp, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatalf("recovery with torn tail: %v", err)
+	}
+	if d2.Replayed() != 4 {
+		t.Fatalf("replayed %d records, want 4 (torn fifth discarded)", d2.Replayed())
+	}
+	if _, ok, _ := d2.Rdp("rec", 4); ok {
+		t.Fatal("torn record's tuple survived")
+	}
+	if _, ok, _ := d2.Rdp("rec", 3); !ok {
+		t.Fatal("intact record's tuple lost")
+	}
+	// The log must keep working from the truncation point.
+	if err := d2.Out("rec", 99); err != nil {
+		t.Fatal(err)
+	}
+	want := d2.Snapshot()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	sameTuples(t, want, d3.Snapshot(), "append after truncation")
+}
+
+// TestDurableReplayIdempotence recovers the same directory twice and
+// verifies both recoveries produce identical state (replay applies
+// each committed op exactly once, regardless of how often it runs).
+func TestDurableReplayIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := d.Out("x", i, float64(i)*0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok, err := d.Inp("x", i, tuplespace.FormalFloat); err != nil || !ok {
+			t.Fatalf("Inp %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := d2.Snapshot()
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	sameTuples(t, first, d3.Snapshot(), "second recovery")
+}
+
+// TestDurableSnapshotPlusWAL forces compactions mid-stream so recovery
+// must combine a snapshot generation with its live WAL, and verifies
+// the result equals the pre-crash Snapshot().
+func TestDurableSnapshotPlusWAL(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, Options{CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ { // 2 compactions at 4 and 8, then 3 live records
+		if err := d.Out("n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := d.Inp("n", 9); err != nil || !ok {
+		t.Fatalf("Inp: ok=%v err=%v", ok, err)
+	}
+	if d.Generation() == 0 {
+		t.Fatal("no compaction happened; CompactEvery not honored")
+	}
+	want := d.Snapshot()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, nil, Options{CompactEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	sameTuples(t, want, d2.Snapshot(), "snapshot+WAL recovery")
+}
+
+// TestDurableTxnSemantics proves the recovery invariants of durable
+// transactions: commits are logged atomically, aborts restore without
+// logging, and tentative takes of an unfinished transaction are NOT
+// logged — after a crash the taken task tuples reappear.
+func TestDurableTxnSemantics(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.Out("task", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Committed transaction: take task 0, publish a result.
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tx.Inp("task", 0); err != nil || !ok {
+		t.Fatalf("txn Inp: ok=%v err=%v", ok, err)
+	}
+	if err := tx.Commit([]tuplespace.Tuple{{"result", 0}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aborted transaction: the take must be restored.
+	tx2, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tx2.Inp("task", 1); err != nil || !ok {
+		t.Fatalf("txn2 Inp: ok=%v err=%v", ok, err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Rdp("task", 1); !ok {
+		t.Fatal("aborted take not restored")
+	}
+
+	// Unfinished transaction: tentative take crosses the crash.
+	tx3, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tx3.Inp("task", 2); err != nil || !ok {
+		t.Fatalf("txn3 Inp: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := d.Rdp("task", 2); ok {
+		t.Fatal("tentative take still visible")
+	}
+	if err := d.Close(); err != nil { // crash with tx3 open
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, ok, _ := d2.Rdp("task", 2); !ok {
+		t.Fatal("tentatively taken task tuple did not reappear after crash")
+	}
+	if _, ok, _ := d2.Rdp("task", 0); ok {
+		t.Fatal("committed take resurrected")
+	}
+	if _, ok, _ := d2.Rdp("result", 0); !ok {
+		t.Fatal("committed out lost")
+	}
+	if _, ok, _ := d2.Rdp("task", 1); !ok {
+		t.Fatal("abort-restored tuple lost")
+	}
+}
+
+func TestDurableObserve(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, Options{CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	reg := obs.NewRegistry()
+	d.Observe(reg, nil)
+	for i := 0; i < 5; i++ {
+		if err := d.Out("m", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, err := d.Inp("m", tuplespace.FormalInt); err != nil || !ok {
+		t.Fatalf("Inp: ok=%v err=%v", ok, err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["wal.appends"] == 0 {
+		t.Fatal("wal.appends not counted")
+	}
+	if snap.Counters["wal.bytes"] == 0 {
+		t.Fatal("wal.bytes not counted")
+	}
+	if snap.Counters["wal.compactions"] == 0 {
+		t.Fatal("wal.compactions not counted")
+	}
+}

@@ -197,7 +197,8 @@ func init() {
 			// exactly one.
 			done := 0
 			for {
-				if _, ok := srv.Space().Inp("done", tuplespace.FormalInt); !ok {
+				_, ok, err := srv.Space().Inp("done", tuplespace.FormalInt)
+				if err != nil || !ok {
 					break
 				}
 				done++

@@ -129,7 +129,7 @@ func runPLindaCmp() (cmpOutcome, error) {
 	// Completed when every result tuple exists.
 	done := 0
 	for i := 0; i < cmpTasks; i++ {
-		if _, ok := srv.Space().Inp("res", i, tuplespace.FormalInt); ok {
+		if _, ok, err := srv.Space().Inp("res", i, tuplespace.FormalInt); err == nil && ok {
 			done++
 		}
 	}

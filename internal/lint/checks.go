@@ -31,7 +31,7 @@ func (a *analysis) checkFormalMisuse() []Finding {
 		if !op.info.producer || op.call.Ellipsis.IsValid() {
 			continue
 		}
-		for _, arg := range op.call.Args {
+		for _, arg := range op.templateArgs() {
 			flag(arg, "passed to "+op.name)
 		}
 	}
@@ -56,10 +56,11 @@ func (a *analysis) checkFormalMisuse() []Finding {
 func (a *analysis) checkCrossShard() []Finding {
 	var fs []Finding
 	for _, op := range a.ops {
-		if !op.info.consumer || op.call.Ellipsis.IsValid() || len(op.call.Args) == 0 {
+		args := op.templateArgs()
+		if !op.info.consumer || op.call.Ellipsis.IsValid() || len(args) == 0 {
 			continue
 		}
-		t, ok := a.formalType(op.call.Args[0])
+		t, ok := a.formalType(args[0])
 		if !ok || t == nil || !types.Identical(t, types.Typ[types.String]) {
 			continue
 		}

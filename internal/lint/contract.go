@@ -129,14 +129,15 @@ func (a *analysis) signatureOf(args []ast.Expr, pos token.Pos, desc string) *sig
 // signatures.
 func (a *analysis) contractSigs() (producers, consumers []*signature) {
 	for _, op := range a.ops {
-		if op.call.Ellipsis.IsValid() || len(op.call.Args) == 0 {
+		args := op.templateArgs()
+		if op.call.Ellipsis.IsValid() || len(args) == 0 {
 			continue // forwarding or empty: unknowable
 		}
 		switch {
 		case op.info.producer:
-			producers = append(producers, a.signatureOf(op.call.Args, op.call.Pos(), op.name))
+			producers = append(producers, a.signatureOf(args, op.call.Pos(), op.name))
 		case op.info.consumer:
-			consumers = append(consumers, a.signatureOf(op.call.Args, op.call.Pos(), op.name))
+			consumers = append(consumers, a.signatureOf(args, op.call.Pos(), op.name))
 		}
 	}
 	for _, lit := range a.lits {

@@ -19,34 +19,46 @@ const (
 
 // opInfo describes one tuple-space operation method.
 type opInfo struct {
-	blocking   bool // In/Rd: blocks until a match arrives
-	takes      bool // In/Inp: destructive
-	producer   bool // Out
-	consumer   bool // In/Inp/Rd/Rdp: takes a template
-	errLast    bool // last result is an error
-	errLastNet bool // last result is an error on Client/Proc only
+	blocking bool // In/Rd/InCtx/RdCtx: blocks until a match arrives
+	takes    bool // In/Inp/InCtx: destructive
+	producer bool // Out
+	consumer bool // In/Inp/Rd/Rdp/InCtx/RdCtx: takes a template
+	errLast  bool // last result is an error
+	ctxFirst bool // first argument is a context.Context, not a field
 }
 
 var tupleOps = map[string]opInfo{
-	"Out":  {producer: true, errLast: true},
-	"OutN": {errLast: true},
-	"In":   {blocking: true, takes: true, consumer: true, errLast: true},
-	"Rd":   {blocking: true, consumer: true, errLast: true},
-	"Inp":  {takes: true, consumer: true, errLastNet: true},
-	"Rdp":  {consumer: true, errLastNet: true},
+	"Out":   {producer: true, errLast: true},
+	"OutN":  {errLast: true},
+	"In":    {blocking: true, takes: true, consumer: true, errLast: true},
+	"Rd":    {blocking: true, consumer: true, errLast: true},
+	"Inp":   {takes: true, consumer: true, errLast: true},
+	"Rdp":   {consumer: true, errLast: true},
+	"InCtx": {blocking: true, takes: true, consumer: true, errLast: true, ctxFirst: true},
+	"RdCtx": {blocking: true, consumer: true, errLast: true, ctxFirst: true},
 }
 
 // opCall is one resolved tuple-op call site.
 type opCall struct {
 	call *ast.CallExpr
 	name string // method name
-	recv string // "Space", "Client", or "Proc"
+	recv string // "Space", "Client", "Store", "Txn", or "Proc"
 	info opInfo
 }
 
 // returnsErr reports whether this call's last result is an error.
 func (c *opCall) returnsErr() bool {
-	return c.info.errLast || (c.info.errLastNet && c.recv != "Space")
+	return c.info.errLast
+}
+
+// templateArgs is the slice of arguments that are tuple fields: all of
+// them, except that ctx-first ops (InCtx/RdCtx) carry the context as
+// argument zero ahead of the template.
+func (c *opCall) templateArgs() []ast.Expr {
+	if c.info.ctxFirst && len(c.call.Args) > 0 {
+		return c.call.Args[1:]
+	}
+	return c.call.Args
 }
 
 // analysis carries the per-package state shared by the checks.
@@ -57,6 +69,9 @@ type analysis struct {
 	lits    []*ast.CompositeLit         // tuplespace.Tuple composite literals
 	formals map[types.Object]types.Type // objects holding formal values; nil type = unknown formal
 	ignores map[string]fileIgnores
+
+	storeIface     *types.Interface // tuplespace.Store, memoized by storeInterface
+	storeIfaceDone bool
 }
 
 // formalTypes maps the tuplespace.Formal* helper variables to the
@@ -219,8 +234,13 @@ func (a *analysis) collect() {
 	}
 }
 
-// tupleOpCall resolves a call to an Out/OutN/In/Inp/Rd/Rdp method on
-// tuplespace.Space, tuplespace.Client, or plinda.Proc.
+// tupleOpCall resolves a call to an Out/OutN/In/Inp/Rd/Rdp (or the
+// ctx-taking InCtx/RdCtx) method of the Linda surface: the concrete
+// tuplespace.Space and Client, the Store/TxnStore/Txn interfaces and
+// plinda.Proc — and, by method-set resolution, any other type that
+// implements tuplespace.Store (the durable space, test doubles), so
+// call sites through interface-typed variables are analyzed exactly
+// like direct ones.
 func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -244,12 +264,66 @@ func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 	}
 	pkgPath, typeName := named.Obj().Pkg().Path(), named.Obj().Name()
 	switch {
-	case pkgPath == tuplespacePath && (typeName == "Space" || typeName == "Client"):
+	case pkgPath == tuplespacePath &&
+		(typeName == "Space" || typeName == "Client" ||
+			typeName == "Store" || typeName == "TxnStore" || typeName == "Txn"):
 	case pkgPath == plindaPath && typeName == "Proc":
 	default:
-		return nil
+		if !a.implementsStore(named) {
+			return nil
+		}
+		typeName = "Store"
 	}
 	return &opCall{call: call, name: sel.Sel.Name, recv: typeName, info: info}
+}
+
+// implementsStore reports whether t (or *t) satisfies the
+// tuplespace.Store interface, resolved through the package's
+// transitive imports.
+func (a *analysis) implementsStore(t types.Type) bool {
+	iface := a.storeInterface()
+	if iface == nil {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// storeInterface locates the tuplespace.Store interface in the
+// package's transitive imports, memoized (nil when the package does
+// not depend on tuplespace at all).
+func (a *analysis) storeInterface() *types.Interface {
+	if a.storeIfaceDone {
+		return a.storeIface
+	}
+	a.storeIfaceDone = true
+	seen := make(map[*types.Package]bool)
+	var find func(p *types.Package) *types.Package
+	find = func(p *types.Package) *types.Package {
+		if p == nil || seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == tuplespacePath {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	ts := find(a.pkg.Types)
+	if ts == nil {
+		return nil
+	}
+	obj, ok := ts.Scope().Lookup("Store").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	a.storeIface = iface
+	return iface
 }
 
 func namedOf(t types.Type) *types.Named {

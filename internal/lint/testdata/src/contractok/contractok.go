@@ -37,11 +37,15 @@ func Batch(s *tuplespace.Space, n int) error {
 	return s.OutN(batch)
 }
 
-func Drain(s *tuplespace.Space) int {
+func Drain(s *tuplespace.Space) (int, error) {
 	n := 0
 	for {
-		if _, ok := s.Inp("batch", tuplespace.FormalInt); !ok {
-			return n
+		_, ok, err := s.Inp("batch", tuplespace.FormalInt)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
 		}
 		n++
 	}

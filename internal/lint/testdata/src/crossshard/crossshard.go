@@ -6,18 +6,22 @@ package crossshard
 import "freepdm/internal/tuplespace"
 
 // Drain sweeps every partition with an any-tag template.
-func Drain(s *tuplespace.Space) int {
+func Drain(s *tuplespace.Space) (int, error) {
 	n := 0
 	for {
-		if _, ok := s.Inp(tuplespace.FormalString, tuplespace.FormalInt); !ok {
-			return n
+		_, ok, err := s.Inp(tuplespace.FormalString, tuplespace.FormalInt)
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
 		}
 		n++
 	}
 }
 
 // DrainQuietly acknowledges the cost, so the finding is suppressed.
-func DrainQuietly(s *tuplespace.Space) {
+func DrainQuietly(s *tuplespace.Space) (tuplespace.Tuple, bool, error) {
 	// lint:ignore cross-shard a full sweep of every partition is the point here
-	s.Inp(tuplespace.FormalString, tuplespace.FormalInt)
+	return s.Inp(tuplespace.FormalString, tuplespace.FormalInt)
 }

@@ -1,7 +1,8 @@
 // Package errdrop discards tuple-op errors every way the check knows
 // how to see: expression statement, go, defer, and a blank assign —
-// plus the two suppression spellings and the Space.Inp shape that has
-// no error result at all.
+// plus the two suppression spellings. Since the Store unification,
+// Inp/Rdp return an error on every backend, so discarding theirs is
+// flagged exactly like Out's.
 package errdrop
 
 import "freepdm/internal/tuplespace"
@@ -14,6 +15,5 @@ func Publish(c *tuplespace.Client, s *tuplespace.Space) {
 	c.Out("evt", 5) //nolint:errcheck
 	// lint:ignore tuple-errcheck shutdown path: the space is already closed
 	s.Out("evt", 6)
-	// Space.Inp returns (Tuple, bool) — no error to discard.
-	s.Inp("evt", tuplespace.FormalInt)
+	_, _, _ = s.Inp("evt", tuplespace.FormalInt)
 }

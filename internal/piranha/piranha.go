@@ -120,7 +120,10 @@ func Run(cfg Config, tasks []Task, width int, retreats <-chan struct{}) (map[int
 
 				// Feed until retreat or no work left.
 				for remaining.Load() > 0 && !flag.Load() {
-					tu, ok := ts.Inp("task", tuplespace.FormalInt, tuplespace.Formal(tasks[0].Payload))
+					tu, ok, err := ts.Inp("task", tuplespace.FormalInt, tuplespace.Formal(tasks[0].Payload))
+					if err != nil {
+						return
+					}
 					if !ok {
 						// Results may still be in flight on other piranhas.
 						if remaining.Load() == 0 {

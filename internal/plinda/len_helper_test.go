@@ -1,0 +1,7 @@
+package plinda
+
+// spaceLen is a test convenience for the error-free local-space Len.
+func spaceLen(s *Server) int {
+	n, _ := s.Space().Len()
+	return n
+}

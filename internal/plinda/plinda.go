@@ -20,16 +20,25 @@
 // owner returning to (or a crash of) the machine a process runs on, at
 // which point the PLinda daemon destroys the client process and the
 // server re-spawns it, exactly as described in section 7.1.1.
+//
+// The runtime executes against any tuplespace.TxnStore: a local
+// *tuplespace.Space, a write-ahead-logged durable.Space, or — in
+// remote mode — a fresh *tuplespace.Client session per incarnation,
+// whose lease makes the wire server abort the incarnation's open
+// transaction when the process dies.
 package plinda
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
@@ -42,6 +51,7 @@ var (
 	ErrServerDown  = errors.New("plinda: server closed")
 	errNestedTxn   = errors.New("plinda: nested transaction")
 	errCommitNoTxn = errors.New("plinda: Xcommit without Xstart")
+	errNoServer    = errors.New("plinda: standalone process has no server")
 )
 
 // Status enumerates the process states shown by the PLinda "Process
@@ -77,6 +87,12 @@ type ProcFunc func(p *Proc) error
 // a deterministic crasher cannot loop forever.
 const MaxRespawns = 64
 
+// respawnBackoff spaces retries after a transient store failure
+// (connection refused, server restarting) so the MaxRespawns budget
+// covers a realistic recovery window instead of burning out in
+// microseconds.
+const respawnBackoff = 20 * time.Millisecond
+
 // procState is the server-side record for one logical process.
 type procState struct {
 	name         string
@@ -85,18 +101,36 @@ type procState struct {
 	incarnation  int
 	continuation tuplespace.Tuple
 	hasCont      bool
-	killCh       chan struct{}
+	ctx          context.Context
+	cancel       context.CancelFunc
+	session      io.Closer // per-incarnation remote session, nil otherwise
 	done         chan struct{}
 	err          error
 	gate         *sync.Cond // suspend/resume
 	suspended    bool
 }
 
-// Server is the PLinda runtime: tuple space, process table, and
-// checkpointer.
+// snapshotRestorer is the optional store capability Checkpoint and
+// RestoreCheckpoint need; *tuplespace.Space and durable.Space both
+// provide it.
+type snapshotRestorer interface {
+	Snapshot() []tuplespace.Tuple
+	Restore([]tuplespace.Tuple) error
+}
+
+// storeObserver lets Observe cascade instruments into stores that
+// support them.
+type storeObserver interface {
+	Observe(reg *obs.Registry, tracer *obs.Tracer)
+}
+
+// Server is the PLinda runtime: a tuple-space backend, process table,
+// and checkpointer.
 type Server struct {
 	mu     sync.Mutex
-	space  *tuplespace.Space
+	store  tuplespace.TxnStore // nil in remote mode
+	space  *tuplespace.Space   // underlying space when known, else nil
+	dial   func() (tuplespace.TxnStore, error)
 	procs  map[string]*procState
 	closed bool
 	wg     sync.WaitGroup
@@ -129,17 +163,46 @@ func NewServer() *Server { return NewServerOn(tuplespace.New()) }
 // space, local PLinda processes and remote tuplespace clients (via
 // tuplespace.ServeTCP on the same space) share it.
 func NewServerOn(space *tuplespace.Space) *Server {
-	return &Server{space: space, procs: make(map[string]*procState)}
+	return &Server{store: space, space: space, procs: make(map[string]*procState)}
+}
+
+// NewServerOnStore starts a PLinda server on any transactional store —
+// in particular a durable.Space, giving every process
+// checkpoint-protected, WAL-backed transactions.
+func NewServerOnStore(store tuplespace.TxnStore) *Server {
+	s := &Server{store: store, procs: make(map[string]*procState)}
+	switch st := store.(type) {
+	case *tuplespace.Space:
+		s.space = st
+	case interface{ Underlying() *tuplespace.Space }:
+		s.space = st.Underlying()
+	}
+	return s
+}
+
+// NewServerRemote starts a PLinda runtime whose processes each run
+// against their own remote session: dial is invoked once per
+// incarnation (typically tuplespace.DialOpts with a lease), and the
+// session is closed when the incarnation ends. A killed incarnation's
+// session drop makes the remote server auto-abort its open
+// transaction, which is exactly the PLinda daemon's cleanup of a
+// crashed workstation. Transient session failures (connection refused
+// while the remote server restarts, lease expiry, dropped connection)
+// are retried as respawns within the MaxRespawns budget.
+func NewServerRemote(dial func() (tuplespace.TxnStore, error)) *Server {
+	return &Server{dial: dial, procs: make(map[string]*procState)}
 }
 
 // Observe attaches a metrics registry and/or tracer to the server and
-// its tuple space (either may be nil). Server metrics use the
-// "plinda." prefix: transaction and lifecycle counters, a live-process
-// gauge, and a transaction-duration histogram. Trace events use kind
-// "txn" (begin/commit/abort/continuation-commit) and kind "proc"
+// its store (either may be nil). Server metrics use the "plinda."
+// prefix: transaction and lifecycle counters, a live-process gauge,
+// and a transaction-duration histogram. Trace events use kind "txn"
+// (begin/commit/abort/continuation-commit) and kind "proc"
 // (spawn/kill/respawn/exit/checkpoint/restore).
 func (s *Server) Observe(reg *obs.Registry, tracer *obs.Tracer) {
-	s.space.Observe(reg, tracer)
+	if so, ok := s.store.(storeObserver); ok {
+		so.Observe(reg, tracer)
+	}
 	o := &serverObs{
 		spawns:      reg.Counter("plinda.spawns"),
 		exits:       reg.Counter("plinda.exits"),
@@ -167,9 +230,14 @@ func (s *Server) Observe(reg *obs.Registry, tracer *obs.Tracer) {
 	s.obs.Store(o)
 }
 
-// Space exposes the underlying tuple space (the server process owns
-// it, mirroring the centralized PLinda server).
+// Space exposes the underlying tuple space when the server runs on one
+// (the server process owns it, mirroring the centralized PLinda
+// server). It is nil for remote-mode servers.
 func (s *Server) Space() *tuplespace.Space { return s.space }
+
+// Store exposes the transactional store the server runs on; nil in
+// remote mode, where each incarnation dials its own session.
+func (s *Server) Store() tuplespace.TxnStore { return s.store }
 
 // Spawn registers and starts a logical process under the given unique
 // name; this is PLinda's proc_eval. It returns an error if the name is
@@ -188,9 +256,9 @@ func (s *Server) Spawn(name string, fn ProcFunc) error {
 		name:   name,
 		fn:     fn,
 		status: Dispatched,
-		killCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	ps.ctx, ps.cancel = context.WithCancel(context.Background())
 	ps.gate = sync.NewCond(&s.mu)
 	s.procs[name] = ps
 	s.wg.Add(1)
@@ -207,19 +275,59 @@ func (s *Server) Spawn(name string, fn ProcFunc) error {
 	return nil
 }
 
+// transient reports whether an incarnation error looks like a
+// recoverable session/store failure rather than a program bug.
+func transient(err error) bool {
+	if errors.Is(err, tuplespace.ErrClientClosed) ||
+		errors.Is(err, tuplespace.ErrClosed) ||
+		errors.Is(err, tuplespace.ErrLeaseExpired) ||
+		errors.Is(err, tuplespace.ErrTimeout) ||
+		errors.Is(err, tuplespace.ErrTxnFinished) ||
+		errors.Is(err, io.EOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
 // run executes incarnations of a logical process until it completes,
 // fails permanently, or exhausts MaxRespawns.
 func (s *Server) run(ps *procState) {
 	defer s.wg.Done()
 	for {
+		// Remote mode: each incarnation gets a fresh session, so a
+		// re-spawned process is indistinguishable from a new client and
+		// the old incarnation's lease cleans up its transaction.
+		var session tuplespace.TxnStore
+		var dialErr error
+		if s.dial != nil {
+			session, dialErr = s.dial()
+		}
+
 		s.mu.Lock()
 		ps.status = Running
-		killCh := ps.killCh
+		ctx := ps.ctx
 		inc := ps.incarnation
+		store := s.store
+		if session != nil {
+			store = session
+			ps.session = session
+		}
 		s.mu.Unlock()
 
-		p := &Proc{srv: s, st: ps, killCh: killCh, incarnation: inc}
-		err := s.runIncarnation(p)
+		var err error
+		if dialErr != nil {
+			err = dialErr
+		} else {
+			p := &Proc{srv: s, st: ps, ctx: ctx, store: store, incarnation: inc}
+			err = s.runIncarnation(p)
+		}
+		if session != nil {
+			session.Close() //nolint:errcheck
+			s.mu.Lock()
+			ps.session = nil
+			s.mu.Unlock()
+		}
 
 		s.mu.Lock()
 		if err == nil {
@@ -229,7 +337,8 @@ func (s *Server) run(ps *procState) {
 			s.recordExit(ps, Done, nil)
 			return
 		}
-		if !errors.Is(err, ErrKilled) || ps.incarnation+1 > MaxRespawns || s.closed {
+		retryable := errors.Is(err, ErrKilled) || (s.dial != nil && transient(err))
+		if !retryable || ps.incarnation+1 > MaxRespawns || s.closed {
 			ps.status = Failed
 			ps.err = err
 			close(ps.done)
@@ -238,11 +347,11 @@ func (s *Server) run(ps *procState) {
 			return
 		}
 		// Failure handling: abort was already performed by the
-		// incarnation's runner; arm a fresh kill channel and re-spawn.
+		// incarnation's runner; arm a fresh context and re-spawn.
 		ps.status = FailureHandled
 		ps.incarnation++
 		newInc := ps.incarnation
-		ps.killCh = make(chan struct{})
+		ps.ctx, ps.cancel = context.WithCancel(context.Background())
 		s.respawns++
 		s.mu.Unlock()
 		if o := s.obs.Load(); o != nil {
@@ -250,6 +359,11 @@ func (s *Server) run(ps *procState) {
 			if o.tracer != nil {
 				o.tracer.Record("proc", "respawn", 0, "proc", ps.name, "incarnation", newInc)
 			}
+		}
+		if !errors.Is(err, ErrKilled) {
+			// A transient store failure: give the remote side a moment
+			// to come back before redialing.
+			time.Sleep(respawnBackoff)
 		}
 	}
 }
@@ -287,7 +401,10 @@ func (s *Server) runIncarnation(p *Proc) (err error) {
 
 // Kill simulates the failure of the workstation running the named
 // process (or the owner reclaiming it): the current incarnation is
-// destroyed, its open transaction aborted, and the process re-spawned.
+// destroyed — its context canceled, unblocking any InCtx/RdCtx it sits
+// in, and its remote session (if any) closed abruptly so the wire
+// server's lease machinery aborts the open transaction — and the
+// process re-spawned.
 func (s *Server) Kill(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -299,10 +416,9 @@ func (s *Server) Kill(name string) error {
 		return nil
 	}
 	s.kills++
-	select {
-	case <-ps.killCh:
-	default:
-		close(ps.killCh)
+	ps.cancel()
+	if ps.session != nil {
+		ps.session.Close() //nolint:errcheck — abrupt close is the point
 	}
 	if ps.suspended {
 		ps.suspended = false
@@ -410,7 +526,9 @@ func (s *Server) Respawns() int { s.mu.Lock(); defer s.mu.Unlock(); return s.res
 func (s *Server) Commits() int { s.mu.Lock(); defer s.mu.Unlock(); return s.commits }
 func (s *Server) Aborts() int  { s.mu.Lock(); defer s.mu.Unlock(); return s.aborts }
 
-// Close shuts the server down, unblocking every process.
+// Close shuts the server down, unblocking every process. The store is
+// closed only when the server owns one (local mode); remote sessions
+// are per-incarnation and closed by their runners.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -419,10 +537,9 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	for _, ps := range s.procs {
-		select {
-		case <-ps.killCh:
-		default:
-			close(ps.killCh)
+		ps.cancel()
+		if ps.session != nil {
+			ps.session.Close() //nolint:errcheck
 		}
 		if ps.suspended {
 			ps.suspended = false
@@ -430,7 +547,9 @@ func (s *Server) Close() {
 		}
 	}
 	s.mu.Unlock()
-	s.space.Close()
+	if s.store != nil {
+		s.store.Close() //nolint:errcheck
+	}
 	s.wg.Wait()
 }
 
@@ -441,11 +560,17 @@ type checkpoint struct {
 	Continuations map[string]tuplespace.Tuple
 }
 
-// Checkpoint writes the current tuple space and all committed
+// Checkpoint writes the current store contents and all committed
 // continuations to w. It pauses no processes; PLinda checkpoints are
 // taken between transactions, which is safe because uncommitted
-// transaction effects are not in the shared space.
+// transaction effects are not in the shared space. The server's store
+// must support snapshots (local and durable stores do; remote-mode
+// servers have no store to checkpoint).
 func (s *Server) Checkpoint(w io.Writer) error {
+	sr, ok := s.store.(snapshotRestorer)
+	if !ok {
+		return fmt.Errorf("plinda: store %T does not support checkpoints", s.store)
+	}
 	s.mu.Lock()
 	cp := checkpoint{Continuations: make(map[string]tuplespace.Tuple)}
 	for n, ps := range s.procs {
@@ -454,7 +579,7 @@ func (s *Server) Checkpoint(w io.Writer) error {
 		}
 	}
 	s.mu.Unlock()
-	cp.Tuples = s.space.Snapshot()
+	cp.Tuples = sr.Snapshot()
 	if err := gob.NewEncoder(w).Encode(&cp); err != nil {
 		return err
 	}
@@ -467,9 +592,13 @@ func (s *Server) Checkpoint(w io.Writer) error {
 	return nil
 }
 
-// RestoreCheckpoint performs rollback recovery: the tuple space and
+// RestoreCheckpoint performs rollback recovery: the store and
 // continuations are replaced by the checkpointed state.
 func (s *Server) RestoreCheckpoint(r io.Reader) error {
+	sr, ok := s.store.(snapshotRestorer)
+	if !ok {
+		return fmt.Errorf("plinda: store %T does not support checkpoints", s.store)
+	}
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
 		return err
@@ -482,7 +611,7 @@ func (s *Server) RestoreCheckpoint(r io.Reader) error {
 		}
 	}
 	s.mu.Unlock()
-	if err := s.space.Restore(cp.Tuples); err != nil {
+	if err := sr.Restore(cp.Tuples); err != nil {
 		return err
 	}
 	if o := s.obs.Load(); o != nil {

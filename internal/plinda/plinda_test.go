@@ -143,13 +143,13 @@ func TestTransactionAbortRestoresTakenTuples(t *testing.T) {
 	if err := srv.Wait("aborter"); err != nil {
 		t.Fatal(err)
 	}
-	if srv.Space().Len() != 2 {
-		t.Fatalf("space has %d tuples, want the 2 restored items", srv.Space().Len())
+	if spaceLen(srv) != 2 {
+		t.Fatalf("space has %d tuples, want the 2 restored items", spaceLen(srv))
 	}
-	if _, ok := srv.Space().Inp("derived", 3); ok {
+	if _, ok, _ := srv.Space().Inp("derived", 3); ok {
 		t.Fatal("aborted out leaked into the space")
 	}
-	if _, ok := srv.Space().Inp("item", 1); !ok {
+	if _, ok, _ := srv.Space().Inp("item", 1); !ok {
 		t.Fatal("(item,1) not restored")
 	}
 }
@@ -177,14 +177,14 @@ func TestTxnOutsInvisibleUntilCommit(t *testing.T) {
 	})
 	go func() {
 		time.Sleep(10 * time.Millisecond)
-		_, ok := srv.Space().Rdp("private", 7)
+		_, ok, _ := srv.Space().Rdp("private", 7)
 		observedEarly <- ok
 	}()
 	if <-observedEarly {
 		t.Fatal("uncommitted out was visible to another process")
 	}
 	<-committed
-	if _, ok := srv.Space().Rdp("private", 7); !ok {
+	if _, ok, _ := srv.Space().Rdp("private", 7); !ok {
 		t.Fatal("committed out not visible")
 	}
 	srv.Wait("writer")
@@ -209,8 +209,8 @@ func TestTxnCanConsumeOwnOuts(t *testing.T) {
 	if err := srv.Wait("selfie"); err != nil {
 		t.Fatal(err)
 	}
-	if srv.Space().Len() != 0 {
-		t.Fatalf("consumed own out still published: Len=%d", srv.Space().Len())
+	if spaceLen(srv) != 0 {
+		t.Fatalf("consumed own out still published: Len=%d", spaceLen(srv))
 	}
 }
 
@@ -286,7 +286,7 @@ func TestFailureRecovery(t *testing.T) {
 	if err := srv.Wait("w0"); err != nil {
 		t.Fatal(err)
 	}
-	tu, ok := srv.Space().Inp("sum", tuplespace.FormalInt)
+	tu, ok, _ := srv.Space().Inp("sum", tuplespace.FormalInt)
 	if !ok {
 		t.Fatal("no sum tuple")
 	}
@@ -324,7 +324,7 @@ func TestKillWhileBlockedCompensates(t *testing.T) {
 	// If the orphaned In later matches, the tuple must be re-outed.
 	srv.Space().Out("never", 1)
 	time.Sleep(20 * time.Millisecond)
-	if _, ok := srv.Space().Rdp("never", 1); !ok {
+	if _, ok, _ := srv.Space().Rdp("never", 1); !ok {
 		t.Fatal("tuple consumed by a dead incarnation was not compensated")
 	}
 }
@@ -343,10 +343,10 @@ func TestPanicTriggersRecovery(t *testing.T) {
 	if err := srv.Wait("panicky"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := srv.Space().Rdp("half-done", 1); ok {
+	if _, ok, _ := srv.Space().Rdp("half-done", 1); ok {
 		t.Fatal("aborted txn output visible after panic")
 	}
-	if _, ok := srv.Space().Rdp("finished", 1); !ok {
+	if _, ok, _ := srv.Space().Rdp("finished", 1); !ok {
 		t.Fatal("recovered incarnation did not run")
 	}
 }
@@ -389,8 +389,8 @@ func TestSuspendResume(t *testing.T) {
 	if err := srv.Wait("pausable"); err != nil {
 		t.Fatal(err)
 	}
-	if srv.Space().Len() != 3 {
-		t.Fatalf("Len=%d, want 3", srv.Space().Len())
+	if spaceLen(srv) != 3 {
+		t.Fatalf("Len=%d, want 3", spaceLen(srv))
 	}
 }
 
@@ -417,10 +417,10 @@ func TestCheckpointRestore(t *testing.T) {
 	if err := srv.RestoreCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := srv.Space().Rdp("state", 42); !ok {
+	if _, ok, _ := srv.Space().Rdp("state", 42); !ok {
 		t.Fatal("state tuple not rolled back")
 	}
-	if _, ok := srv.Space().Rdp("garbage", 1); ok {
+	if _, ok, _ := srv.Space().Rdp("garbage", 1); ok {
 		t.Fatal("post-checkpoint garbage survived rollback")
 	}
 }

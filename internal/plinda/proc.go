@@ -1,6 +1,7 @@
 package plinda
 
 import (
+	"context"
 	"time"
 
 	"freepdm/internal/tuplespace"
@@ -9,39 +10,63 @@ import (
 // Proc is one incarnation of a logical PLinda process. All tuple-space
 // operations and the transaction statements (Xstart, Xcommit, Xabort,
 // Xrecover) are methods on Proc. A Proc is used by a single goroutine.
+//
+// A Proc runs against any tuplespace.TxnStore: transactional takes go
+// through the store's Txn (tentative until commit — locally via an
+// undo log, remotely held server-side under the session lease), and
+// outs are buffered locally so an aborted transaction's outs were
+// never published.
 type Proc struct {
-	srv         *Server
-	st          *procState
-	killCh      chan struct{}
+	srv         *Server    // nil for Standalone procs
+	st          *procState // nil for Standalone procs
+	ctx         context.Context
+	store       tuplespace.TxnStore
 	incarnation int
 
 	txnOpen  bool
 	txnStart time.Time          // stamped by Xstart when the server is observed
-	undo     []tuplespace.Tuple // tuples removed by In/Inp inside the txn
+	txn      tuplespace.Txn     // open transaction, nil outside Xstart..Xcommit
 	buffer   []tuplespace.Tuple // tuples outed inside the txn, private until commit
 }
 
-// Name returns the logical process name.
-func (p *Proc) Name() string { return p.st.name }
+// Standalone wraps a store in a Proc that has no server: the
+// transaction statements and tuple operations all work, but there is
+// no process table, suspension, or automatic respawn. Remote workers
+// run their ProcFunc this way — the wire session's lease supplies the
+// failure handling, and Xcommit's continuation rides the session so
+// Xrecover works across reconnects under the same session name.
+func Standalone(store tuplespace.TxnStore) *Proc {
+	return &Proc{store: store, ctx: context.Background()}
+}
+
+// Name returns the logical process name ("" for standalone procs).
+func (p *Proc) Name() string {
+	if p.st == nil {
+		return ""
+	}
+	return p.st.name
+}
 
 // Incarnation returns which re-spawn of the logical process this is
 // (0 for the first run).
 func (p *Proc) Incarnation() int { return p.incarnation }
 
+// Store returns the transactional store this incarnation runs against.
+func (p *Proc) Store() tuplespace.TxnStore { return p.store }
+
 // killed reports whether this incarnation has been destroyed.
-func (p *Proc) killed() bool {
-	select {
-	case <-p.killCh:
-		return true
-	default:
-		return false
-	}
-}
+func (p *Proc) killed() bool { return p.ctx.Err() != nil }
 
 // gate blocks while the process is suspended and returns ErrKilled if
 // the incarnation was destroyed. Every tuple-space operation passes
 // through it, which is where the PLinda daemon would preempt a client.
 func (p *Proc) gate() error {
+	if p.srv == nil {
+		if p.killed() {
+			return ErrKilled
+		}
+		return nil
+	}
 	s := p.srv
 	s.mu.Lock()
 	for p.st.suspended && !p.killed() {
@@ -66,23 +91,34 @@ func (p *Proc) Xstart() error {
 	if p.txnOpen {
 		return errNestedTxn
 	}
+	tx, err := p.store.Begin()
+	if err != nil {
+		return err
+	}
+	p.txn = tx
 	p.txnOpen = true
-	p.undo = p.undo[:0]
 	p.buffer = p.buffer[:0]
-	if o := p.srv.obs.Load(); o != nil {
-		p.txnStart = time.Now()
-		o.xstarts.Inc()
-		if o.tracer != nil {
-			o.tracer.Record("txn", "begin", 0, "proc", p.st.name, "incarnation", p.incarnation)
+	if p.srv != nil {
+		if o := p.srv.obs.Load(); o != nil {
+			p.txnStart = time.Now()
+			o.xstarts.Inc()
+			if o.tracer != nil {
+				o.tracer.Record("txn", "begin", 0, "proc", p.st.name, "incarnation", p.incarnation)
+			}
 		}
 	}
 	return nil
 }
 
-// Xcommit atomically publishes the transaction's outs, forgets its
-// undo log, and durably records the given live variables as this
+// Xcommit atomically publishes the transaction's outs, finalizes its
+// takes, and durably records the given live variables as this
 // process's continuation (retrievable by Xrecover after a failure).
 // Passing no values commits without changing the continuation.
+//
+// Under a server the continuation lives in the process table (and is
+// checkpointed with the space); a standalone proc on a session-named
+// remote store commits it with the transaction, mirroring PLinda's
+// xcommit(continuation) wire primitive.
 func (p *Proc) Xcommit(continuation ...any) error {
 	if !p.txnOpen {
 		return errCommitNoTxn
@@ -92,33 +128,46 @@ func (p *Proc) Xcommit(continuation ...any) error {
 		p.abort()
 		return ErrKilled
 	}
-	if err := p.srv.space.OutN(p.buffer); err != nil {
+	var cont tuplespace.Tuple
+	if len(continuation) > 0 {
+		cont = append(tuplespace.Tuple(nil), continuation...)
+	}
+	var err error
+	if cc, ok := p.txn.(tuplespace.ContCommitter); ok && cont != nil && p.srv == nil {
+		err = cc.CommitCont(p.buffer, cont)
+	} else {
+		err = p.txn.Commit(p.buffer)
+	}
+	if err != nil {
 		p.abort()
 		return err
 	}
-	p.srv.mu.Lock()
-	if len(continuation) > 0 {
-		p.st.continuation = append(tuplespace.Tuple(nil), continuation...)
-		p.st.hasCont = true
-	}
-	p.srv.commits++
-	p.srv.mu.Unlock()
-	if o := p.srv.obs.Load(); o != nil {
-		dur := p.txnDur()
-		o.commits.Inc()
-		o.txnDur.Observe(dur)
-		name := "commit"
-		if len(continuation) > 0 {
-			name = "continuation-commit"
-			o.contCommits.Inc()
-		}
-		if o.tracer != nil {
-			o.tracer.Record("txn", name, dur, "proc", p.st.name, "outs", len(p.buffer))
-		}
-	}
+	outs := len(p.buffer)
+	p.txn = nil
 	p.txnOpen = false
-	p.undo = p.undo[:0]
 	p.buffer = p.buffer[:0]
+	if p.srv != nil {
+		p.srv.mu.Lock()
+		if cont != nil {
+			p.st.continuation = cont
+			p.st.hasCont = true
+		}
+		p.srv.commits++
+		p.srv.mu.Unlock()
+		if o := p.srv.obs.Load(); o != nil {
+			dur := p.txnDur()
+			o.commits.Inc()
+			o.txnDur.Observe(dur)
+			name := "commit"
+			if cont != nil {
+				name = "continuation-commit"
+				o.contCommits.Inc()
+			}
+			if o.tracer != nil {
+				o.tracer.Record("txn", name, dur, "proc", p.st.name, "outs", outs)
+			}
+		}
+	}
 	return nil
 }
 
@@ -131,30 +180,45 @@ func (p *Proc) Xabort() {
 }
 
 func (p *Proc) abort() {
+	if p.txn != nil {
+		p.txn.Abort() //nolint:errcheck // best-effort on shutdown
+	}
+	p.txn = nil
+	p.txnOpen = false
+	p.buffer = p.buffer[:0]
+	if p.srv == nil {
+		return
+	}
 	p.srv.mu.Lock()
 	p.srv.aborts++
 	p.srv.mu.Unlock()
-	for _, t := range p.undo {
-		p.srv.space.Out(t...) //nolint:errcheck // best-effort on shutdown
-	}
 	if o := p.srv.obs.Load(); o != nil {
 		dur := p.txnDur()
 		o.aborts.Inc()
 		o.txnDur.Observe(dur)
 		if o.tracer != nil {
-			o.tracer.Record("txn", "abort", dur, "proc", p.st.name, "undone", len(p.undo))
+			o.tracer.Record("txn", "abort", dur, "proc", p.st.name)
 		}
 	}
-	p.undo = p.undo[:0]
-	p.buffer = p.buffer[:0]
-	p.txnOpen = false
 }
 
 // Xrecover returns the continuation committed by the most recent
 // successful Xcommit of any incarnation of this logical process, and
 // whether one exists. Fresh processes (incarnation 0, never committed)
-// get ok=false, matching the PLinda xrecover idiom.
+// get ok=false, matching the PLinda xrecover idiom. Standalone procs
+// recover through the store when it supports it (a session-named
+// remote client does).
 func (p *Proc) Xrecover() (tuplespace.Tuple, bool) {
+	if p.srv == nil {
+		if rec, ok := p.store.(tuplespace.Recoverer); ok {
+			t, found, err := rec.Recover()
+			if err != nil {
+				return nil, false
+			}
+			return t, found
+		}
+		return nil, false
+	}
 	p.srv.mu.Lock()
 	defer p.srv.mu.Unlock()
 	if !p.st.hasCont {
@@ -174,13 +238,13 @@ func (p *Proc) Out(fields ...any) error {
 		p.buffer = append(p.buffer, append(tuplespace.Tuple(nil), fields...))
 		return nil
 	}
-	return p.srv.space.Out(fields...)
+	return p.store.Out(fields...)
 }
 
 // OutN places a batch of tuples in the space, with the same semantics
 // as calling Out once per tuple in order. Inside a transaction the
 // batch joins the commit buffer; outside it is published through the
-// space's batched OutN, one waiter-delivery pass per tuple but no
+// store's batched OutN, one waiter-delivery pass per tuple but no
 // per-tuple call overhead. Masters use it for task fan-outs.
 func (p *Proc) OutN(tuples []tuplespace.Tuple) error {
 	if err := p.gate(); err != nil {
@@ -192,7 +256,7 @@ func (p *Proc) OutN(tuples []tuplespace.Tuple) error {
 		}
 		return nil
 	}
-	return p.srv.space.OutN(tuples)
+	return p.store.OutN(tuples)
 }
 
 // takeBuffered serves In/Rd from this transaction's private buffer so
@@ -213,7 +277,8 @@ func (p *Proc) takeBuffered(tm tuplespace.Template, take bool) (tuplespace.Tuple
 }
 
 // In blocks until a matching tuple exists and removes it. Inside a
-// transaction the removal is logged so Xabort (or failure) undoes it.
+// transaction the removal is tentative until Xcommit; Xabort (or
+// failure) restores the tuple.
 func (p *Proc) In(tmpl ...any) (tuplespace.Tuple, error) {
 	if err := p.gate(); err != nil {
 		return nil, err
@@ -221,41 +286,31 @@ func (p *Proc) In(tmpl ...any) (tuplespace.Tuple, error) {
 	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), true); ok {
 		return t, nil
 	}
-	type res struct {
-		t   tuplespace.Tuple
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		t, err := p.srv.space.In(tmpl...)
-		ch <- res{t, err}
-	}()
 	p.setStatus(Blocked)
 	defer p.setStatus(Running)
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			return nil, r.err
-		}
+	var t tuplespace.Tuple
+	var err error
+	if p.txnOpen {
+		t, err = p.txn.InCtx(p.ctx, tmpl...)
+	} else {
+		t, err = p.store.InCtx(p.ctx, tmpl...)
+	}
+	if err != nil {
 		if p.killed() {
-			// Died between match and delivery: compensate.
-			p.srv.space.Out(r.t...) //nolint:errcheck
 			return nil, ErrKilled
 		}
-		if p.txnOpen {
-			p.undo = append(p.undo, r.t)
+		return nil, err
+	}
+	if p.killed() {
+		if !p.txnOpen {
+			// Died between match and delivery with no transaction to
+			// undo the take: compensate directly.
+			p.store.Out(t...) //nolint:errcheck
 		}
-		return r.t, nil
-	case <-p.killCh:
-		// The blocked In may still complete later; return its tuple to
-		// the space so no work is lost.
-		go func() {
-			if r := <-ch; r.err == nil {
-				p.srv.space.Out(r.t...) //nolint:errcheck
-			}
-		}()
+		// Inside a transaction the incarnation-exit abort restores it.
 		return nil, ErrKilled
 	}
+	return t, nil
 }
 
 // Inp is the non-blocking form of In.
@@ -266,11 +321,10 @@ func (p *Proc) Inp(tmpl ...any) (tuplespace.Tuple, bool, error) {
 	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), true); ok {
 		return t, true, nil
 	}
-	t, ok := p.srv.space.Inp(tmpl...)
-	if ok && p.txnOpen {
-		p.undo = append(p.undo, t)
+	if p.txnOpen {
+		return p.txn.Inp(tmpl...)
 	}
-	return t, ok, nil
+	return p.store.Inp(tmpl...)
 }
 
 // Rd blocks until a matching tuple exists and returns it without
@@ -282,23 +336,16 @@ func (p *Proc) Rd(tmpl ...any) (tuplespace.Tuple, error) {
 	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), false); ok {
 		return t, nil
 	}
-	type res struct {
-		t   tuplespace.Tuple
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		t, err := p.srv.space.Rd(tmpl...)
-		ch <- res{t, err}
-	}()
 	p.setStatus(Blocked)
 	defer p.setStatus(Running)
-	select {
-	case r := <-ch:
-		return r.t, r.err
-	case <-p.killCh:
-		return nil, ErrKilled
+	t, err := p.store.RdCtx(p.ctx, tmpl...)
+	if err != nil {
+		if p.killed() {
+			return nil, ErrKilled
+		}
+		return nil, err
 	}
+	return t, nil
 }
 
 // Rdp is the non-blocking form of Rd.
@@ -309,8 +356,7 @@ func (p *Proc) Rdp(tmpl ...any) (tuplespace.Tuple, bool, error) {
 	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), false); ok {
 		return t, true, nil
 	}
-	t, ok := p.srv.space.Rdp(tmpl...)
-	return t, ok, nil
+	return p.store.Rdp(tmpl...)
 }
 
 // ProcEval spawns another logical process, mirroring PLinda's
@@ -319,6 +365,9 @@ func (p *Proc) Rdp(tmpl ...any) (tuplespace.Tuple, bool, error) {
 func (p *Proc) ProcEval(name string, fn ProcFunc) error {
 	if err := p.gate(); err != nil {
 		return err
+	}
+	if p.srv == nil {
+		return errNoServer
 	}
 	return p.srv.Spawn(name, fn)
 }
@@ -333,6 +382,9 @@ func (p *Proc) txnDur() time.Duration {
 }
 
 func (p *Proc) setStatus(st Status) {
+	if p.srv == nil {
+		return
+	}
 	p.srv.mu.Lock()
 	if p.st.status != Done && p.st.status != Failed && p.st.status != Suspended {
 		p.st.status = st

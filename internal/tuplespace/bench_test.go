@@ -19,7 +19,7 @@ func BenchmarkTuplespaceOutInp(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.Out("bench", i)
-		if _, ok := s.Inp("bench", FormalInt); !ok {
+		if _, ok, _ := s.Inp("bench", FormalInt); !ok {
 			b.Fatal("lost tuple")
 		}
 	}
@@ -44,7 +44,7 @@ func benchMixed(b *testing.B, g int) {
 				if i%4 == 3 {
 					s.Rdp(tag, FormalInt)
 				}
-				if _, ok := s.Inp(tag, FormalInt); !ok {
+				if _, ok, _ := s.Inp(tag, FormalInt); !ok {
 					b.Error("lost tuple")
 					return
 				}

@@ -1,0 +1,7 @@
+package tuplespace
+
+// slen is a test convenience for the error-free local-space Len.
+func slen(s *Space) int {
+	n, _ := s.Len()
+	return n
+}

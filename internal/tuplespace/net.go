@@ -2,6 +2,7 @@ package tuplespace
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -18,11 +19,22 @@ import (
 // operations whose connection was abandoned after a transport error.
 var ErrClientClosed = errors.New("tuplespace: client closed")
 
+// ErrTimeout is the sentinel wrapped by the net.Error a non-blocking
+// client operation returns when its response misses the op timeout;
+// errors.Is(err, ErrTimeout) detects it without a type assertion.
+var ErrTimeout = errors.New("tuplespace: operation timed out")
+
+// ErrLeaseExpired is returned by operations on a session whose
+// heartbeat lease lapsed: the server has already aborted the session's
+// transactions and restored their tentative takes. The identity is
+// preserved across the wire.
+var ErrLeaseExpired = errors.New("tuplespace: session lease expired")
+
 // Networked tuple space. The original PLinda ran its server on one
 // workstation of the LAN with clients on the others (chapter 7); this
-// file provides the same split for the Go reproduction: ServeTCP
-// exposes a Space over a listener, and Dial returns a Client whose
-// Out/In/Inp/Rd/Rdp have the same semantics as the local methods, with
+// file provides the same split for the Go reproduction: Serve exposes
+// any TxnStore backend over a listener, and Dial returns a Client
+// whose operations have the same semantics as the local methods, with
 // tuples gob-encoded on the wire. Formals are transmitted as type
 // names and reconstructed server-side.
 //
@@ -34,6 +46,17 @@ var ErrClientClosed = errors.New("tuplespace: client closed")
 // both ends go through a buffered writer that is flushed only when no
 // further frame is queued behind it, so bursts of small frames
 // coalesce into few packets.
+//
+// Fault tolerance (chapter 5's transactions, on the wire): a client
+// dialed with DialOpts establishes a session, optionally named and
+// optionally guarded by a heartbeat lease. Takes performed inside a
+// client transaction (Client.Begin) are held server-side as tentative;
+// Commit finalizes them and publishes the transaction's outs in the
+// same request, optionally recording a continuation tuple under the
+// session name. If the connection drops or the lease expires, the
+// server aborts the session's open transactions, restoring every
+// tentative take — a kill -9'd remote worker's task tuples reappear
+// for other workers.
 
 // wireField is one template field on the wire: either an actual value
 // or a formal carrying its type name.
@@ -45,13 +68,35 @@ type wireField struct {
 
 // request is one client operation. ID is echoed on the response so the
 // client can demultiplex concurrent operations on one connection.
-// Batch is used by "outn" only and carries one tuple per entry.
+// Batch is used by "outn" (the tuples) and "txcommit" (the outs).
+// Txn carries the client-assigned transaction ID for "txbegin" and for
+// operations running inside the transaction. Target is the ID of the
+// request a "cancel" aims at. Lease and Name configure the session on
+// "hello"; Cont (guarded by HasCont) is a "txcommit" continuation.
 type request struct {
-	ID     uint64
-	Op     string // "out", "outn", "in", "inp", "rd", "rdp", "len"
-	Fields []wireField
-	Batch  [][]wireField
+	ID      uint64
+	Op      string // out outn in inp rd rdp len hello ping txbegin txcommit txabort cancel recover
+	Fields  []wireField
+	Batch   [][]wireField
+	Txn     uint64
+	Target  uint64
+	Lease   int64 // nanoseconds
+	Name    string
+	Cont    []wireField
+	HasCont bool
 }
+
+// Response error codes, mapping server-side sentinel errors back to
+// their client-side identities so errors.Is holds across the wire.
+const (
+	codeOK uint8 = iota
+	codeGeneric
+	codeClosed
+	codeCanceled
+	codeDeadline
+	codeLeaseExpired
+	codeTxnFinished
+)
 
 // response is the server's answer to the request with the same ID.
 type response struct {
@@ -60,6 +105,50 @@ type response struct {
 	OK    bool
 	Len   int
 	Err   string
+	Code  uint8
+}
+
+func codeFor(err error) uint8 {
+	switch {
+	case err == nil:
+		return codeOK
+	case errors.Is(err, ErrLeaseExpired):
+		return codeLeaseExpired
+	case errors.Is(err, ErrTxnFinished):
+		return codeTxnFinished
+	case errors.Is(err, ErrClosed):
+		return codeClosed
+	case errors.Is(err, context.Canceled):
+		return codeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return codeDeadline
+	}
+	return codeGeneric
+}
+
+// wireError reconstructs the error carried by a response, restoring
+// sentinel identity from the code.
+func wireError(resp *response) error {
+	switch resp.Code {
+	case codeClosed:
+		return ErrClosed
+	case codeCanceled:
+		return context.Canceled
+	case codeDeadline:
+		return context.DeadlineExceeded
+	case codeLeaseExpired:
+		return ErrLeaseExpired
+	case codeTxnFinished:
+		return ErrTxnFinished
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+func errResp(err error) *response {
+	return &response{Err: err.Error(), Code: codeFor(err)}
 }
 
 func init() {
@@ -156,13 +245,53 @@ func (c *countingConn) Write(p []byte) (int, error) {
 
 // wireOps lists every protocol op, for pre-building the per-connection
 // histogram table (read concurrently by blocking-op handlers).
-var wireOps = []string{"out", "outn", "in", "inp", "rd", "rdp", "len"}
+var wireOps = []string{
+	"out", "outn", "in", "inp", "rd", "rdp", "len",
+	"hello", "ping", "txbegin", "txcommit", "txabort", "cancel", "recover",
+}
+
+// ServerBackend is what Serve needs from a space implementation: the
+// transactional store plus access to its attached instruments. Both
+// *Space and durable.Space satisfy it.
+type ServerBackend interface {
+	TxnStore
+	Registry() *obs.Registry
+	Tracer() *obs.Tracer
+}
+
+// netServer is the per-listener state shared by all connections:
+// continuation tuples committed under session names. Continuations are
+// kept in memory only — they survive a client's death (any reconnect
+// under the same name recovers them) but not a restart of the serving
+// process; the PLinda runtime additionally keeps continuations in its
+// own process table.
+type netServer struct {
+	be    ServerBackend
+	mu    sync.Mutex
+	conts map[string]Tuple
+}
+
+func (ns *netServer) setCont(name string, t Tuple) {
+	ns.mu.Lock()
+	ns.conts[name] = t
+	ns.mu.Unlock()
+}
+
+func (ns *netServer) cont(name string) (Tuple, bool) {
+	ns.mu.Lock()
+	t, ok := ns.conts[name]
+	ns.mu.Unlock()
+	return t, ok
+}
 
 // connState is the per-connection server machinery: a reader loop
-// (the calling goroutine), handler goroutines for blocking ops, and
-// one writer goroutine that owns the gob encoder.
+// (the calling goroutine), handler goroutines for blocking ops, one
+// writer goroutine that owns the gob encoder, and the session state —
+// name, lease timer, open transactions, and cancel handles for
+// in-flight blocking operations.
 type connState struct {
-	s       *Space
+	ns      *netServer
+	be      ServerBackend
 	respCh  chan *response
 	wg      sync.WaitGroup // in-flight blocking-op handlers
 	reg     *obs.Registry
@@ -171,23 +300,47 @@ type connState struct {
 	flushes *obs.Counter
 	bouts   *obs.Counter
 	btuples *obs.Counter
+
+	sessions   *obs.Counter
+	txnBegins  *obs.Counter
+	txnCommits *obs.Counter
+	txnAborts  *obs.Counter
+	autoAborts *obs.Counter
+	leaseExps  *obs.Counter
+	cxls       *obs.Counter
+	openTxns   *obs.Gauge
+
+	ctx       context.Context // session context: canceled on teardown or lease expiry
+	cancelAll context.CancelFunc
+
+	mu      sync.Mutex
+	name    string
+	lease   time.Duration
+	timer   *time.Timer
+	expired bool
+	txns    map[uint64]Txn
+	cancels map[uint64]context.CancelFunc
 }
 
-// ServeTCP serves the space on the listener until the listener is
+// Serve serves the backend on the listener until the listener is
 // closed; each accepted connection handles requests pipelined: a
 // dedicated reader decodes frames, non-blocking ops run inline,
 // blocking in/rd run in their own goroutines, and a dedicated writer
 // streams tagged responses back as they complete. It returns after the
 // listener closes.
 //
-// If the space has an observer attached (Space.Observe), the server
-// also records wire-level metrics: request/response byte counters
+// If the backend has an observer attached, the server also records
+// wire-level metrics: request/response byte counters
 // ("net.rx_bytes"/"net.tx_bytes"), connection counters, a per-op
 // latency histogram ("net.op.<op>", covering queueing plus matching —
 // for blocking in/rd this includes the wait), batch counters
 // ("net.batch_outs"/"net.batch_tuples"), a response-flush counter
-// ("net.flushes"), and kind "net" trace events.
-func ServeTCP(l net.Listener, s *Space) error {
+// ("net.flushes"), session/lease/transaction counters
+// ("net.sessions", "net.lease_expirations", "net.txn_begins",
+// "net.txn_commits", "net.txn_aborts", "net.txn_auto_aborts",
+// "net.cancels", gauge "net.open_txns"), and kind "net" trace events.
+func Serve(l net.Listener, be ServerBackend) error {
+	ns := &netServer{be: be, conts: make(map[string]Tuple)}
 	var wg sync.WaitGroup
 	for {
 		conn, err := l.Accept()
@@ -202,20 +355,29 @@ func ServeTCP(l net.Listener, s *Space) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			serveConn(conn, s)
+			serveConn(ns, conn)
 		}()
 	}
 }
 
-func serveConn(conn net.Conn, s *Space) {
-	// The registry is looked up per connection so spaces observed
-	// after ServeTCP still get wire metrics on new connections.
+// ServeTCP serves a local space on the listener; it is Serve
+// specialized to the in-process backend.
+func ServeTCP(l net.Listener, s *Space) error { return Serve(l, s) }
+
+func serveConn(ns *netServer, conn net.Conn) {
+	// The registry is looked up per connection so backends observed
+	// after Serve still get wire metrics on new connections.
 	cs := &connState{
-		s:      s,
-		respCh: make(chan *response, 64),
-		reg:    s.Registry(),
-		tracer: s.Tracer(),
+		ns:      ns,
+		be:      ns.be,
+		respCh:  make(chan *response, 64),
+		reg:     ns.be.Registry(),
+		tracer:  ns.be.Tracer(),
+		txns:    make(map[uint64]Txn),
+		cancels: make(map[uint64]context.CancelFunc),
 	}
+	cs.ctx, cs.cancelAll = context.WithCancel(context.Background())
+	defer cs.cancelAll()
 	var rwc net.Conn = conn
 	if cs.reg != nil {
 		cs.reg.Counter("net.conns").Inc()
@@ -229,6 +391,14 @@ func serveConn(conn net.Conn, s *Space) {
 		cs.flushes = cs.reg.Counter("net.flushes")
 		cs.bouts = cs.reg.Counter("net.batch_outs")
 		cs.btuples = cs.reg.Counter("net.batch_tuples")
+		cs.sessions = cs.reg.Counter("net.sessions")
+		cs.txnBegins = cs.reg.Counter("net.txn_begins")
+		cs.txnCommits = cs.reg.Counter("net.txn_commits")
+		cs.txnAborts = cs.reg.Counter("net.txn_aborts")
+		cs.autoAborts = cs.reg.Counter("net.txn_auto_aborts")
+		cs.leaseExps = cs.reg.Counter("net.lease_expirations")
+		cs.cxls = cs.reg.Counter("net.cancels")
+		cs.openTxns = cs.reg.Gauge("net.open_txns")
 	}
 
 	// Writer: sole owner of the encoder. Flushes only when no response
@@ -262,31 +432,120 @@ func serveConn(conn net.Conn, s *Space) {
 		if err := dec.Decode(&req); err != nil {
 			break // connection closed
 		}
+		cs.touch()
 		if req.Op == "in" || req.Op == "rd" {
 			// Blocking ops get their own goroutine so they cannot stall
-			// the requests pipelined behind them.
+			// the requests pipelined behind them. The cancel handle is
+			// registered before the handler starts, so a pipelined
+			// "cancel" never races past it.
 			r := req
+			hctx, hcancel := context.WithCancel(cs.ctx)
+			cs.mu.Lock()
+			cs.cancels[r.ID] = hcancel
+			cs.mu.Unlock()
 			cs.wg.Add(1)
 			go func() {
 				defer cs.wg.Done()
-				cs.handle(&r)
+				cs.handle(&r, hctx)
+				cs.mu.Lock()
+				delete(cs.cancels, r.ID)
+				cs.mu.Unlock()
+				hcancel()
 			}()
 			continue
 		}
-		cs.handle(&req)
+		cs.handle(&req, cs.ctx)
 	}
-	cs.wg.Wait() // blocked handlers resolve when the space closes
+	// Connection teardown: release blocked handlers, then auto-abort
+	// the session's surviving transactions — the connection-drop half
+	// of the fault-tolerance contract. Restored tuples reappear for
+	// other workers.
+	cs.cancelAll()
+	cs.mu.Lock()
+	if cs.timer != nil {
+		cs.timer.Stop()
+	}
+	cs.mu.Unlock()
+	cs.wg.Wait()
+	cs.mu.Lock()
+	txns := cs.txns
+	cs.txns = nil
+	cs.mu.Unlock()
+	for _, tx := range txns {
+		tx.Abort() //nolint:errcheck — best-effort restore; the backend may be closing
+		cs.autoAborts.Inc()
+		cs.openTxns.Add(-1)
+	}
 	close(cs.respCh)
 	<-writerDone
 }
 
+// touch resets the lease timer; called for every decoded request, so
+// any traffic (including "ping") keeps the session alive.
+func (cs *connState) touch() {
+	cs.mu.Lock()
+	if cs.timer != nil && !cs.expired {
+		cs.timer.Reset(cs.lease)
+	}
+	cs.mu.Unlock()
+}
+
+// expire is the lease timer callback: it marks the session expired,
+// aborts its transactions (restoring tentative takes immediately, not
+// at connection teardown — the client may be partitioned, not dead),
+// and cancels in-flight blocking operations. The connection stays open
+// so the client deterministically observes ErrLeaseExpired.
+func (cs *connState) expire() {
+	cs.mu.Lock()
+	if cs.expired || cs.txns == nil {
+		cs.mu.Unlock()
+		return
+	}
+	cs.expired = true
+	txns := cs.txns
+	cs.txns = make(map[uint64]Txn)
+	cs.mu.Unlock()
+	cs.leaseExps.Inc()
+	for _, tx := range txns {
+		tx.Abort() //nolint:errcheck — best-effort restore
+		cs.autoAborts.Inc()
+		cs.openTxns.Add(-1)
+	}
+	cs.cancelAll()
+	if cs.tracer != nil {
+		cs.tracer.Record("net", "lease-expired", 0, "session", cs.sessionName())
+	}
+}
+
+func (cs *connState) sessionExpired() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.expired
+}
+
+func (cs *connState) sessionName() string {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.name
+}
+
+// mapErr translates a handler error for the wire. A blocking op
+// unblocked by the session context, or a transaction op that lost to
+// the expiry abort, surfaces as the lease expiry that caused it.
+func (cs *connState) mapErr(err error) *response {
+	if (errors.Is(err, context.Canceled) || errors.Is(err, ErrTxnFinished)) && cs.sessionExpired() {
+		return errResp(ErrLeaseExpired)
+	}
+	return errResp(err)
+}
+
 // handle executes one request and queues its response.
-func (cs *connState) handle(req *request) {
+func (cs *connState) handle(req *request, ctx context.Context) {
 	var start time.Time
 	if cs.reg != nil || cs.tracer != nil {
 		start = time.Now()
 	}
-	resp := serveOne(cs, req)
+	resp := serveOne(cs, req, ctx)
 	resp.ID = req.ID
 	if !start.IsZero() {
 		d := time.Since(start)
@@ -298,19 +557,133 @@ func (cs *connState) handle(req *request) {
 	cs.respCh <- resp
 }
 
-func serveOne(cs *connState, req *request) *response {
-	s := cs.s
-	if req.Op == "outn" {
-		tuples := make([]Tuple, len(req.Batch))
-		for i, wf := range req.Batch {
-			fields, err := decodeFields(wf)
-			if err != nil {
-				return &response{Err: err.Error()}
-			}
-			tuples[i] = Tuple(fields)
+// txn looks up an open transaction of this session.
+func (cs *connState) txn(id uint64) Txn {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.txns[id]
+}
+
+// takeTxn removes and returns an open transaction, for commit/abort.
+func (cs *connState) takeTxn(id uint64) Txn {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	tx := cs.txns[id]
+	if tx != nil {
+		delete(cs.txns, id)
+	}
+	return tx
+}
+
+func decodeBatch(batch [][]wireField) ([]Tuple, error) {
+	tuples := make([]Tuple, len(batch))
+	for i, wf := range batch {
+		fields, err := decodeFields(wf)
+		if err != nil {
+			return nil, err
 		}
-		if err := s.OutN(tuples); err != nil {
-			return &response{Err: err.Error()}
+		tuples[i] = Tuple(fields)
+	}
+	return tuples, nil
+}
+
+func serveOne(cs *connState, req *request, ctx context.Context) *response {
+	be := cs.be
+	if cs.sessionExpired() {
+		return errResp(ErrLeaseExpired)
+	}
+	switch req.Op {
+	case "hello":
+		cs.mu.Lock()
+		cs.name = req.Name
+		if req.Lease > 0 {
+			cs.lease = time.Duration(req.Lease)
+			if cs.timer == nil {
+				cs.timer = time.AfterFunc(cs.lease, cs.expire)
+			} else {
+				cs.timer.Reset(cs.lease)
+			}
+		}
+		cs.mu.Unlock()
+		cs.sessions.Inc()
+		return &response{OK: true}
+	case "ping":
+		return &response{OK: true} // the reader's touch already reset the lease
+	case "txbegin":
+		tx, err := be.Begin()
+		if err != nil {
+			return cs.mapErr(err)
+		}
+		cs.mu.Lock()
+		if cs.expired || cs.txns == nil {
+			cs.mu.Unlock()
+			tx.Abort() //nolint:errcheck — raced with expiry/teardown
+			return errResp(ErrLeaseExpired)
+		}
+		cs.txns[req.Txn] = tx
+		cs.mu.Unlock()
+		cs.txnBegins.Inc()
+		cs.openTxns.Add(1)
+		return &response{OK: true}
+	case "txcommit":
+		if req.HasCont && cs.sessionName() == "" {
+			return errResp(errors.New("tuplespace: continuation commit requires a named session"))
+		}
+		tx := cs.takeTxn(req.Txn)
+		if tx == nil {
+			return cs.mapErr(ErrTxnFinished)
+		}
+		outs, err := decodeBatch(req.Batch)
+		if err != nil {
+			return errResp(err)
+		}
+		if err := tx.Commit(outs); err != nil {
+			return cs.mapErr(err)
+		}
+		if req.HasCont {
+			contFields, err := decodeFields(req.Cont)
+			if err != nil {
+				return errResp(err)
+			}
+			cs.ns.setCont(cs.sessionName(), Tuple(contFields))
+		}
+		cs.txnCommits.Inc()
+		cs.openTxns.Add(-1)
+		return &response{OK: true}
+	case "txabort":
+		tx := cs.takeTxn(req.Txn)
+		if tx == nil {
+			return cs.mapErr(ErrTxnFinished)
+		}
+		if err := tx.Abort(); err != nil {
+			return cs.mapErr(err)
+		}
+		cs.txnAborts.Inc()
+		cs.openTxns.Add(-1)
+		return &response{OK: true}
+	case "cancel":
+		cs.mu.Lock()
+		fn := cs.cancels[req.Target]
+		cs.mu.Unlock()
+		if fn != nil {
+			fn()
+			cs.cxls.Inc()
+		}
+		return &response{OK: true}
+	case "recover":
+		name := cs.sessionName()
+		if name == "" {
+			return errResp(errors.New("tuplespace: recover requires a named session"))
+		}
+		t, ok := cs.ns.cont(name)
+		return &response{Tuple: t, OK: ok}
+	case "outn":
+		tuples, err := decodeBatch(req.Batch)
+		if err != nil {
+			return errResp(err)
+		}
+		if err := be.OutN(tuples); err != nil {
+			return cs.mapErr(err)
 		}
 		cs.bouts.Inc()
 		cs.btuples.Add(int64(len(tuples)))
@@ -318,42 +691,75 @@ func serveOne(cs *connState, req *request) *response {
 	}
 	fields, err := decodeFields(req.Fields)
 	if err != nil {
-		return &response{Err: err.Error()}
+		return errResp(err)
 	}
 	switch req.Op {
 	case "out":
-		if err := s.Out(fields...); err != nil {
-			return &response{Err: err.Error()}
+		if err := be.Out(fields...); err != nil {
+			return cs.mapErr(err)
 		}
 		return &response{OK: true}
 	case "in":
-		t, err := s.In(fields...)
+		var t Tuple
+		var err error
+		if req.Txn != 0 {
+			tx := cs.txn(req.Txn)
+			if tx == nil {
+				return cs.mapErr(ErrTxnFinished)
+			}
+			t, err = tx.InCtx(ctx, fields...)
+		} else {
+			t, err = be.InCtx(ctx, fields...)
+		}
 		if err != nil {
-			return &response{Err: err.Error()}
+			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: true}
 	case "rd":
-		t, err := s.Rd(fields...)
+		// Reads are non-destructive and therefore never tentative: a rd
+		// inside a transaction goes straight to the store.
+		t, err := be.RdCtx(ctx, fields...)
 		if err != nil {
-			return &response{Err: err.Error()}
+			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: true}
 	case "inp":
-		t, ok := s.Inp(fields...)
+		var t Tuple
+		var ok bool
+		if req.Txn != 0 {
+			tx := cs.txn(req.Txn)
+			if tx == nil {
+				return cs.mapErr(ErrTxnFinished)
+			}
+			t, ok, err = tx.Inp(fields...)
+		} else {
+			t, ok, err = be.Inp(fields...)
+		}
+		if err != nil {
+			return cs.mapErr(err)
+		}
 		return &response{Tuple: t, OK: ok}
 	case "rdp":
-		t, ok := s.Rdp(fields...)
+		t, ok, err := be.Rdp(fields...)
+		if err != nil {
+			return cs.mapErr(err)
+		}
 		return &response{Tuple: t, OK: ok}
 	case "len":
-		return &response{OK: true, Len: s.Len()}
+		n, err := be.Len()
+		if err != nil {
+			return cs.mapErr(err)
+		}
+		return &response{OK: true, Len: n}
 	default:
-		return &response{Err: fmt.Sprintf("tuplespace: unknown op %q", req.Op)}
+		return errResp(fmt.Errorf("tuplespace: unknown op %q", req.Op))
 	}
 }
 
 // timeoutError is the error returned when a non-blocking operation's
 // response does not arrive within the op timeout. It implements
-// net.Error so callers can detect the timeout generically.
+// net.Error so callers can detect the timeout generically, and
+// unwraps to ErrTimeout for errors.Is.
 type timeoutError struct{ op string }
 
 func (e *timeoutError) Error() string {
@@ -361,8 +767,9 @@ func (e *timeoutError) Error() string {
 }
 func (e *timeoutError) Timeout() bool   { return true }
 func (e *timeoutError) Temporary() bool { return true }
+func (e *timeoutError) Unwrap() error   { return ErrTimeout }
 
-// Client is a remote handle on a served Space. Operations are
+// Client is a remote handle on a served store. Operations are
 // pipelined over one connection and may be issued from any number of
 // goroutines concurrently: a blocking In parks on a response channel
 // while other operations keep flowing. One Client per process is
@@ -379,24 +786,55 @@ type Client struct {
 	pmu     sync.Mutex
 	pending map[uint64]chan *response // nil after fail/Close
 	nextID  atomic.Uint64
+	txnSeq  atomic.Uint64
 
 	opTimeout atomic.Int64 // nanoseconds; non-blocking ops only
 	closed    atomic.Bool
+
+	stopPing     chan struct{} // nil when no heartbeat goroutine runs
+	stopPingOnce sync.Once
 }
 
-// Dial connects to a served tuple space with no connection or
-// per-operation timeout.
-func Dial(addr string) (*Client, error) { return DialTimeout(addr, 0, 0) }
+// DialOptions configures a client session.
+type DialOptions struct {
+	// DialTimeout bounds connection establishment; zero is unbounded.
+	DialTimeout time.Duration
+	// OpTimeout bounds every non-blocking operation (Out, OutN, Inp,
+	// Rdp, Len, Ping, transaction begin/commit/abort); zero is
+	// unbounded. Blocking In/Rd are unbounded by design.
+	OpTimeout time.Duration
+	// Lease is the session's heartbeat lease: if the server sees no
+	// traffic for this long it declares the client dead, aborts its
+	// open transactions, and fails all further operations on the
+	// session with ErrLeaseExpired. Zero disables the lease.
+	Lease time.Duration
+	// Heartbeat is the interval of the background keepalive pings.
+	// Zero selects Lease/3; a negative value disables the background
+	// pinger (the caller must Ping, or let the lease lapse — used by
+	// partition tests).
+	Heartbeat time.Duration
+	// Name identifies the session for continuation recovery: a
+	// continuation committed by this session's transactions can be
+	// fetched with Recover by any later session dialed under the same
+	// name.
+	Name string
+}
 
-// DialTimeout connects to a served tuple space, bounding connection
-// establishment by dialTimeout and every subsequent non-blocking
-// operation (Out, OutN, Inp, Rdp, Len) by opTimeout. Zero means
-// unbounded. The blocking operations In and Rd are unbounded by design
-// — a Linda process legitimately blocks forever — but they are
-// released with ErrClientClosed when the client is closed from another
-// goroutine.
+// Dial connects to a served tuple space with no timeouts, no lease,
+// and no session name.
+func Dial(addr string) (*Client, error) { return DialOpts(addr, DialOptions{}) }
+
+// DialTimeout connects with the given dial and op timeouts; see
+// DialOptions.
 func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	return DialOpts(addr, DialOptions{DialTimeout: dialTimeout, OpTimeout: opTimeout})
+}
+
+// DialOpts connects to a served tuple space. If the options request a
+// lease or a session name, the session is established synchronously
+// before DialOpts returns.
+func DialOpts(addr string, o DialOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -407,9 +845,55 @@ func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, er
 		enc:     gob.NewEncoder(bw),
 		pending: make(map[uint64]chan *response),
 	}
-	c.opTimeout.Store(int64(opTimeout))
+	c.opTimeout.Store(int64(o.OpTimeout))
 	go c.readLoop()
+	if o.Lease > 0 || o.Name != "" {
+		if _, err := c.roundTrip(&request{Op: "hello", Lease: int64(o.Lease), Name: o.Name}); err != nil {
+			c.Close() //nolint:errcheck
+			return nil, err
+		}
+		if o.Lease > 0 && o.Heartbeat >= 0 {
+			hb := o.Heartbeat
+			if hb == 0 {
+				hb = o.Lease / 3
+			}
+			if hb <= 0 {
+				hb = time.Millisecond
+			}
+			c.stopPing = make(chan struct{})
+			go c.pingLoop(hb)
+		}
+	}
 	return c, nil
+}
+
+// pingLoop keeps the session lease alive until the client fails or an
+// error (including lease expiry) comes back.
+func (c *Client) pingLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopPing:
+			return
+		case <-t.C:
+			if err := c.Ping(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (c *Client) stopPinger() {
+	if c.stopPing != nil {
+		c.stopPingOnce.Do(func() { close(c.stopPing) })
+	}
+}
+
+// Ping performs one keepalive round trip, resetting the session lease.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&request{Op: "ping"})
+	return err
 }
 
 // readLoop is the sole reader of the connection: it demultiplexes
@@ -440,6 +924,7 @@ func (c *Client) fail() bool {
 	if !already {
 		c.conn.Close() //nolint:errcheck
 	}
+	c.stopPinger()
 	c.pmu.Lock()
 	p := c.pending
 	c.pending = nil
@@ -458,7 +943,8 @@ func (c *Client) fail() bool {
 func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout.Store(int64(d)) }
 
 // Close releases the connection. Every blocked or in-flight operation
-// is unblocked with ErrClientClosed.
+// is unblocked with ErrClientClosed. The server observes the drop and
+// auto-aborts any open transactions of this session.
 func (c *Client) Close() error {
 	c.fail()
 	return nil
@@ -468,7 +954,9 @@ func (c *Client) Close() error {
 // the server and must therefore not carry a timeout.
 func blockingOp(op string) bool { return op == "in" || op == "rd" }
 
-func (c *Client) roundTrip(req *request) (*response, error) {
+// send registers a response channel and writes the frame. On a write
+// error the connection is abandoned.
+func (c *Client) send(req *request) (chan *response, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}
@@ -481,9 +969,18 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 	}
 	c.pending[req.ID] = ch
 	c.pmu.Unlock()
+	if err := c.write(req); err != nil {
+		if c.fail() {
+			return nil, ErrClientClosed
+		}
+		return nil, err
+	}
+	return ch, nil
+}
 
-	// Encode under the write lock; flush only if no other writer is
-	// queued behind us (it will flush for both).
+// write encodes one frame under the write lock; flushes only if no
+// other writer is queued behind it (which will flush for both).
+func (c *Client) write(req *request) error {
 	c.wq.Add(1)
 	c.wmu.Lock()
 	err := c.enc.Encode(req)
@@ -492,13 +989,18 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 		err = c.bw.Flush()
 	}
 	c.wmu.Unlock()
+	return err
+}
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	return c.roundTripCtx(context.Background(), req)
+}
+
+func (c *Client) roundTripCtx(ctx context.Context, req *request) (*response, error) {
+	ch, err := c.send(req)
 	if err != nil {
-		if c.fail() {
-			return nil, ErrClientClosed
-		}
 		return nil, err
 	}
-
 	var timeoutC <-chan time.Time
 	if d := time.Duration(c.opTimeout.Load()); d > 0 && !blockingOp(req.Op) {
 		timer := time.NewTimer(d)
@@ -510,8 +1012,8 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 		if !ok {
 			return nil, ErrClientClosed
 		}
-		if resp.Err != "" {
-			return nil, errors.New(resp.Err)
+		if err := wireError(resp); err != nil {
+			return nil, err
 		}
 		return resp, nil
 	case <-timeoutC:
@@ -520,6 +1022,23 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 		// a transport error.
 		c.fail()
 		return nil, &timeoutError{op: req.Op}
+	case <-ctx.Done():
+		// Ask the server to cancel the blocked operation, then await
+		// the original response: the server always answers, with the
+		// tuple if the cancellation lost the race — the tuple wins, so
+		// no take is lost on the wire.
+		c.write(&request{ID: c.nextID.Add(1), Op: "cancel", Target: req.ID}) //nolint:errcheck — a write failure fails the conn; ch resolves either way
+		resp, ok := <-ch
+		if !ok {
+			return nil, ErrClientClosed
+		}
+		if err := wireError(resp); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		return resp, nil
 	}
 }
 
@@ -544,30 +1063,53 @@ func (c *Client) OutN(tuples []Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	batch, err := encodeBatch(tuples)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&request{Op: "outn", Batch: batch})
+	return err
+}
+
+func encodeBatch(tuples []Tuple) ([][]wireField, error) {
 	batch := make([][]wireField, len(tuples))
 	for i, t := range tuples {
 		wf, err := encodeFields(t)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		batch[i] = wf
 	}
-	_, err := c.roundTrip(&request{Op: "outn", Batch: batch})
-	return err
+	return batch, nil
 }
 
 // In blocks until a matching tuple exists remotely and removes it.
-func (c *Client) In(tmpl ...any) (Tuple, error) {
-	resp, err := c.op("in", tmpl)
-	if err != nil {
-		return nil, err
-	}
-	return Tuple(resp.Tuple), nil
+func (c *Client) In(tmplFields ...any) (Tuple, error) {
+	return c.InCtx(context.Background(), tmplFields...)
+}
+
+// InCtx is In with cancellation: the server-side waiter is withdrawn
+// when ctx is done, under the same tuple-wins rule as Space.InCtx.
+func (c *Client) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return c.blockCtx(ctx, "in", tmplFields, 0)
 }
 
 // Rd blocks until a matching tuple exists and returns a copy.
-func (c *Client) Rd(tmpl ...any) (Tuple, error) {
-	resp, err := c.op("rd", tmpl)
+func (c *Client) Rd(tmplFields ...any) (Tuple, error) {
+	return c.RdCtx(context.Background(), tmplFields...)
+}
+
+// RdCtx is Rd with cancellation.
+func (c *Client) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return c.blockCtx(ctx, "rd", tmplFields, 0)
+}
+
+func (c *Client) blockCtx(ctx context.Context, op string, tmplFields []any, txn uint64) (Tuple, error) {
+	wf, err := encodeFields(tmplFields)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTripCtx(ctx, &request{Op: op, Fields: wf, Txn: txn})
 	if err != nil {
 		return nil, err
 	}
@@ -575,8 +1117,8 @@ func (c *Client) Rd(tmpl ...any) (Tuple, error) {
 }
 
 // Inp is the non-blocking destructive match.
-func (c *Client) Inp(tmpl ...any) (Tuple, bool, error) {
-	resp, err := c.op("inp", tmpl)
+func (c *Client) Inp(tmplFields ...any) (Tuple, bool, error) {
+	resp, err := c.op("inp", tmplFields)
 	if err != nil {
 		return nil, false, err
 	}
@@ -584,8 +1126,8 @@ func (c *Client) Inp(tmpl ...any) (Tuple, bool, error) {
 }
 
 // Rdp is the non-blocking non-destructive match.
-func (c *Client) Rdp(tmpl ...any) (Tuple, bool, error) {
-	resp, err := c.op("rdp", tmpl)
+func (c *Client) Rdp(tmplFields ...any) (Tuple, bool, error) {
+	resp, err := c.op("rdp", tmplFields)
 	if err != nil {
 		return nil, false, err
 	}
@@ -599,4 +1141,85 @@ func (c *Client) Len() (int, error) {
 		return 0, err
 	}
 	return resp.Len, nil
+}
+
+// Recover fetches the continuation tuple last committed under this
+// session's name (see DialOptions.Name and ContCommitter). ok is false
+// when no continuation was ever committed.
+func (c *Client) Recover() (Tuple, bool, error) {
+	resp, err := c.roundTrip(&request{Op: "recover"})
+	if err != nil {
+		return nil, false, err
+	}
+	return Tuple(resp.Tuple), resp.OK, nil
+}
+
+// Begin opens a remote transaction: takes performed through it are
+// tentative server-side until Commit. A connection drop or lease
+// expiry aborts it automatically.
+func (c *Client) Begin() (Txn, error) {
+	id := c.txnSeq.Add(1)
+	if _, err := c.roundTrip(&request{Op: "txbegin", Txn: id}); err != nil {
+		return nil, err
+	}
+	return &clientTxn{c: c, id: id}, nil
+}
+
+// clientTxn is a remote transaction handle. The client sends only the
+// transaction ID with each operation; the tentative state lives on the
+// server, which is what makes a client crash recoverable.
+type clientTxn struct {
+	c  *Client
+	id uint64
+}
+
+func (tx *clientTxn) In(tmplFields ...any) (Tuple, error) {
+	return tx.c.blockCtx(context.Background(), "in", tmplFields, tx.id)
+}
+
+func (tx *clientTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return tx.c.blockCtx(ctx, "in", tmplFields, tx.id)
+}
+
+func (tx *clientTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
+	wf, err := encodeFields(tmplFields)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := tx.c.roundTrip(&request{Op: "inp", Fields: wf, Txn: tx.id})
+	if err != nil {
+		return nil, false, err
+	}
+	return Tuple(resp.Tuple), resp.OK, nil
+}
+
+// Commit finalizes the takes and publishes outs in one round trip.
+func (tx *clientTxn) Commit(outs []Tuple) error {
+	return tx.commit(outs, nil, false)
+}
+
+// CommitCont is Commit plus a continuation tuple recorded under the
+// session name, mirroring Proc.Xcommit's continuation argument.
+func (tx *clientTxn) CommitCont(outs []Tuple, cont Tuple) error {
+	return tx.commit(outs, cont, true)
+}
+
+func (tx *clientTxn) commit(outs []Tuple, cont Tuple, hasCont bool) error {
+	batch, err := encodeBatch(outs)
+	if err != nil {
+		return err
+	}
+	req := &request{Op: "txcommit", Txn: tx.id, Batch: batch, HasCont: hasCont}
+	if hasCont {
+		if req.Cont, err = encodeFields(cont); err != nil {
+			return err
+		}
+	}
+	_, err = tx.c.roundTrip(req)
+	return err
+}
+
+func (tx *clientTxn) Abort() error {
+	_, err := tx.c.roundTrip(&request{Op: "txabort", Txn: tx.id})
+	return err
 }

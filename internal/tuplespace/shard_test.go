@@ -90,8 +90,8 @@ func TestShardedReadersServedBeforeOneTaker(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("taker not served")
 	}
-	if s.Len() != 0 {
-		t.Fatalf("Len=%d after take, want 0", s.Len())
+	if slen(s) != 0 {
+		t.Fatalf("Len=%d after take, want 0", slen(s))
 	}
 }
 
@@ -182,8 +182,8 @@ func TestCrossShardBlockedWaiterWokenByAnyTag(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("cross-shard waiter never woken")
 	}
-	if s.Len() != 0 {
-		t.Fatalf("Len=%d want 0", s.Len())
+	if slen(s) != 0 {
+		t.Fatalf("Len=%d want 0", slen(s))
 	}
 }
 
@@ -217,8 +217,8 @@ func TestCrossShardClaimsPreexistingTuples(t *testing.T) {
 	if len(seen) != n {
 		t.Fatalf("claimed %d distinct tuples, want %d", len(seen), n)
 	}
-	if s.Len() != n { // the arity-2 tuples remain
-		t.Fatalf("Len=%d want %d", s.Len(), n)
+	if slen(s) != n { // the arity-2 tuples remain
+		t.Fatalf("Len=%d want %d", slen(s), n)
 	}
 }
 
@@ -230,8 +230,8 @@ func TestCrossShardRdLeavesTuple(t *testing.T) {
 	if err != nil || tu[1].(int) != 9 {
 		t.Fatalf("Rd got %v err=%v", tu, err)
 	}
-	if s.Len() != 1 {
-		t.Fatalf("cross-shard Rd consumed the tuple: Len=%d", s.Len())
+	if slen(s) != 1 {
+		t.Fatalf("cross-shard Rd consumed the tuple: Len=%d", slen(s))
 	}
 }
 
@@ -288,8 +288,8 @@ func TestShardedConcurrentMixedTagsConserve(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if s.Len() != 0 {
-		t.Fatalf("Len=%d want 0", s.Len())
+	if slen(s) != 0 {
+		t.Fatalf("Len=%d want 0", slen(s))
 	}
 	if st := s.Stats(); st.Outs != g*per || st.Ins != g*per {
 		t.Fatalf("stats %+v", st)
@@ -446,7 +446,7 @@ func TestPerShardGaugesSumToTotal(t *testing.T) {
 	for i := 0; i < s.Shards(); i++ {
 		sum += snap.Gauges[fmt.Sprintf("ts.shard.%d.tuples", i)]
 	}
-	if sum != int64(s.Len()) || snap.Gauges["ts.tuples"] != int64(s.Len()) {
-		t.Fatalf("shard gauges sum=%d ts.tuples=%d Len=%d", sum, snap.Gauges["ts.tuples"], s.Len())
+	if sum != int64(slen(s)) || snap.Gauges["ts.tuples"] != int64(slen(s)) {
+		t.Fatalf("shard gauges sum=%d ts.tuples=%d Len=%d", sum, snap.Gauges["ts.tuples"], slen(s))
 	}
 }

@@ -1,0 +1,163 @@
+package tuplespace
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Store is the unified tuple-space surface: the same Linda operations
+// whether the space is in-process (*Space), reached over TCP
+// (*Client), or write-ahead logged (durable.Space). Every PLED/PLET
+// program in this repository is written against Store, so a program
+// runs unchanged on any backend.
+type Store interface {
+	Out(fields ...any) error
+	OutN(tuples []Tuple) error
+	In(tmplFields ...any) (Tuple, error)
+	InCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
+	Inp(tmplFields ...any) (Tuple, bool, error)
+	Rd(tmplFields ...any) (Tuple, error)
+	RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
+	Rdp(tmplFields ...any) (Tuple, bool, error)
+	Len() (int, error)
+	Close() error
+}
+
+// Txn is one lightweight PLinda transaction against a store: takes
+// performed through it are tentative until Commit, and Abort (or, for
+// remote transactions, a lease expiry or connection drop) restores
+// them. Outs are not part of Txn — the PLinda runtime buffers them and
+// passes the batch to Commit, so an aborted transaction's outs were
+// simply never published.
+type Txn interface {
+	In(tmplFields ...any) (Tuple, error)
+	InCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
+	Inp(tmplFields ...any) (Tuple, bool, error)
+	// Commit atomically finalizes the takes and publishes outs.
+	Commit(outs []Tuple) error
+	// Abort restores every take. Aborting a finished transaction is a
+	// no-op.
+	Abort() error
+}
+
+// TxnStore is a Store that supports lightweight transactions.
+type TxnStore interface {
+	Store
+	Begin() (Txn, error)
+}
+
+// ContCommitter is the optional Txn extension for PLinda's
+// continuation committing: the continuation tuple is stored with the
+// commit so a respawned process can resume from it (via Recoverer).
+type ContCommitter interface {
+	CommitCont(outs []Tuple, cont Tuple) error
+}
+
+// Recoverer is the optional Store extension that retrieves the last
+// continuation committed under this store's identity (for a Client,
+// its session name).
+type Recoverer interface {
+	Recover() (Tuple, bool, error)
+}
+
+// ErrTxnFinished rejects operations on a transaction that was already
+// committed or aborted — including the server-side abort a lease
+// expiry forces under a still-running remote operation.
+var ErrTxnFinished = errors.New("tuplespace: transaction already finished")
+
+// Interface conformance, checked at compile time.
+var (
+	_ TxnStore      = (*Space)(nil)
+	_ TxnStore      = (*Client)(nil)
+	_ Txn           = (*spaceTxn)(nil)
+	_ Txn           = (*clientTxn)(nil)
+	_ ContCommitter = (*clientTxn)(nil)
+	_ Recoverer     = (*Client)(nil)
+)
+
+// spaceTxn is the in-process transaction: takes go straight to the
+// space but are logged so Abort can republish them. The mutex makes a
+// transaction safe to abort from another goroutine (the wire server
+// aborts a session's transactions on lease expiry while a handler may
+// still be blocked inside In).
+type spaceTxn struct {
+	s     *Space
+	mu    sync.Mutex
+	takes []Tuple
+	done  bool
+}
+
+// Begin opens a transaction against the local space.
+func (s *Space) Begin() (Txn, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	return &spaceTxn{s: s}, nil
+}
+
+// record logs a completed take. If the transaction was aborted while
+// the take was in flight, the tuple is republished immediately and the
+// take reported as failed, so an abort never strands a tuple.
+func (tx *spaceTxn) record(t Tuple) error {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		tx.s.Out(t...) //nolint:errcheck — best-effort restore on a lost race
+		return ErrTxnFinished
+	}
+	tx.takes = append(tx.takes, t)
+	tx.mu.Unlock()
+	return nil
+}
+
+func (tx *spaceTxn) In(tmplFields ...any) (Tuple, error) {
+	return tx.InCtx(context.Background(), tmplFields...)
+}
+
+func (tx *spaceTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	t, err := tx.s.InCtx(ctx, tmplFields...)
+	if err != nil {
+		return nil, err
+	}
+	if err := tx.record(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (tx *spaceTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
+	t, ok, err := tx.s.Inp(tmplFields...)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if err := tx.record(t); err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}
+
+func (tx *spaceTxn) Commit(outs []Tuple) error {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		return ErrTxnFinished
+	}
+	tx.done = true
+	tx.takes = nil
+	tx.mu.Unlock()
+	return tx.s.OutN(outs)
+}
+
+func (tx *spaceTxn) Abort() error {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		return nil
+	}
+	tx.done = true
+	takes := tx.takes
+	tx.takes = nil
+	tx.mu.Unlock()
+	return tx.s.OutN(takes)
+}

@@ -28,6 +28,7 @@ package tuplespace
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"hash/maphash"
@@ -734,9 +735,9 @@ func (s *Space) scanPartitionLocked(sh *shard, p *partition, ct *compiledTemplat
 }
 
 // poll is the non-blocking match: Inp (take) and Rdp.
-func (s *Space) poll(tm Template, take bool) (Tuple, bool) {
+func (s *Space) poll(tm Template, take bool) (Tuple, bool, error) {
 	if s.closed.Load() {
-		return nil, false
+		return nil, false, ErrClosed
 	}
 	var ct compiledTemplate // stack-compiled: poll never retains it
 	ct.compileFrom(tm)
@@ -774,35 +775,53 @@ func (s *Space) poll(tm Template, take bool) (Tuple, bool) {
 			o.tracer.Record("tuple", op, 0, "matched", ok)
 		}
 	}
-	return t, ok
+	return t, ok, nil
 }
 
 // Inp is the non-blocking destructive match: if a matching tuple
-// exists it is removed and returned with true, else ok is false.
-func (s *Space) Inp(tmplFields ...any) (Tuple, bool) {
+// exists it is removed and returned with true, else ok is false. The
+// error is non-nil only when the space is closed.
+func (s *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
 	return s.poll(Template(tmplFields), true)
 }
 
 // Rdp is the non-blocking non-destructive match.
-func (s *Space) Rdp(tmplFields ...any) (Tuple, bool) {
+func (s *Space) Rdp(tmplFields ...any) (Tuple, bool, error) {
 	return s.poll(Template(tmplFields), false)
 }
 
 // In blocks until a matching tuple exists, removes it, and returns it.
 // It returns ErrClosed if the space is closed before a match arrives.
 func (s *Space) In(tmplFields ...any) (Tuple, error) {
-	return s.wait(Template(tmplFields), true)
+	return s.wait(context.Background(), Template(tmplFields), true)
+}
+
+// InCtx is In with cancellation: it returns ctx.Err() if the context
+// is done before a matching tuple is delivered. A tuple delivered in
+// the same instant as the cancellation wins — InCtx returns it rather
+// than losing a take.
+func (s *Space) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return s.wait(ctx, Template(tmplFields), true)
 }
 
 // Rd blocks until a matching tuple exists and returns a copy of it,
 // leaving it in the space.
 func (s *Space) Rd(tmplFields ...any) (Tuple, error) {
-	return s.wait(Template(tmplFields), false)
+	return s.wait(context.Background(), Template(tmplFields), false)
 }
 
-func (s *Space) wait(tm Template, take bool) (Tuple, error) {
+// RdCtx is Rd with cancellation, under the same tuple-wins rule as
+// InCtx.
+func (s *Space) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return s.wait(ctx, Template(tmplFields), false)
+}
+
+func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Heap-compiled: a registered waiter retains it.
 	ct := &compiledTemplate{}
@@ -840,7 +859,16 @@ func (s *Space) wait(tm Template, take bool) (Tuple, error) {
 		w := &waiter{ct: ct, take: take, ch: make(chan Tuple, 1), seq: s.seq.Add(1)}
 		sh.waiters = append(sh.waiters, w)
 		sh.mu.Unlock()
-		return s.block(w, op, o)
+		unregister := func() bool {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			if w.removed {
+				return false
+			}
+			w.removed = true
+			return true
+		}
+		return s.block(ctx, w, unregister, op, o)
 	}
 
 	// Cross-shard template: register on the shared waiter list first so
@@ -890,18 +918,49 @@ func (s *Space) wait(tm Template, take bool) (Tuple, error) {
 		}
 		break
 	}
-	return s.block(w, op, o)
+	unregister := func() bool {
+		s.xwait.mu.Lock()
+		defer s.xwait.mu.Unlock()
+		if w.removed {
+			return false
+		}
+		w.removed = true
+		s.xwait.n.Add(-1)
+		return true
+	}
+	return s.block(ctx, w, unregister, op, o)
 }
 
 // block parks the caller on its waiter channel until an Out delivers a
-// tuple or Close releases it.
-func (s *Space) block(w *waiter, op string, o *spaceObs) (Tuple, error) {
+// tuple, the context is canceled, or Close releases it. On
+// cancellation, unregister claims the waiter slot under the list lock;
+// if the claim fails a delivery (or Close) won the race and the
+// channel resolves immediately — the tuple wins over cancellation so
+// no take is lost.
+func (s *Space) block(ctx context.Context, w *waiter, unregister func() bool, op string, o *spaceObs) (Tuple, error) {
 	s.stBlocked.Add(1)
 	if o != nil {
 		o.blocked.Inc()
 	}
 	blockedAt := time.Now()
-	t, ok := <-w.ch
+	var t Tuple
+	var ok bool
+	select {
+	case t, ok = <-w.ch:
+	case <-ctx.Done():
+		if unregister() {
+			waited := time.Since(blockedAt)
+			s.stBlockedNanos.Add(int64(waited))
+			if o != nil {
+				o.wait.Observe(waited)
+				if o.tracer != nil {
+					o.tracer.Record("tuple", op, waited, "blocked", true, "canceled", true)
+				}
+			}
+			return nil, ctx.Err()
+		}
+		t, ok = <-w.ch
+	}
 	waited := time.Since(blockedAt)
 	s.stBlockedNanos.Add(int64(waited))
 	if o != nil {
@@ -918,37 +977,44 @@ func (s *Space) block(w *waiter, op string, o *spaceObs) (Tuple, error) {
 
 // Close unblocks all waiting operations with ErrClosed and rejects all
 // subsequent operations. Stored tuples remain readable via Snapshot.
-func (s *Space) Close() {
+// The returned error is always nil; the signature matches Store.
+func (s *Space) Close() error {
 	if s.closed.Swap(true) {
-		return
+		return nil
 	}
+	// Waiters are marked removed and their channels closed under the
+	// list lock, so a concurrent InCtx cancellation (which claims the
+	// removed flag under the same lock) either wins cleanly or sees the
+	// closed channel.
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.closed = true
-		ws := sh.waiters
-		sh.waiters = nil
-		sh.mu.Unlock()
-		for _, w := range ws {
+		for _, w := range sh.waiters {
 			if !w.removed {
+				w.removed = true
 				close(w.ch)
 			}
 		}
+		sh.waiters = nil
+		sh.mu.Unlock()
 	}
 	s.xwait.mu.Lock()
 	s.xwait.closed = true
-	xs := s.xwait.list
-	s.xwait.list = nil
-	s.xwait.n.Store(0)
-	s.xwait.mu.Unlock()
-	for _, w := range xs {
+	for _, w := range s.xwait.list {
 		if !w.removed {
+			w.removed = true
 			close(w.ch)
 		}
 	}
+	s.xwait.list = nil
+	s.xwait.n.Store(0)
+	s.xwait.mu.Unlock()
+	return nil
 }
 
-// Len reports the number of tuples currently stored.
-func (s *Space) Len() int { return int(s.tupleCnt.Load()) }
+// Len reports the number of tuples currently stored. The error is
+// always nil for a local space; the signature matches Store.
+func (s *Space) Len() (int, error) { return int(s.tupleCnt.Load()), nil }
 
 // Stats returns a copy of the operation counters.
 func (s *Space) Stats() Stats {

@@ -15,14 +15,14 @@ func TestOutInpRoundTrip(t *testing.T) {
 	if err := s.Out("task", 7, 3.5); err != nil {
 		t.Fatal(err)
 	}
-	tu, ok := s.Inp("task", FormalInt, FormalFloat)
+	tu, ok, _ := s.Inp("task", FormalInt, FormalFloat)
 	if !ok {
 		t.Fatal("expected a match")
 	}
 	if tu[1].(int) != 7 || tu[2].(float64) != 3.5 {
 		t.Fatalf("wrong tuple: %v", tu)
 	}
-	if _, ok := s.Inp("task", FormalInt, FormalFloat); ok {
+	if _, ok, _ := s.Inp("task", FormalInt, FormalFloat); ok {
 		t.Fatal("tuple should have been consumed")
 	}
 }
@@ -31,12 +31,12 @@ func TestRdpDoesNotConsume(t *testing.T) {
 	s := New()
 	s.Out("x", 1)
 	for i := 0; i < 3; i++ {
-		if _, ok := s.Rdp("x", FormalInt); !ok {
+		if _, ok, _ := s.Rdp("x", FormalInt); !ok {
 			t.Fatalf("read %d failed", i)
 		}
 	}
-	if s.Len() != 1 {
-		t.Fatalf("Len = %d, want 1", s.Len())
+	if slen(s) != 1 {
+		t.Fatalf("Len = %d, want 1", slen(s))
 	}
 }
 
@@ -44,7 +44,7 @@ func TestActualValueMatching(t *testing.T) {
 	s := New()
 	s.Out("result", 3, "motif-A")
 	s.Out("result", 4, "motif-B")
-	tu, ok := s.Inp("result", 4, FormalString)
+	tu, ok, _ := s.Inp("result", 4, FormalString)
 	if !ok || tu[2].(string) != "motif-B" {
 		t.Fatalf("got %v ok=%v", tu, ok)
 	}
@@ -53,10 +53,10 @@ func TestActualValueMatching(t *testing.T) {
 func TestTypeMismatchDoesNotMatch(t *testing.T) {
 	s := New()
 	s.Out("n", int64(5))
-	if _, ok := s.Inp("n", FormalInt); ok {
+	if _, ok, _ := s.Inp("n", FormalInt); ok {
 		t.Fatal("int formal must not match int64 field")
 	}
-	if _, ok := s.Inp("n", FormalInt64); !ok {
+	if _, ok, _ := s.Inp("n", FormalInt64); !ok {
 		t.Fatal("int64 formal must match int64 field")
 	}
 }
@@ -65,11 +65,11 @@ func TestArityMismatch(t *testing.T) {
 	s := New()
 	// lint:ignore tuple-contract arity mismatches are the point of this test
 	s.Out("a", 1, 2)
-	if _, ok := s.Inp("a", FormalInt); ok {
+	if _, ok, _ := s.Inp("a", FormalInt); ok {
 		t.Fatal("shorter template must not match")
 	}
 	// lint:ignore tuple-contract arity mismatches are the point of this test
-	if _, ok := s.Inp("a", FormalInt, FormalInt, FormalInt); ok {
+	if _, ok, _ := s.Inp("a", FormalInt, FormalInt, FormalInt); ok {
 		t.Fatal("longer template must not match")
 	}
 }
@@ -77,10 +77,10 @@ func TestArityMismatch(t *testing.T) {
 func TestSliceFieldsMatchByValue(t *testing.T) {
 	s := New()
 	s.Out("vec", []int{1, 2, 3})
-	if _, ok := s.Inp("vec", []int{1, 2, 4}); ok {
+	if _, ok, _ := s.Inp("vec", []int{1, 2, 4}); ok {
 		t.Fatal("different slice contents must not match as actual")
 	}
-	tu, ok := s.Inp("vec", []int{1, 2, 3})
+	tu, ok, _ := s.Inp("vec", []int{1, 2, 3})
 	if !ok {
 		t.Fatal("equal slice actual should match")
 	}
@@ -131,8 +131,8 @@ func TestRdWaitersAllWakeButTupleStays(t *testing.T) {
 	time.Sleep(10 * time.Millisecond)
 	s.Out("broadcast", 1)
 	wg.Wait()
-	if s.Len() != 1 {
-		t.Fatalf("Rd consumed the tuple: Len=%d", s.Len())
+	if slen(s) != 1 {
+		t.Fatalf("Rd consumed the tuple: Len=%d", slen(s))
 	}
 }
 
@@ -188,16 +188,16 @@ func TestSnapshotRestore(t *testing.T) {
 	}
 	s.Inp("t", 3)
 	s.Inp("t", 4)
-	if s.Len() != 8 {
-		t.Fatalf("Len=%d", s.Len())
+	if slen(s) != 8 {
+		t.Fatalf("Len=%d", slen(s))
 	}
 	if err := s.Restore(snap); err != nil {
 		t.Fatal(err)
 	}
-	if s.Len() != 10 {
-		t.Fatalf("after restore Len=%d, want 10", s.Len())
+	if slen(s) != 10 {
+		t.Fatalf("after restore Len=%d, want 10", slen(s))
 	}
-	if _, ok := s.Inp("t", 3); !ok {
+	if _, ok, _ := s.Inp("t", 3); !ok {
 		t.Fatal("restored tuple (t,3) missing")
 	}
 }
@@ -225,7 +225,7 @@ func TestFormalStringFirstFieldScans(t *testing.T) {
 	seen := map[string]bool{}
 	for i := 0; i < 2; i++ {
 		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-		tu, ok := s.Inp(FormalString, FormalInt)
+		tu, ok, _ := s.Inp(FormalString, FormalInt)
 		if !ok {
 			t.Fatalf("scan %d failed", i)
 		}
@@ -305,8 +305,8 @@ func TestObserveMetricsAndTrace(t *testing.T) {
 			t.Fatalf("%s=%d want %d (all: %v)", name, snap.Counters[name], n, snap.Counters)
 		}
 	}
-	if snap.Gauges["ts.tuples"] != int64(s.Len()) {
-		t.Fatalf("ts.tuples=%d want %d", snap.Gauges["ts.tuples"], s.Len())
+	if snap.Gauges["ts.tuples"] != int64(slen(s)) {
+		t.Fatalf("ts.tuples=%d want %d", snap.Gauges["ts.tuples"], slen(s))
 	}
 	if snap.Histograms["ts.wait"].Count != 1 {
 		t.Fatalf("wait histogram %+v, want one observation", snap.Histograms["ts.wait"])
@@ -373,10 +373,10 @@ func TestPropertyOutThenInMatches(t *testing.T) {
 	f := func(a int, b string, c float64, d bool) bool {
 		s := New()
 		s.Out(a, b, c, d)
-		if _, ok := s.Rdp(FormalInt, FormalString, FormalFloat, FormalBool); !ok {
+		if _, ok, _ := s.Rdp(FormalInt, FormalString, FormalFloat, FormalBool); !ok {
 			return false
 		}
-		tu, ok := s.Inp(a, b, c, d)
+		tu, ok, _ := s.Inp(a, b, c, d)
 		if !ok {
 			return false
 		}
@@ -398,12 +398,12 @@ func TestPropertyConservation(t *testing.T) {
 				s.Out("c", int(op))
 				outs++
 			} else {
-				if _, ok := s.Inp("c", FormalInt); ok {
+				if _, ok, _ := s.Inp("c", FormalInt); ok {
 					takes++
 				}
 			}
 		}
-		return s.Len() == outs-takes
+		return slen(s) == outs-takes
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -422,11 +422,11 @@ func TestPropertySnapshotLossless(t *testing.T) {
 		if err := s2.Restore(snap); err != nil {
 			return false
 		}
-		if s2.Len() != len(vals) {
+		if slen(s2) != len(vals) {
 			return false
 		}
 		for _, v := range vals {
-			if _, ok := s2.Inp("p", v); !ok {
+			if _, ok, _ := s2.Inp("p", v); !ok {
 				return false
 			}
 		}
