@@ -16,7 +16,10 @@
 //	quit               shut the server down
 //
 // With -debug-addr the same counters, the trace ring, and net/http/pprof
-// are served over HTTP at /debug/metrics, /debug/trace and /debug/pprof/.
+// are served over HTTP at /debug/metrics, /debug/trace and /debug/pprof/,
+// plus a Prometheus text exposition of the registry at /metrics.
+// -trace-sample, -slow-op and -log-json control trace sampling, the
+// slow-operation log, and JSON-lines structured logging.
 //
 // With -wal <dir> the tuple space is write-ahead logged: committed
 // tuple operations survive a server crash, and a restart with the same
@@ -70,7 +73,14 @@ func main() {
 	addr := flag.String("addr", "", "serve the tuple space over TCP on this address so remote workers can join (e.g. :7117)")
 	workers := flag.Int("workers", 3, "local demo worker count")
 	workerAddr := flag.String("worker", "", "run as a remote worker against the server at this address (no local server)")
+	traceSample := flag.Float64("trace-sample", 1, "fraction of new traces to sample, 0..1 (children always follow their parent)")
+	slowOp := flag.Duration("slow-op", 0, "log every span at least this long as a slow op (0 disables)")
+	logJSON := flag.String("log-json", "", "write JSON-lines structured logs to stderr at this level (debug|info|warn|error)")
 	flag.Parse()
+
+	if *logJSON != "" {
+		obs.SetDefault(obs.NewLogger(os.Stderr, obs.ParseLevel(*logJSON)))
+	}
 
 	if *workerAddr != "" {
 		os.Exit(runRemoteWorker(*workerAddr))
@@ -110,6 +120,10 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(4096)
+	tracer.SetSampleRate(*traceSample)
+	if *slowOp > 0 {
+		tracer.SetSlowOp(*slowOp, nil)
+	}
 	srv.Observe(reg, tracer)
 	core.SetObserver(reg, tracer)
 	if *debugAddr != "" {

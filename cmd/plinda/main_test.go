@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"freepdm/internal/obs"
+)
+
+// TestMetricsSmoke is the CI smoke check for the observability surface:
+// it builds and boots the real plinda binary with a live debug
+// endpoint, scrapes /metrics while the demo runs, and validates the
+// exposition with the strict Prometheus text-format parser — per-shard
+// gauge labels and histogram buckets included. The console must then
+// shut down cleanly on "quit".
+func TestMetricsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the plinda binary")
+	}
+	exe := filepath.Join(t.TempDir(), "plinda")
+	if out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(exe,
+		"-debug-addr", "127.0.0.1:0", "-workers", "2",
+		"-trace-sample", "1", "-slow-op", "1s", "-log-json", "info")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Process.Kill() //nolint:errcheck — cleanup for early Fatals
+		cmd.Wait()         //nolint:errcheck
+	}()
+
+	// The binary announces the resolved debug address on stdout.
+	addrRe := regexp.MustCompile(`debug endpoints at http://([^/]+)/`)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := addrRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout) //nolint:errcheck — keep the pipe drained
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("binary never announced its debug address")
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if err := obs.CheckPrometheusText(strings.NewReader(string(body))); err != nil {
+		t.Fatalf("/metrics failed the Prometheus text-format check: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		`fpdm_ts_shard_tuples{shard="0"}`,
+		"fpdm_plinda_txn_seconds_bucket{le=",
+		"fpdm_trace_events_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The trace endpoint must serve JSON beside the Prometheus text.
+	tresp, err := http.Get("http://" + addr + "/debug/trace?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbody, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if !strings.Contains(string(tbody), `"total"`) {
+		t.Errorf("/debug/trace response lacks totals: %s", tbody)
+	}
+
+	if _, err := io.WriteString(stdin, "quit\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		if err != nil {
+			t.Fatalf("plinda exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("plinda did not exit on quit")
+	}
+}

@@ -62,7 +62,8 @@ func TestPLEDFaultInjectionRemoteWALRestart(t *testing.T) {
 	srv := plinda.NewServerRemote(dial)
 	defer srv.Close()
 	reg := obs.NewRegistry()
-	srv.Observe(reg, nil)
+	tracer := obs.NewTracer(1 << 16)
+	srv.Observe(reg, tracer)
 
 	type outcome struct {
 		res []Result
@@ -158,6 +159,46 @@ func TestPLEDFaultInjectionRemoteWALRestart(t *testing.T) {
 	}
 	if srv.Respawns() == 0 {
 		t.Fatal("no respawns recorded: the injected faults were not exercised")
+	}
+
+	// Trace continuity across the injected faults: a logical process
+	// allocates its trace once at spawn, so the incarnation span that
+	// was open when the worker was killed and the incarnation spans
+	// rooted after the respawn — on the far side of the server crash
+	// and WAL recovery — must share one trace ID.
+	incarnations := map[string][]obs.Event{}
+	for _, e := range tracer.Events() {
+		if e.Kind == "proc" && e.Name == "incarnation" {
+			proc, _ := e.Attrs["proc"].(string)
+			incarnations[proc] = append(incarnations[proc], e)
+		}
+	}
+	spans := incarnations["pled-worker-0"]
+	if len(spans) < 2 {
+		t.Fatalf("killed worker has %d incarnation spans, want >= 2", len(spans))
+	}
+	incs := map[any]bool{}
+	for _, e := range spans {
+		if e.Trace == 0 {
+			t.Fatal("incarnation span without a trace ID")
+		}
+		if e.Trace != spans[0].Trace {
+			t.Fatalf("incarnation spans split across traces %s and %s: pre-kill and post-recovery spans must link",
+				spans[0].Trace, e.Trace)
+		}
+		if e.Parent != 0 {
+			t.Fatalf("incarnation span has parent %s, want root", e.Parent)
+		}
+		incs[e.Attrs["incarnation"]] = true
+	}
+	if len(incs) < 2 {
+		t.Fatalf("incarnation spans do not cover distinct incarnations: %v", incs)
+	}
+	// Distinct logical processes must not share a trace.
+	if mspans := incarnations["pled-master"]; len(mspans) == 0 {
+		t.Fatal("no incarnation span for pled-master")
+	} else if mspans[0].Trace == spans[0].Trace {
+		t.Fatal("master and worker share one trace ID")
 	}
 }
 

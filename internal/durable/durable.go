@@ -205,6 +205,14 @@ func (d *Space) recover() error {
 		d.recs++
 		d.replayed++
 	}
+	if good < len(data) {
+		obs.Default().Warn("wal torn tail truncated",
+			"dir", d.dir, "generation", d.gen, "discarded_bytes", len(data)-good)
+	}
+	if d.replayed > 0 || good > 0 {
+		obs.Default().Info("wal recovered",
+			"dir", d.dir, "generation", d.gen, "replayed", d.replayed)
+	}
 
 	f, err := os.OpenFile(wp, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -256,7 +264,19 @@ func (d *Space) apply(rec record) error {
 
 // append writes one record to the WAL and flushes it to the OS. Caller
 // holds d.mu. Triggers compaction when the record budget is spent.
-func (d *Space) append(rec record) error {
+// When ctx carries a span context and a tracer is attached, the append
+// is recorded as a "wal"/"append" child span, so a distributed trace
+// shows the durability cost of each committed operation.
+func (d *Space) append(ctx context.Context, rec record) error {
+	if tr := d.s.Tracer(); tr != nil {
+		if sp := tr.StartChild(obs.FromContext(ctx), "wal", "append"); sp != nil {
+			defer func() {
+				sp.Annotate("takes", len(rec.Takes))
+				sp.Annotate("outs", len(rec.Outs))
+				sp.End()
+			}()
+		}
+	}
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
 		return err
@@ -334,26 +354,41 @@ func (d *Space) compactLocked() error {
 	d.recs = 0
 	d.gen = next
 	d.compactions.Inc()
+	obs.Default().Info("wal compacted",
+		"dir", d.dir, "generation", next, "tuples", len(tuples))
 	return nil
 }
 
 // Out logs then applies; see the package comment for the crash
 // semantics of the log-before-apply order.
 func (d *Space) Out(fields ...any) error {
+	return d.OutCtx(context.Background(), fields...)
+}
+
+// OutCtx is Out carrying a context: the WAL append becomes a child
+// span of the ctx's span context, and the stored tuple is stamped with
+// it as its origin.
+func (d *Space) OutCtx(ctx context.Context, fields ...any) error {
 	t := append(tuplespace.Tuple(nil), fields...)
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
 		return tuplespace.ErrClosed
 	}
-	if err := d.append(record{Outs: []tuplespace.Tuple{t}}); err != nil {
+	if err := d.append(ctx, record{Outs: []tuplespace.Tuple{t}}); err != nil {
 		return err
 	}
-	return d.s.Out(fields...)
+	return d.s.OutCtx(ctx, fields...)
 }
 
 // OutN logs the batch as one record and applies it.
 func (d *Space) OutN(tuples []tuplespace.Tuple) error {
+	return d.OutNCtx(context.Background(), tuples)
+}
+
+// OutNCtx is OutN with the span and origin-stamping semantics of
+// OutCtx.
+func (d *Space) OutNCtx(ctx context.Context, tuples []tuplespace.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
@@ -362,10 +397,10 @@ func (d *Space) OutN(tuples []tuplespace.Tuple) error {
 	if d.closed {
 		return tuplespace.ErrClosed
 	}
-	if err := d.append(record{Outs: tuples}); err != nil {
+	if err := d.append(ctx, record{Outs: tuples}); err != nil {
 		return err
 	}
-	return d.s.OutN(tuples)
+	return d.s.OutNCtx(ctx, tuples)
 }
 
 // In is a committed (non-transactional) take: the removal is logged
@@ -379,29 +414,50 @@ func (d *Space) In(tmplFields ...any) (Tuple, error) {
 
 // InCtx is In with cancellation.
 func (d *Space) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	t, _, err := d.InCtxTraced(ctx, tmplFields...)
+	return t, err
+}
+
+// InCtxTraced implements tuplespace.TracedTaker: the committed take
+// additionally returns the tuple's origin span context. Under a traced
+// context the match is recorded as a "tuple"/"in" span (the WAL path
+// polls rather than waiting inside the space, so the space's own span
+// would otherwise be absent for immediate hits).
+func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+	sp := d.s.Tracer().StartChild(obs.FromContext(ctx), "tuple", "in")
+	blocked := false
 	for {
 		d.mu.Lock()
 		if d.closed {
 			d.mu.Unlock()
-			return nil, tuplespace.ErrClosed
+			sp.End()
+			return nil, obs.SpanContext{}, tuplespace.ErrClosed
 		}
-		t, ok, err := d.s.Inp(tmplFields...)
+		t, org, ok, err := d.s.InpTraced(tmplFields...)
 		if err != nil {
 			d.mu.Unlock()
-			return nil, err
+			sp.End()
+			return nil, obs.SpanContext{}, err
 		}
 		if ok {
-			if aerr := d.append(record{Takes: []tuplespace.Tuple{t}}); aerr != nil {
+			if aerr := d.append(ctx, record{Takes: []tuplespace.Tuple{t}}); aerr != nil {
 				d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
 				d.mu.Unlock()
-				return nil, aerr
+				sp.End()
+				return nil, obs.SpanContext{}, aerr
 			}
 			d.mu.Unlock()
-			return t, nil
+			if sp != nil {
+				sp.Annotate("blocked", blocked)
+				sp.End()
+			}
+			return t, org, nil
 		}
 		d.mu.Unlock()
+		blocked = true
 		if _, err := d.s.RdCtx(ctx, tmplFields...); err != nil {
-			return nil, err
+			sp.End()
+			return nil, obs.SpanContext{}, err
 		}
 	}
 }
@@ -417,7 +473,7 @@ func (d *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	if err := d.append(record{Takes: []tuplespace.Tuple{t}}); err != nil {
+	if err := d.append(context.Background(), record{Takes: []tuplespace.Tuple{t}}); err != nil {
 		d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
 		return nil, false, err
 	}
@@ -553,30 +609,48 @@ func (tx *txn) In(tmplFields ...any) (Tuple, error) {
 }
 
 func (tx *txn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	t, _, err := tx.InCtxTraced(ctx, tmplFields...)
+	return t, err
+}
+
+// InCtxTraced implements tuplespace.TracedTaker for transactional
+// takes: tentative like InCtx, with the tuple's origin passed through.
+func (tx *txn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
 	d := tx.d
+	sp := d.s.Tracer().StartChild(obs.FromContext(ctx), "tuple", "in")
+	blocked := false
 	for {
 		d.mu.Lock()
 		if d.closed {
 			d.mu.Unlock()
-			return nil, tuplespace.ErrClosed
+			sp.End()
+			return nil, obs.SpanContext{}, tuplespace.ErrClosed
 		}
 		if tx.done {
 			d.mu.Unlock()
-			return nil, errFinished
+			sp.End()
+			return nil, obs.SpanContext{}, errFinished
 		}
-		t, ok, err := d.s.Inp(tmplFields...)
+		t, org, ok, err := d.s.InpTraced(tmplFields...)
 		if err != nil {
 			d.mu.Unlock()
-			return nil, err
+			sp.End()
+			return nil, obs.SpanContext{}, err
 		}
 		if ok {
 			tx.takes = append(tx.takes, t)
 			d.mu.Unlock()
-			return t, nil
+			if sp != nil {
+				sp.Annotate("blocked", blocked)
+				sp.End()
+			}
+			return t, org, nil
 		}
 		d.mu.Unlock()
+		blocked = true
 		if _, err := d.s.RdCtx(ctx, tmplFields...); err != nil {
-			return nil, err
+			sp.End()
+			return nil, obs.SpanContext{}, err
 		}
 	}
 }
@@ -600,6 +674,13 @@ func (tx *txn) Inp(tmplFields ...any) (Tuple, bool, error) {
 }
 
 func (tx *txn) Commit(outs []tuplespace.Tuple) error {
+	return tx.CommitCtx(context.Background(), outs)
+}
+
+// CommitCtx implements tuplespace.CtxCommitter: the atomic commit
+// record's WAL append is traced under the ctx's span context, and the
+// published outs carry it as their origin.
+func (tx *txn) CommitCtx(ctx context.Context, outs []tuplespace.Tuple) error {
 	d := tx.d
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -611,11 +692,11 @@ func (tx *txn) Commit(outs []tuplespace.Tuple) error {
 	}
 	tx.done = true
 	delete(d.txns, tx)
-	if err := d.append(record{Takes: tx.takes, Outs: outs}); err != nil {
+	if err := d.append(ctx, record{Takes: tx.takes, Outs: outs}); err != nil {
 		return err
 	}
 	tx.takes = nil
-	return d.s.OutN(outs)
+	return d.s.OutNCtx(ctx, outs)
 }
 
 func (tx *txn) Abort() error {
@@ -642,6 +723,10 @@ var errFinished = tuplespace.ErrTxnFinished
 
 // Interface conformance, checked at compile time.
 var (
-	_ tuplespace.TxnStore = (*Space)(nil)
-	_ tuplespace.Txn      = (*txn)(nil)
+	_ tuplespace.TxnStore     = (*Space)(nil)
+	_ tuplespace.Txn          = (*txn)(nil)
+	_ tuplespace.TracedTaker  = (*Space)(nil)
+	_ tuplespace.TracedTaker  = (*txn)(nil)
+	_ tuplespace.CtxOuter     = (*Space)(nil)
+	_ tuplespace.CtxCommitter = (*txn)(nil)
 )

@@ -161,11 +161,16 @@ type Bucket struct {
 }
 
 // HistogramSnapshot is a consistent-enough copy of a histogram for
-// reporting (individual fields are read atomically).
+// reporting (individual fields are read atomically). P50/P95/P99 are
+// approximate quantiles interpolated from the buckets at snapshot
+// time; see Quantile for the estimation rules.
 type HistogramSnapshot struct {
 	Count    int64    `json:"count"`
 	SumNanos int64    `json:"sum_ns"`
 	MaxNanos int64    `json:"max_ns"`
+	P50Nanos int64    `json:"p50_ns"`
+	P95Nanos int64    `json:"p95_ns"`
+	P99Nanos int64    `json:"p99_ns"`
 	Buckets  []Bucket `json:"buckets,omitempty"`
 }
 
@@ -175,6 +180,34 @@ func (s HistogramSnapshot) MeanNanos() int64 {
 		return 0
 	}
 	return s.SumNanos / s.Count
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in nanoseconds by
+// linear interpolation inside the bucket containing the target rank,
+// the same scheme Prometheus's histogram_quantile uses. Ranks landing
+// in the overflow (+Inf) bucket return MaxNanos — the least-wrong
+// finite answer a bounded histogram can give. Returns 0 for an empty
+// histogram or q out of range.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || q <= 0 || q > 1 {
+		return 0
+	}
+	target := q * float64(s.Count)
+	var cum int64
+	var lower int64
+	for _, b := range s.Buckets {
+		if b.UpperNanos < 0 {
+			return s.MaxNanos
+		}
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= target {
+			frac := (target - float64(prev)) / float64(b.Count)
+			return lower + int64(frac*float64(b.UpperNanos-lower))
+		}
+		lower = b.UpperNanos
+	}
+	return s.MaxNanos
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -194,6 +227,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		}
 		s.Buckets = append(s.Buckets, Bucket{UpperNanos: upper, Count: n})
 	}
+	s.P50Nanos = s.Quantile(0.50)
+	s.P95Nanos = s.Quantile(0.95)
+	s.P99Nanos = s.Quantile(0.99)
 	return s
 }
 

@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4), beside the JSON /debug/metrics
+// view. The dotted registry namespace maps onto Prometheus conventions:
+//
+//	counter  ts.out            -> fpdm_ts_out_total
+//	gauge    plinda.procs.live -> fpdm_plinda_procs_live
+//	shard    ts.shard.3.tuples -> fpdm_ts_shard_tuples{shard="3"}
+//	hist     net.op.in         -> fpdm_net_op_seconds{op="in",le=...}
+//	hist     plinda.txn        -> fpdm_plinda_txn_seconds{le=...}
+//
+// Histogram buckets are cumulative with an explicit +Inf bucket, and
+// durations are exported in seconds, so histogram_quantile and rate()
+// work as usual. When t is non-nil the tracer's event and dropped
+// totals are exported as fpdm_trace_events_total and
+// fpdm_trace_dropped_total.
+func WritePrometheus(w io.Writer, s Snapshot, t *Tracer) error {
+	var b strings.Builder
+
+	counters := make(map[string]int64, len(s.Counters)+2)
+	for name, v := range s.Counters {
+		counters[name] = v
+	}
+	if t != nil {
+		counters["trace.events"] = int64(t.Total())
+		counters["trace.dropped"] = int64(t.Dropped())
+	}
+	for _, name := range sortedKeys(counters) {
+		fam := "fpdm_" + sanitizeMetricName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", fam, fam, counters[name])
+	}
+
+	// Per-shard gauges collapse into one family with a shard label;
+	// everything else exports under its own name.
+	shardFamilies := map[string][]string{} // family -> sample lines
+	var plain []string
+	for _, name := range sortedKeys(s.Gauges) {
+		if shard, rest, ok := splitShardName(name); ok {
+			fam := "fpdm_" + sanitizeMetricName(rest)
+			shardFamilies[fam] = append(shardFamilies[fam],
+				fmt.Sprintf("%s{shard=%q} %d", fam, shard, s.Gauges[name]))
+		} else {
+			plain = append(plain, name)
+		}
+	}
+	for _, fam := range sortedKeys(shardFamilies) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		for _, line := range shardFamilies[fam] {
+			b.WriteString(line + "\n")
+		}
+	}
+	for _, name := range plain {
+		fam := "fpdm_" + sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", fam, fam, s.Gauges[name])
+	}
+
+	// Wire-op histograms share one family with an op label; other
+	// histograms get their own family. Group label sets per family so
+	// each # TYPE header is emitted once.
+	type series struct{ labels, name string }
+	hists := map[string][]series{} // family -> series
+	for _, name := range sortedKeys(s.Histograms) {
+		fam, labels := "fpdm_"+sanitizeMetricName(name)+"_seconds", ""
+		if op, ok := strings.CutPrefix(name, "net.op."); ok {
+			fam, labels = "fpdm_net_op_seconds", fmt.Sprintf("op=%q", op)
+		}
+		hists[fam] = append(hists[fam], series{labels: labels, name: name})
+	}
+	for _, fam := range sortedKeys(hists) {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		for _, ser := range hists[fam] {
+			writeHistogram(&b, fam, ser.labels, s.Histograms[ser.name])
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits one labeled histogram series: cumulative
+// _bucket lines, then _sum (seconds) and _count.
+func writeHistogram(b *strings.Builder, fam, labels string, h HistogramSnapshot) {
+	join := func(le string) string {
+		if labels == "" {
+			return "le=" + le
+		}
+		return labels + ",le=" + le
+	}
+	var cum int64
+	for _, bk := range h.Buckets {
+		if bk.UpperNanos < 0 {
+			continue // overflow counts land in the +Inf bucket below
+		}
+		cum += bk.Count
+		le := strconv.FormatFloat(float64(bk.UpperNanos)/1e9, 'g', -1, 64)
+		fmt.Fprintf(b, "%s_bucket{%s} %d\n", fam, join(strconv.Quote(le)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s} %d\n", fam, join(`"+Inf"`), h.Count)
+	sumLabels := ""
+	if labels != "" {
+		sumLabels = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", fam, sumLabels,
+		strconv.FormatFloat(float64(h.SumNanos)/1e9, 'g', -1, 64))
+	fmt.Fprintf(b, "%s_count%s %d\n", fam, sumLabels, h.Count)
+}
+
+// splitShardName recognizes per-shard gauge names of the form
+// "<prefix>.shard.<i>.<suffix>" and returns the shard index and the
+// name with the shard component removed ("<prefix>.shard.<suffix>").
+func splitShardName(name string) (shard, rest string, ok bool) {
+	i := strings.Index(name, ".shard.")
+	if i < 0 {
+		return "", "", false
+	}
+	tail := name[i+len(".shard."):]
+	j := strings.IndexByte(tail, '.')
+	if j < 0 {
+		return "", "", false
+	}
+	if _, err := strconv.Atoi(tail[:j]); err != nil {
+		return "", "", false
+	}
+	return tail[:j], name[:i] + ".shard" + tail[j:], true
+}
+
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// CheckPrometheusText is a strict validity check over a text-format
+// exposition: every line must be a comment or a well-formed sample,
+// every sample's family must have a # TYPE declaration, histogram
+// families must carry _bucket/_sum/_count series with le labels, and
+// cumulative bucket counts must be nondecreasing. The CI smoke step
+// scrapes a live /metrics endpoint through it.
+func CheckPrometheusText(r io.Reader) error {
+	types := map[string]string{}              // family -> declared type
+	histParts := map[string]map[string]bool{} // histogram family -> seen suffixes
+	lastBucket := map[string]struct {
+		le  float64
+		cum int64
+	}{} // family+labels-sans-le -> last cumulative point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	samples := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 2 && f[1] == "TYPE" {
+				if len(f) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				switch f[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, f[3])
+				}
+				types[f[2]] = f[3]
+				if f[3] == "histogram" {
+					histParts[f[2]] = map[string]bool{}
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		samples++
+		fam, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, s); ok && types[base] == "histogram" {
+				fam, suffix = base, s
+				break
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			return fmt.Errorf("line %d: sample %q has no # TYPE declaration", lineNo, name)
+		}
+		if types[fam] == "histogram" {
+			if suffix == "" {
+				return fmt.Errorf("line %d: histogram sample %q lacks _bucket/_sum/_count suffix", lineNo, name)
+			}
+			histParts[fam][suffix] = true
+			if suffix == "_bucket" {
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: bucket sample %q without le label", lineNo, name)
+				}
+				bound, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				cum, err := strconv.ParseInt(value, 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bucket count %q is not an integer", lineNo, value)
+				}
+				key := fam + "|" + labelKeySansLE(labels)
+				if last, ok := lastBucket[key]; ok {
+					if bound <= last.le {
+						return fmt.Errorf("line %d: bucket le %q not increasing", lineNo, le)
+					}
+					if cum < last.cum {
+						return fmt.Errorf("line %d: cumulative bucket count decreased (%d < %d)", lineNo, cum, last.cum)
+					}
+				}
+				lastBucket[key] = struct {
+					le  float64
+					cum int64
+				}{bound, cum}
+			}
+		} else if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: value %q is not a float", lineNo, value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+	for fam, parts := range histParts {
+		for _, want := range []string{"_bucket", "_sum", "_count"} {
+			if !parts[want] {
+				return fmt.Errorf("histogram %s missing %s series", fam, want)
+			}
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits one sample line into its metric name, label
+// map, and value text.
+func parsePromSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", nil, "", fmt.Errorf("unbalanced braces in %q", line)
+		}
+		for _, pair := range splitLabels(rest[i+1 : j]) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return "", nil, "", fmt.Errorf("malformed label %q", pair)
+			}
+			if !promLabelRe.MatchString(k) {
+				return "", nil, "", fmt.Errorf("invalid label name %q", k)
+			}
+			uq, uerr := strconv.Unquote(v)
+			if uerr != nil {
+				return "", nil, "", fmt.Errorf("label value %q not quoted", v)
+			}
+			labels[k] = uq
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], strings.Join(fields[1:], " ")
+	}
+	if !promNameRe.MatchString(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+// splitLabels splits a label body on commas outside quoted values.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func parseLE(le string) (float64, error) {
+	if le == "+Inf" {
+		return float64(1 << 62), nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("le value %q is not a float", le)
+	}
+	return v, nil
+}
+
+func labelKeySansLE(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k+"="+labels[k])
+		}
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}

@@ -2,21 +2,31 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Event is one structured trace record. Kind groups events by
-// subsystem ("tuple", "txn", "proc", "net", "now", "master"); Name is
-// the specific transition ("out", "commit", "spawn", "busy", ...); Dur
-// is the measured duration when the event closes an interval (a
-// blocked tuple op's wait, a transaction's lifetime, a simulated
+// subsystem ("tuple", "txn", "proc", "net", "wal", "now", "master");
+// Name is the specific transition ("out", "commit", "spawn", "busy",
+// ...); Dur is the measured duration when the event closes an interval
+// (a blocked tuple op's wait, a transaction's lifetime, a simulated
 // task's execution), zero otherwise.
+//
+// Events emitted by ending a Span additionally carry the span's
+// identity: Trace groups every span of one distributed operation
+// (possibly across processes), Span is this event's own ID, and Parent
+// links to the enclosing span (zero for a root). Plain Record events
+// leave all three zero.
 type Event struct {
-	Time  time.Time      `json:"time"`
-	Kind  string         `json:"kind"`
-	Name  string         `json:"name"`
-	Dur   time.Duration  `json:"dur_ns"`
-	Attrs map[string]any `json:"attrs,omitempty"`
+	Time   time.Time      `json:"time"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name"`
+	Dur    time.Duration  `json:"dur_ns"`
+	Trace  ID             `json:"trace,omitempty"`
+	Span   ID             `json:"span,omitempty"`
+	Parent ID             `json:"parent,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
 }
 
 // Tracer is a bounded ring buffer of Events. When full, new events
@@ -24,19 +34,28 @@ type Event struct {
 // readers can detect loss. A nil *Tracer drops everything, so
 // instrumented code can record unconditionally — but callers that
 // build attribute maps should still nil-check to skip the allocation.
+//
+// The tracer also owns the span configuration: the root sample rate
+// (SetSampleRate) and the slow-op log threshold (SetSlowOp).
 type Tracer struct {
 	mu    sync.Mutex
 	buf   []Event
 	total uint64
+
+	sampleBits atomic.Uint64 // math.Float64bits of the root sample rate
+	slowNanos  atomic.Int64  // slow-op threshold; 0 disables
+	slowLog    atomic.Pointer[Logger]
 }
 
 // NewTracer returns a tracer keeping the last capacity events
-// (minimum 1).
+// (minimum 1). New traces are sampled at rate 1 until SetSampleRate.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{buf: make([]Event, 0, capacity)}
+	t := &Tracer{buf: make([]Event, 0, capacity)}
+	t.SetSampleRate(1)
+	return t
 }
 
 // Record appends an event with the current time. attrs are alternating
@@ -112,4 +131,19 @@ func (t *Tracer) Cap() int {
 		return 0
 	}
 	return cap(t.buf)
+}
+
+// Dropped reports how many events have been overwritten before being
+// read: zero until the ring wraps, then Total - Cap. A nonzero value
+// means /debug/trace no longer shows the full history.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= uint64(cap(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(cap(t.buf))
 }

@@ -99,6 +99,7 @@ type procState struct {
 	fn           ProcFunc
 	status       Status
 	incarnation  int
+	traceID      obs.ID // the logical process's trace, allocated once (guarded by s.mu)
 	continuation tuplespace.Tuple
 	hasCont      bool
 	ctx          context.Context
@@ -152,6 +153,7 @@ type serverObs struct {
 	checkpoints, restores                 *obs.Counter
 	procs                                 *obs.Gauge
 	txnDur                                *obs.Histogram
+	reg                                   *obs.Registry
 	tracer                                *obs.Tracer
 }
 
@@ -216,6 +218,7 @@ func (s *Server) Observe(reg *obs.Registry, tracer *obs.Tracer) {
 		restores:    reg.Counter("plinda.restores"),
 		procs:       reg.Gauge("plinda.live_procs"),
 		txnDur:      reg.Histogram("plinda.txn"),
+		reg:         reg,
 		tracer:      tracer,
 	}
 	s.mu.Lock()
@@ -304,6 +307,7 @@ func (s *Server) run(ps *procState) {
 			session, dialErr = s.dial()
 		}
 
+		o := s.obs.Load()
 		s.mu.Lock()
 		ps.status = Running
 		ctx := ps.ctx
@@ -313,14 +317,51 @@ func (s *Server) run(ps *procState) {
 			store = session
 			ps.session = session
 		}
+		// The logical process's trace is allocated once (subject to the
+		// sample rate) and every incarnation roots a span in it, so the
+		// spans of a crashed incarnation and of its recovery respawn
+		// share a single trace.
+		if o != nil && ps.traceID == 0 {
+			ps.traceID = o.tracer.NewTrace()
+		}
+		traceID := ps.traceID
 		s.mu.Unlock()
+
+		var rootSp *obs.Span
+		var sc obs.SpanContext
+		if o != nil {
+			rootSp = o.tracer.StartRootTrace(traceID, "proc", "incarnation",
+				"proc", ps.name, "incarnation", inc)
+			if rootSp != nil {
+				sc = rootSp.Context()
+				ctx = obs.ContextWith(ctx, sc)
+			}
+		}
+		if session != nil && o != nil {
+			// Remote mode: cascade the server's instruments into the
+			// per-incarnation session so client-side wire spans and
+			// metrics land in the same registry and tracer, and give the
+			// session the incarnation span as its ambient trace parent.
+			if so, ok := session.(storeObserver); ok {
+				so.Observe(o.reg, o.tracer)
+			}
+			if sess, ok := session.(interface{ SetSpanContext(obs.SpanContext) }); ok && sc.Valid() {
+				sess.SetSpanContext(sc)
+			}
+		}
 
 		var err error
 		if dialErr != nil {
 			err = dialErr
 		} else {
-			p := &Proc{srv: s, st: ps, ctx: ctx, store: store, incarnation: inc}
+			p := &Proc{srv: s, st: ps, ctx: ctx, store: store, incarnation: inc, sc: sc}
 			err = s.runIncarnation(p)
+		}
+		if rootSp != nil {
+			if err != nil {
+				rootSp.Annotate("err", err.Error())
+			}
+			rootSp.End()
 		}
 		if session != nil {
 			session.Close() //nolint:errcheck
@@ -343,6 +384,8 @@ func (s *Server) run(ps *procState) {
 			ps.err = err
 			close(ps.done)
 			s.mu.Unlock()
+			obs.Default().Error("process failed",
+				"proc", ps.name, "incarnation", ps.incarnation, "err", err.Error())
 			s.recordExit(ps, Failed, err)
 			return
 		}
@@ -360,6 +403,8 @@ func (s *Server) run(ps *procState) {
 				o.tracer.Record("proc", "respawn", 0, "proc", ps.name, "incarnation", newInc)
 			}
 		}
+		obs.Default().Info("process respawned",
+			"proc", ps.name, "incarnation", newInc, "cause", err.Error())
 		if !errors.Is(err, ErrKilled) {
 			// A transient store failure: give the remote side a moment
 			// to come back before redialing.
@@ -430,6 +475,7 @@ func (s *Server) Kill(name string) error {
 			o.tracer.Record("proc", "kill", 0, "proc", name, "incarnation", ps.incarnation)
 		}
 	}
+	obs.Default().Warn("process killed", "proc", name, "incarnation", ps.incarnation)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
 )
 
@@ -22,10 +23,13 @@ type Proc struct {
 	ctx         context.Context
 	store       tuplespace.TxnStore
 	incarnation int
+	sc          obs.SpanContext // incarnation root span; zero when untraced
 
 	txnOpen  bool
 	txnStart time.Time          // stamped by Xstart when the server is observed
 	txn      tuplespace.Txn     // open transaction, nil outside Xstart..Xcommit
+	txnSp    *obs.Span          // span covering the open transaction, nil when untraced
+	rebased  bool               // txnSp already rebased onto a taken tuple's origin
 	buffer   []tuplespace.Tuple // tuples outed inside the txn, private until commit
 }
 
@@ -56,6 +60,31 @@ func (p *Proc) Store() tuplespace.TxnStore { return p.store }
 
 // killed reports whether this incarnation has been destroyed.
 func (p *Proc) killed() bool { return p.ctx.Err() != nil }
+
+// opCtx returns the context tuple-space operations run under: the
+// incarnation context, carrying the open transaction's span context
+// when one exists so server-side child spans (and tuple origin stamps)
+// attach to the transaction rather than the incarnation.
+func (p *Proc) opCtx() context.Context {
+	if p.txnOpen && p.txnSp != nil {
+		return obs.ContextWith(p.ctx, p.txnSp.Context())
+	}
+	return p.ctx
+}
+
+// joinOrigin rebases the transaction span onto the origin of the first
+// traced tuple the transaction takes. This is how a PLinda worker's
+// transaction joins the master's trace: the master stamped the task
+// tuple at commit, the take returns that span context, and from here
+// on the transaction — its commit, its WAL append, its result tuples —
+// belongs to the originating trace.
+func (p *Proc) joinOrigin(org obs.SpanContext) {
+	if p.txnSp == nil || p.rebased || !org.Valid() || org.Trace == p.txnSp.Context().Trace {
+		return
+	}
+	p.txnSp.Rebase(org)
+	p.rebased = true
+}
 
 // gate blocks while the process is suspended and returns ErrKilled if
 // the incarnation was destroyed. Every tuple-space operation passes
@@ -97,6 +126,7 @@ func (p *Proc) Xstart() error {
 	}
 	p.txn = tx
 	p.txnOpen = true
+	p.rebased = false
 	p.buffer = p.buffer[:0]
 	if p.srv != nil {
 		if o := p.srv.obs.Load(); o != nil {
@@ -104,6 +134,11 @@ func (p *Proc) Xstart() error {
 			o.xstarts.Inc()
 			if o.tracer != nil {
 				o.tracer.Record("txn", "begin", 0, "proc", p.st.name, "incarnation", p.incarnation)
+				// The transaction span lives from Xstart to its outcome;
+				// its name is settled at End (commit/abort), and it may be
+				// rebased onto the origin of the first traced take.
+				p.txnSp = o.tracer.StartChild(p.sc, "txn", "txn",
+					"proc", p.st.name, "incarnation", p.incarnation)
 			}
 		}
 	}
@@ -135,6 +170,11 @@ func (p *Proc) Xcommit(continuation ...any) error {
 	var err error
 	if cc, ok := p.txn.(tuplespace.ContCommitter); ok && cont != nil && p.srv == nil {
 		err = cc.CommitCont(p.buffer, cont)
+	} else if cc, ok := p.txn.(tuplespace.CtxCommitter); ok {
+		// Commit under the transaction's span context: the published
+		// outs are stamped with it as their origin, and instrumented
+		// backends (wire, WAL) hang their commit spans beneath it.
+		err = cc.CommitCtx(p.opCtx(), p.buffer)
 	} else {
 		err = p.txn.Commit(p.buffer)
 	}
@@ -163,11 +203,16 @@ func (p *Proc) Xcommit(continuation ...any) error {
 				name = "continuation-commit"
 				o.contCommits.Inc()
 			}
-			if o.tracer != nil {
+			if sp := p.txnSp; sp != nil {
+				sp.SetName(name)
+				sp.Annotate("outs", outs)
+				sp.End()
+			} else if o.tracer != nil {
 				o.tracer.Record("txn", name, dur, "proc", p.st.name, "outs", outs)
 			}
 		}
 	}
+	p.txnSp = nil
 	return nil
 }
 
@@ -186,6 +231,8 @@ func (p *Proc) abort() {
 	p.txn = nil
 	p.txnOpen = false
 	p.buffer = p.buffer[:0]
+	sp := p.txnSp
+	p.txnSp = nil
 	if p.srv == nil {
 		return
 	}
@@ -196,7 +243,10 @@ func (p *Proc) abort() {
 		dur := p.txnDur()
 		o.aborts.Inc()
 		o.txnDur.Observe(dur)
-		if o.tracer != nil {
+		if sp != nil {
+			sp.SetName("abort")
+			sp.End()
+		} else if o.tracer != nil {
 			o.tracer.Record("txn", "abort", dur, "proc", p.st.name)
 		}
 	}
@@ -238,6 +288,9 @@ func (p *Proc) Out(fields ...any) error {
 		p.buffer = append(p.buffer, append(tuplespace.Tuple(nil), fields...))
 		return nil
 	}
+	if co, ok := p.store.(tuplespace.CtxOuter); ok && p.sc.Valid() {
+		return co.OutCtx(p.opCtx(), fields...)
+	}
 	return p.store.Out(fields...)
 }
 
@@ -255,6 +308,9 @@ func (p *Proc) OutN(tuples []tuplespace.Tuple) error {
 			p.buffer = append(p.buffer, append(tuplespace.Tuple(nil), t...))
 		}
 		return nil
+	}
+	if co, ok := p.store.(tuplespace.CtxOuter); ok && p.sc.Valid() {
+		return co.OutNCtx(p.opCtx(), tuples)
 	}
 	return p.store.OutN(tuples)
 }
@@ -290,10 +346,23 @@ func (p *Proc) In(tmpl ...any) (tuplespace.Tuple, error) {
 	defer p.setStatus(Running)
 	var t tuplespace.Tuple
 	var err error
-	if p.txnOpen {
-		t, err = p.txn.InCtx(p.ctx, tmpl...)
-	} else {
-		t, err = p.store.InCtx(p.ctx, tmpl...)
+	switch {
+	case p.txnOpen:
+		if tt, ok := p.txn.(tuplespace.TracedTaker); ok && p.txnSp != nil {
+			var org obs.SpanContext
+			t, org, err = tt.InCtxTraced(p.opCtx(), tmpl...)
+			if err == nil {
+				p.joinOrigin(org)
+			}
+		} else {
+			t, err = p.txn.InCtx(p.ctx, tmpl...)
+		}
+	default:
+		if tt, ok := p.store.(tuplespace.TracedTaker); ok && p.sc.Valid() {
+			t, _, err = tt.InCtxTraced(p.opCtx(), tmpl...)
+		} else {
+			t, err = p.store.InCtx(p.ctx, tmpl...)
+		}
 	}
 	if err != nil {
 		if p.killed() {
@@ -338,7 +407,7 @@ func (p *Proc) Rd(tmpl ...any) (tuplespace.Tuple, error) {
 	}
 	p.setStatus(Blocked)
 	defer p.setStatus(Running)
-	t, err := p.store.RdCtx(p.ctx, tmpl...)
+	t, err := p.store.RdCtx(p.opCtx(), tmpl...)
 	if err != nil {
 		if p.killed() {
 			return nil, ErrKilled

@@ -73,6 +73,13 @@ type wireField struct {
 // operations running inside the transaction. Target is the ID of the
 // request a "cancel" aims at. Lease and Name configure the session on
 // "hello"; Cont (guarded by HasCont) is a "txcommit" continuation.
+//
+// Trace and Span are the distributed-tracing header: the span context
+// of the client-side operation span (or, on an untraced client, of the
+// caller's span). The server roots its per-request span under them, so
+// one trace follows an operation across the process boundary. Zero
+// means untraced; gob encodes absent fields compactly, so untraced
+// requests pay nothing.
 type request struct {
 	ID      uint64
 	Op      string // out outn in inp rd rdp len hello ping txbegin txcommit txabort cancel recover
@@ -84,6 +91,8 @@ type request struct {
 	Name    string
 	Cont    []wireField
 	HasCont bool
+	Trace   uint64
+	Span    uint64
 }
 
 // Response error codes, mapping server-side sentinel errors back to
@@ -99,6 +108,9 @@ const (
 )
 
 // response is the server's answer to the request with the same ID.
+// For a successful take ("in"), Trace and Span carry the span context
+// the producer stamped on the tuple, so the consumer can join its
+// transaction to the producer's trace (tuple-carried propagation).
 type response struct {
 	ID    uint64
 	Tuple []any
@@ -106,6 +118,8 @@ type response struct {
 	Len   int
 	Err   string
 	Code  uint8
+	Trace uint64
+	Span  uint64
 }
 
 func codeFor(err error) uint8 {
@@ -318,6 +332,7 @@ type connState struct {
 	lease   time.Duration
 	timer   *time.Timer
 	expired bool
+	sessSC  obs.SpanContext // first traced request's context; links lease events
 	txns    map[uint64]Txn
 	cancels map[uint64]context.CancelFunc
 }
@@ -513,8 +528,33 @@ func (cs *connState) expire() {
 	}
 	cs.cancelAll()
 	if cs.tracer != nil {
-		cs.tracer.Record("net", "lease-expired", 0, "session", cs.sessionName())
+		// The expiry event joins the session's trace when one is known,
+		// so a worker's disappearance shows up inside its own trace.
+		if sp := cs.tracer.StartChild(cs.sessionSC(), "net", "lease-expired"); sp != nil {
+			sp.Annotate("session", cs.sessionName())
+			sp.End()
+		} else {
+			cs.tracer.Record("net", "lease-expired", 0, "session", cs.sessionName())
+		}
 	}
+}
+
+// sessionSC returns the span context associated with this session (the
+// first traced request's header), zero when the client is untraced.
+func (cs *connState) sessionSC() obs.SpanContext {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.sessSC
+}
+
+// noteSession remembers the first traced request header as the
+// session's span context for lease-expiry linkage.
+func (cs *connState) noteSession(sc obs.SpanContext) {
+	cs.mu.Lock()
+	if !cs.sessSC.Valid() {
+		cs.sessSC = sc
+	}
+	cs.mu.Unlock()
 }
 
 func (cs *connState) sessionExpired() bool {
@@ -539,11 +579,21 @@ func (cs *connState) mapErr(err error) *response {
 	return errResp(err)
 }
 
-// handle executes one request and queues its response.
+// handle executes one request and queues its response. When the
+// request carries a trace header, the whole server-side handling runs
+// as a child span of the client's span, and the span context rides ctx
+// into the backend so shard-match, waiter-block, and WAL-append child
+// spans land in the same trace.
 func (cs *connState) handle(req *request, ctx context.Context) {
 	var start time.Time
 	if cs.reg != nil || cs.tracer != nil {
 		start = time.Now()
+	}
+	parent := obs.SpanContext{Trace: obs.ID(req.Trace), Span: obs.ID(req.Span)}
+	sp := cs.tracer.StartChild(parent, "net", req.Op)
+	if sp != nil {
+		cs.noteSession(parent)
+		ctx = obs.ContextWith(ctx, sp.Context())
 	}
 	resp := serveOne(cs, req, ctx)
 	resp.ID = req.ID
@@ -552,7 +602,12 @@ func (cs *connState) handle(req *request, ctx context.Context) {
 		if cs.hists != nil {
 			cs.hists[req.Op].Observe(d)
 		}
-		cs.tracer.Record("net", req.Op, d, "ok", resp.Err == "")
+		if sp != nil {
+			sp.Annotate("ok", resp.Err == "")
+			sp.End()
+		} else {
+			cs.tracer.Record("net", req.Op, d, "ok", resp.Err == "")
+		}
 	}
 	cs.respCh <- resp
 }
@@ -637,7 +692,15 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		if err != nil {
 			return errResp(err)
 		}
-		if err := tx.Commit(outs); err != nil {
+		// Commit through the ctx-carrying variant when the backend has
+		// one, so the WAL-append span and the outs' trace stamps land in
+		// this request's trace.
+		if cc, ok := tx.(CtxCommitter); ok {
+			err = cc.CommitCtx(ctx, outs)
+		} else {
+			err = tx.Commit(outs)
+		}
+		if err != nil {
 			return cs.mapErr(err)
 		}
 		if req.HasCont {
@@ -682,7 +745,12 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		if err != nil {
 			return errResp(err)
 		}
-		if err := be.OutN(tuples); err != nil {
+		if co, ok := be.(CtxOuter); ok {
+			err = co.OutNCtx(ctx, tuples)
+		} else {
+			err = be.OutN(tuples)
+		}
+		if err != nil {
 			return cs.mapErr(err)
 		}
 		cs.bouts.Inc()
@@ -695,26 +763,43 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 	}
 	switch req.Op {
 	case "out":
-		if err := be.Out(fields...); err != nil {
+		if co, ok := be.(CtxOuter); ok {
+			err = co.OutCtx(ctx, fields...)
+		} else {
+			err = be.Out(fields...)
+		}
+		if err != nil {
 			return cs.mapErr(err)
 		}
 		return &response{OK: true}
 	case "in":
+		// Takes go through the traced variant when the backend has one,
+		// returning the producer's span context stamped on the tuple so
+		// the response can hand provenance back to the consumer.
 		var t Tuple
+		var org obs.SpanContext
 		var err error
 		if req.Txn != 0 {
 			tx := cs.txn(req.Txn)
 			if tx == nil {
 				return cs.mapErr(ErrTxnFinished)
 			}
-			t, err = tx.InCtx(ctx, fields...)
+			if tt, ok := tx.(TracedTaker); ok {
+				t, org, err = tt.InCtxTraced(ctx, fields...)
+			} else {
+				t, err = tx.InCtx(ctx, fields...)
+			}
 		} else {
-			t, err = be.InCtx(ctx, fields...)
+			if tt, ok := be.(TracedTaker); ok {
+				t, org, err = tt.InCtxTraced(ctx, fields...)
+			} else {
+				t, err = be.InCtx(ctx, fields...)
+			}
 		}
 		if err != nil {
 			return cs.mapErr(err)
 		}
-		return &response{Tuple: t, OK: true}
+		return &response{Tuple: t, OK: true, Trace: uint64(org.Trace), Span: uint64(org.Span)}
 	case "rd":
 		// Reads are non-destructive and therefore never tentative: a rd
 		// inside a transaction goes straight to the store.
@@ -793,6 +878,46 @@ type Client struct {
 
 	stopPing     chan struct{} // nil when no heartbeat goroutine runs
 	stopPingOnce sync.Once
+
+	reg    atomic.Pointer[obs.Registry]
+	trc    atomic.Pointer[obs.Tracer]
+	rootSC atomic.Pointer[obs.SpanContext] // ambient parent for non-ctx ops
+}
+
+// Observe attaches instruments to the client: every operation round
+// trip becomes a client-side span ("net"/"cli.<op>") when a parent
+// span context is available — from the operation's ctx, or the ambient
+// session context set by SetSpanContext. PLinda cascades its observer
+// here for remote incarnations.
+func (c *Client) Observe(reg *obs.Registry, tracer *obs.Tracer) {
+	c.reg.Store(reg)
+	c.trc.Store(tracer)
+}
+
+// Registry returns the attached registry (nil when unobserved).
+func (c *Client) Registry() *obs.Registry { return c.reg.Load() }
+
+// Tracer returns the attached tracer (nil when unobserved).
+func (c *Client) Tracer() *obs.Tracer { return c.trc.Load() }
+
+// SetSpanContext installs the ambient span context operations fall
+// back to when their ctx carries none — typically a process
+// incarnation's root span, so every op of the incarnation joins its
+// trace. Safe to change between operations.
+func (c *Client) SetSpanContext(sc obs.SpanContext) {
+	c.rootSC.Store(&sc)
+}
+
+// parentSC resolves the span context an operation propagates: the
+// ctx-carried one wins over the ambient session context.
+func (c *Client) parentSC(ctx context.Context) obs.SpanContext {
+	if sc := obs.FromContext(ctx); sc.Valid() {
+		return sc
+	}
+	if sc := c.rootSC.Load(); sc != nil {
+		return *sc
+	}
+	return obs.SpanContext{}
 }
 
 // DialOptions configures a client session.
@@ -996,7 +1121,31 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 	return c.roundTripCtx(context.Background(), req)
 }
 
+// roundTripCtx stamps the trace header, runs the round trip, and ends
+// the client-side op span. Heartbeat pings are not traced — they would
+// drown every session trace in keepalive noise.
 func (c *Client) roundTripCtx(ctx context.Context, req *request) (*response, error) {
+	var sp *obs.Span
+	if req.Op != "ping" {
+		parent := c.parentSC(ctx)
+		sp = c.trc.Load().StartChild(parent, "net", "cli."+req.Op)
+		if sc := sp.Context(); sc.Valid() {
+			req.Trace, req.Span = uint64(sc.Trace), uint64(sc.Span)
+		} else if parent.Valid() {
+			// No local tracer, but a parent to forward: the server still
+			// links its spans under the caller's.
+			req.Trace, req.Span = uint64(parent.Trace), uint64(parent.Span)
+		}
+	}
+	resp, err := c.doRoundTrip(ctx, req)
+	if sp != nil {
+		sp.Annotate("ok", err == nil)
+		sp.End()
+	}
+	return resp, err
+}
+
+func (c *Client) doRoundTrip(ctx context.Context, req *request) (*response, error) {
 	ch, err := c.send(req)
 	if err != nil {
 		return nil, err
@@ -1105,15 +1254,54 @@ func (c *Client) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
 }
 
 func (c *Client) blockCtx(ctx context.Context, op string, tmplFields []any, txn uint64) (Tuple, error) {
+	t, _, err := c.blockTraced(ctx, op, tmplFields, txn)
+	return t, err
+}
+
+// blockTraced is blockCtx plus the origin span context the server
+// returns for a take: the span under which the tuple was stamped by
+// its producer, zero when untraced.
+func (c *Client) blockTraced(ctx context.Context, op string, tmplFields []any, txn uint64) (Tuple, obs.SpanContext, error) {
 	wf, err := encodeFields(tmplFields)
 	if err != nil {
-		return nil, err
+		return nil, obs.SpanContext{}, err
 	}
 	resp, err := c.roundTripCtx(ctx, &request{Op: op, Fields: wf, Txn: txn})
 	if err != nil {
-		return nil, err
+		return nil, obs.SpanContext{}, err
 	}
-	return Tuple(resp.Tuple), nil
+	org := obs.SpanContext{Trace: obs.ID(resp.Trace), Span: obs.ID(resp.Span)}
+	return Tuple(resp.Tuple), org, nil
+}
+
+// InCtxTraced implements TracedTaker: InCtx plus the producer's span
+// context for the taken tuple.
+func (c *Client) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+	return c.blockTraced(ctx, "in", tmplFields, 0)
+}
+
+// OutCtx implements CtxOuter: Out with the ctx's span context carried
+// in the wire header so the server stamps the tuple with this trace.
+func (c *Client) OutCtx(ctx context.Context, fields ...any) error {
+	wf, err := encodeFields(fields)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTripCtx(ctx, &request{Op: "out", Fields: wf})
+	return err
+}
+
+// OutNCtx implements CtxOuter for batched outs.
+func (c *Client) OutNCtx(ctx context.Context, tuples []Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	batch, err := encodeBatch(tuples)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTripCtx(ctx, &request{Op: "outn", Batch: batch})
+	return err
 }
 
 // Inp is the non-blocking destructive match.
@@ -1181,6 +1369,11 @@ func (tx *clientTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error
 	return tx.c.blockCtx(ctx, "in", tmplFields, tx.id)
 }
 
+// InCtxTraced implements TracedTaker for transactional takes.
+func (tx *clientTxn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+	return tx.c.blockTraced(ctx, "in", tmplFields, tx.id)
+}
+
 func (tx *clientTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
 	wf, err := encodeFields(tmplFields)
 	if err != nil {
@@ -1195,16 +1388,23 @@ func (tx *clientTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
 
 // Commit finalizes the takes and publishes outs in one round trip.
 func (tx *clientTxn) Commit(outs []Tuple) error {
-	return tx.commit(outs, nil, false)
+	return tx.commit(context.Background(), outs, nil, false)
+}
+
+// CommitCtx implements CtxCommitter: Commit carrying the ctx's span
+// context, so the server-side commit span and the outs' trace stamps
+// join the transaction's trace.
+func (tx *clientTxn) CommitCtx(ctx context.Context, outs []Tuple) error {
+	return tx.commit(ctx, outs, nil, false)
 }
 
 // CommitCont is Commit plus a continuation tuple recorded under the
 // session name, mirroring Proc.Xcommit's continuation argument.
 func (tx *clientTxn) CommitCont(outs []Tuple, cont Tuple) error {
-	return tx.commit(outs, cont, true)
+	return tx.commit(context.Background(), outs, cont, true)
 }
 
-func (tx *clientTxn) commit(outs []Tuple, cont Tuple, hasCont bool) error {
+func (tx *clientTxn) commit(ctx context.Context, outs []Tuple, cont Tuple, hasCont bool) error {
 	batch, err := encodeBatch(outs)
 	if err != nil {
 		return err
@@ -1215,7 +1415,7 @@ func (tx *clientTxn) commit(outs []Tuple, cont Tuple, hasCont bool) error {
 			return err
 		}
 	}
-	_, err = tx.c.roundTrip(req)
+	_, err = tx.c.roundTripCtx(ctx, req)
 	return err
 }
 

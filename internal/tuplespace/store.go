@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"freepdm/internal/obs"
 )
 
 // Store is the unified tuple-space surface: the same Linda operations
@@ -61,6 +63,30 @@ type Recoverer interface {
 	Recover() (Tuple, bool, error)
 }
 
+// TracedTaker is the optional Store/Txn extension for tuple-carried
+// trace propagation: a take additionally returns the span context the
+// producer's Out (or commit) stamped on the tuple, so the consumer can
+// join the producer's trace. Zero when the tuple was stored untraced.
+type TracedTaker interface {
+	InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error)
+}
+
+// CtxOuter is the optional Store extension whose outs carry a
+// context: the ctx's span context (obs.ContextWith) is stamped onto
+// the stored tuples as their origin, and — on instrumented backends —
+// the write is recorded as a child span (e.g. the durable space's WAL
+// append).
+type CtxOuter interface {
+	OutCtx(ctx context.Context, fields ...any) error
+	OutNCtx(ctx context.Context, tuples []Tuple) error
+}
+
+// CtxCommitter is the optional Txn extension for ctx-carrying commits,
+// with the same stamping and span semantics as CtxOuter.
+type CtxCommitter interface {
+	CommitCtx(ctx context.Context, outs []Tuple) error
+}
+
 // ErrTxnFinished rejects operations on a transaction that was already
 // committed or aborted — including the server-side abort a lease
 // expiry forces under a still-running remote operation.
@@ -74,6 +100,14 @@ var (
 	_ Txn           = (*clientTxn)(nil)
 	_ ContCommitter = (*clientTxn)(nil)
 	_ Recoverer     = (*Client)(nil)
+	_ TracedTaker   = (*Space)(nil)
+	_ TracedTaker   = (*Client)(nil)
+	_ TracedTaker   = (*spaceTxn)(nil)
+	_ TracedTaker   = (*clientTxn)(nil)
+	_ CtxOuter      = (*Space)(nil)
+	_ CtxOuter      = (*Client)(nil)
+	_ CtxCommitter  = (*spaceTxn)(nil)
+	_ CtxCommitter  = (*clientTxn)(nil)
 )
 
 // spaceTxn is the in-process transaction: takes go straight to the
@@ -126,6 +160,19 @@ func (tx *spaceTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
 	return t, nil
 }
 
+// InCtxTraced implements TracedTaker: the take is logged like InCtx,
+// and the stored tuple's origin span context is passed through.
+func (tx *spaceTxn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+	t, org, err := tx.s.InCtxTraced(ctx, tmplFields...)
+	if err != nil {
+		return nil, obs.SpanContext{}, err
+	}
+	if err := tx.record(t); err != nil {
+		return nil, obs.SpanContext{}, err
+	}
+	return t, org, nil
+}
+
 func (tx *spaceTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
 	t, ok, err := tx.s.Inp(tmplFields...)
 	if err != nil || !ok {
@@ -138,6 +185,12 @@ func (tx *spaceTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
 }
 
 func (tx *spaceTxn) Commit(outs []Tuple) error {
+	return tx.CommitCtx(context.Background(), outs)
+}
+
+// CommitCtx implements CtxCommitter: the published outs are stamped
+// with the ctx's span context as their origin.
+func (tx *spaceTxn) CommitCtx(ctx context.Context, outs []Tuple) error {
 	tx.mu.Lock()
 	if tx.done {
 		tx.mu.Unlock()
@@ -146,7 +199,7 @@ func (tx *spaceTxn) Commit(outs []Tuple) error {
 	tx.done = true
 	tx.takes = nil
 	tx.mu.Unlock()
-	return tx.s.OutN(outs)
+	return tx.s.OutNCtx(ctx, outs)
 }
 
 func (tx *spaceTxn) Abort() error {

@@ -443,10 +443,20 @@ func (s *Space) Tracer() *obs.Tracer {
 	return nil
 }
 
+// stored is one tuple at rest plus its provenance: the span context of
+// the operation that published it (zero when untraced). The origin
+// travels with the tuple through waiter delivery and takes, which is
+// what lets a consumer join the producer's trace — causality in Linda
+// flows through tuples, not calls.
+type stored struct {
+	t   Tuple
+	org obs.SpanContext
+}
+
 type waiter struct {
 	ct      *compiledTemplate
 	take    bool // In (destructive) vs Rd
-	ch      chan Tuple
+	ch      chan stored
 	seq     int64
 	removed bool // guarded by the lock of the list holding the waiter
 }
@@ -455,7 +465,7 @@ type waiter struct {
 // pointer so the hot paths can mutate the list through a no-allocation
 // map lookup (parts[string(sigBytes)]) without re-assigning the entry.
 type partition struct {
-	tuples []Tuple
+	tuples []stored
 }
 
 // shard is one lock stripe of the space: the partitions whose signature
@@ -555,7 +565,14 @@ func (s *Space) shardOf(sig []byte) *shard {
 // Out places a tuple into the space, waking any blocked In/Rd whose
 // template matches. It never blocks.
 func (s *Space) Out(fields ...any) error {
-	return s.out(Tuple(append([]any(nil), fields...)))
+	return s.out(Tuple(append([]any(nil), fields...)), obs.SpanContext{})
+}
+
+// OutCtx is Out carrying a context: the ctx's span context (if any) is
+// stamped onto the stored tuple as its origin, so a later traced take
+// can join the producer's trace.
+func (s *Space) OutCtx(ctx context.Context, fields ...any) error {
+	return s.out(Tuple(append([]any(nil), fields...)), obs.FromContext(ctx))
 }
 
 // OutN places a batch of tuples into the space. It is equivalent to
@@ -564,16 +581,25 @@ func (s *Space) Out(fields ...any) error {
 // request — share one call. On a closed space the batch stops at the
 // first rejected tuple.
 func (s *Space) OutN(tuples []Tuple) error {
+	return s.OutNCtx(context.Background(), tuples)
+}
+
+// OutNCtx is OutN with the origin stamping of OutCtx applied to every
+// tuple in the batch.
+func (s *Space) OutNCtx(ctx context.Context, tuples []Tuple) error {
+	org := obs.FromContext(ctx)
 	for _, t := range tuples {
-		if err := s.out(append(Tuple(nil), t...)); err != nil {
+		if err := s.out(append(Tuple(nil), t...), org); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// out stores or delivers t, taking ownership of the slice.
-func (s *Space) out(t Tuple) error {
+// out stores or delivers t, taking ownership of the slice. org is the
+// producer's span context (zero when untraced); it rides with the
+// tuple.
+func (s *Space) out(t Tuple, org obs.SpanContext) error {
 	var sbuf [88]byte
 	sig := signatureOf(sbuf[:0], t)
 	sh := s.shardOf(sig)
@@ -584,7 +610,7 @@ func (s *Space) out(t Tuple) error {
 	}
 	s.stOuts.Add(1)
 	o := s.obs.Load()
-	taken := s.deliverLocked(sh, t)
+	taken := s.deliverLocked(sh, stored{t: t, org: org})
 	if !taken {
 		p := sh.parts[string(sig)] // no-alloc lookup
 		if p == nil {
@@ -592,7 +618,7 @@ func (s *Space) out(t Tuple) error {
 			sh.parts[string(sig)] = p
 			sh.sorted = nil
 		}
-		p.tuples = append(p.tuples, t)
+		p.tuples = append(p.tuples, stored{t: t, org: org})
 		sh.count++
 		s.tupleCnt.Add(1)
 		if o != nil {
@@ -610,12 +636,12 @@ func (s *Space) out(t Tuple) error {
 	return nil
 }
 
-// deliverLocked serves t to blocked waiters: every matching reader is
+// deliverLocked serves st to blocked waiters: every matching reader is
 // woken, then the earliest-registered matching taker consumes it. The
 // shard's own waiters and the cross-shard list are walked merged in
 // arrival order, preserving FIFO fairness between them. Called with
 // sh.mu held; takes xwait.mu only when cross-shard waiters exist.
-func (s *Space) deliverLocked(sh *shard, t Tuple) bool {
+func (s *Space) deliverLocked(sh *shard, st stored) bool {
 	var xs []*waiter
 	xlocked := false
 	if s.xwait.n.Load() > 0 {
@@ -640,19 +666,19 @@ func (s *Space) deliverLocked(sh *shard, t Tuple) bool {
 				w = xs[j]
 				j++
 			}
-			if w.removed || !w.ct.match(t) {
+			if w.removed || !w.ct.match(st.t) {
 				continue
 			}
 			if w.take {
 				if !taken {
 					w.removed = true
-					w.ch <- t
+					w.ch <- st
 					taken = true
 				}
 				continue
 			}
 			w.removed = true
-			w.ch <- t
+			w.ch <- st
 		}
 		compactWaiters(&sh.waiters)
 	}
@@ -682,21 +708,21 @@ func compactWaiters(ws *[]*waiter) int {
 // when take is set. Cross-shard templates consult only the partitions
 // whose key carries the template's arity-and-leading-string prefix,
 // through the shard's cached sorted key list.
-func (s *Space) findInShardLocked(sh *shard, ct *compiledTemplate, take bool) (Tuple, bool) {
+func (s *Space) findInShardLocked(sh *shard, ct *compiledTemplate, take bool) (stored, bool) {
 	if len(ct.fields) == 0 {
-		return nil, false
+		return stored{}, false
 	}
 	if !ct.cross {
 		p := sh.parts[string(ct.sig)] // no-alloc lookup
 		if p == nil {
-			return nil, false
+			return stored{}, false
 		}
-		t, ok := s.scanPartitionLocked(sh, p, ct, take)
+		st, ok := s.scanPartitionLocked(sh, p, ct, take)
 		if ok && take && len(p.tuples) == 0 {
 			delete(sh.parts, string(ct.sig))
 			sh.sorted = nil
 		}
-		return t, ok
+		return st, ok
 	}
 	keys := sh.sortedKeysLocked()
 	for _, k := range keys[sort.SearchStrings(keys, ct.prefix):] {
@@ -704,20 +730,20 @@ func (s *Space) findInShardLocked(sh *shard, ct *compiledTemplate, take bool) (T
 			break
 		}
 		p := sh.parts[k]
-		if t, ok := s.scanPartitionLocked(sh, p, ct, take); ok {
+		if st, ok := s.scanPartitionLocked(sh, p, ct, take); ok {
 			if take && len(p.tuples) == 0 {
 				delete(sh.parts, k)
 				sh.sorted = nil
 			}
-			return t, ok
+			return st, ok
 		}
 	}
-	return nil, false
+	return stored{}, false
 }
 
-func (s *Space) scanPartitionLocked(sh *shard, p *partition, ct *compiledTemplate, take bool) (Tuple, bool) {
-	for i, t := range p.tuples {
-		if !ct.match(t) {
+func (s *Space) scanPartitionLocked(sh *shard, p *partition, ct *compiledTemplate, take bool) (stored, bool) {
+	for i, st := range p.tuples {
+		if !ct.match(st.t) {
 			continue
 		}
 		if take {
@@ -729,15 +755,15 @@ func (s *Space) scanPartitionLocked(sh *shard, p *partition, ct *compiledTemplat
 				o.shardTuples[sh.idx].Add(-1)
 			}
 		}
-		return t, true
+		return st, true
 	}
-	return nil, false
+	return stored{}, false
 }
 
 // poll is the non-blocking match: Inp (take) and Rdp.
-func (s *Space) poll(tm Template, take bool) (Tuple, bool, error) {
+func (s *Space) poll(tm Template, take bool) (stored, bool, error) {
 	if s.closed.Load() {
-		return nil, false, ErrClosed
+		return stored{}, false, ErrClosed
 	}
 	var ct compiledTemplate // stack-compiled: poll never retains it
 	ct.compileFrom(tm)
@@ -748,12 +774,12 @@ func (s *Space) poll(tm Template, take bool) (Tuple, bool, error) {
 	} else {
 		s.stRdps.Add(1)
 	}
-	var t Tuple
+	var st stored
 	var ok bool
 	if ct.cross {
 		for _, sh := range s.shards {
 			sh.mu.Lock()
-			t, ok = s.findInShardLocked(sh, &ct, take)
+			st, ok = s.findInShardLocked(sh, &ct, take)
 			sh.mu.Unlock()
 			if ok {
 				break
@@ -762,7 +788,7 @@ func (s *Space) poll(tm Template, take bool) (Tuple, bool, error) {
 	} else {
 		sh := s.shardOf(ct.sig)
 		sh.mu.Lock()
-		t, ok = s.findInShardLocked(sh, &ct, take)
+		st, ok = s.findInShardLocked(sh, &ct, take)
 		sh.mu.Unlock()
 	}
 	if o := s.obs.Load(); o != nil {
@@ -775,25 +801,36 @@ func (s *Space) poll(tm Template, take bool) (Tuple, bool, error) {
 			o.tracer.Record("tuple", op, 0, "matched", ok)
 		}
 	}
-	return t, ok, nil
+	return st, ok, nil
 }
 
 // Inp is the non-blocking destructive match: if a matching tuple
 // exists it is removed and returned with true, else ok is false. The
 // error is non-nil only when the space is closed.
 func (s *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
-	return s.poll(Template(tmplFields), true)
+	st, ok, err := s.poll(Template(tmplFields), true)
+	return st.t, ok, err
+}
+
+// InpTraced is Inp additionally returning the taken tuple's origin
+// span context (zero when it was stored untraced). The durable space
+// uses it to thread producer traces through WAL-logged takes.
+func (s *Space) InpTraced(tmplFields ...any) (Tuple, obs.SpanContext, bool, error) {
+	st, ok, err := s.poll(Template(tmplFields), true)
+	return st.t, st.org, ok, err
 }
 
 // Rdp is the non-blocking non-destructive match.
 func (s *Space) Rdp(tmplFields ...any) (Tuple, bool, error) {
-	return s.poll(Template(tmplFields), false)
+	st, ok, err := s.poll(Template(tmplFields), false)
+	return st.t, ok, err
 }
 
 // In blocks until a matching tuple exists, removes it, and returns it.
 // It returns ErrClosed if the space is closed before a match arrives.
 func (s *Space) In(tmplFields ...any) (Tuple, error) {
-	return s.wait(context.Background(), Template(tmplFields), true)
+	st, err := s.wait(context.Background(), Template(tmplFields), true)
+	return st.t, err
 }
 
 // InCtx is In with cancellation: it returns ctx.Err() if the context
@@ -801,27 +838,38 @@ func (s *Space) In(tmplFields ...any) (Tuple, error) {
 // the same instant as the cancellation wins — InCtx returns it rather
 // than losing a take.
 func (s *Space) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	return s.wait(ctx, Template(tmplFields), true)
+	st, err := s.wait(ctx, Template(tmplFields), true)
+	return st.t, err
+}
+
+// InCtxTraced implements TracedTaker: InCtx additionally returning the
+// tuple's origin span context, so the taker can join the trace of
+// whichever operation published the tuple.
+func (s *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+	st, err := s.wait(ctx, Template(tmplFields), true)
+	return st.t, st.org, err
 }
 
 // Rd blocks until a matching tuple exists and returns a copy of it,
 // leaving it in the space.
 func (s *Space) Rd(tmplFields ...any) (Tuple, error) {
-	return s.wait(context.Background(), Template(tmplFields), false)
+	st, err := s.wait(context.Background(), Template(tmplFields), false)
+	return st.t, err
 }
 
 // RdCtx is Rd with cancellation, under the same tuple-wins rule as
 // InCtx.
 func (s *Space) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	return s.wait(ctx, Template(tmplFields), false)
+	st, err := s.wait(ctx, Template(tmplFields), false)
+	return st.t, err
 }
 
-func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error) {
+func (s *Space) wait(ctx context.Context, tm Template, take bool) (stored, error) {
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return stored{}, ErrClosed
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return stored{}, err
 	}
 	// Heap-compiled: a registered waiter retains it.
 	ct := &compiledTemplate{}
@@ -841,22 +889,38 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error)
 			o.rds.Inc()
 		}
 	}
+	// When the caller's context carries a span context and a tracer is
+	// attached, the match attempt (and any block under it) is recorded
+	// as a span under that parent; otherwise the flat trace events are
+	// kept, so untraced callers see exactly the old event stream.
+	var sp *obs.Span
+	if o != nil && o.tracer != nil {
+		sp = o.tracer.StartChild(obs.FromContext(ctx), "tuple", op)
+	}
 
 	if !ct.cross {
 		sh := s.shardOf(ct.sig)
 		sh.mu.Lock()
 		if sh.closed {
 			sh.mu.Unlock()
-			return nil, ErrClosed
+			if sp != nil {
+				sp.Annotate("err", "closed")
+				sp.End()
+			}
+			return stored{}, ErrClosed
 		}
-		if t, ok := s.findInShardLocked(sh, ct, take); ok {
+		if st, ok := s.findInShardLocked(sh, ct, take); ok {
 			sh.mu.Unlock()
-			if o != nil && o.tracer != nil {
+			if sp != nil {
+				sp.Annotate("blocked", false)
+				sp.Annotate("shard", sh.idx)
+				sp.End()
+			} else if o != nil && o.tracer != nil {
 				o.tracer.Record("tuple", op, 0, "blocked", false)
 			}
-			return t, nil
+			return st, nil
 		}
-		w := &waiter{ct: ct, take: take, ch: make(chan Tuple, 1), seq: s.seq.Add(1)}
+		w := &waiter{ct: ct, take: take, ch: make(chan stored, 1), seq: s.seq.Add(1)}
 		sh.waiters = append(sh.waiters, w)
 		sh.mu.Unlock()
 		unregister := func() bool {
@@ -868,7 +932,7 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error)
 			w.removed = true
 			return true
 		}
-		return s.block(ctx, w, unregister, op, o)
+		return s.block(ctx, w, unregister, op, o, sp)
 	}
 
 	// Cross-shard template: register on the shared waiter list first so
@@ -878,9 +942,13 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error)
 	s.xwait.mu.Lock()
 	if s.xwait.closed {
 		s.xwait.mu.Unlock()
-		return nil, ErrClosed
+		if sp != nil {
+			sp.Annotate("err", "closed")
+			sp.End()
+		}
+		return stored{}, ErrClosed
 	}
-	w := &waiter{ct: ct, take: take, ch: make(chan Tuple, 1), seq: s.seq.Add(1)}
+	w := &waiter{ct: ct, take: take, ch: make(chan stored, 1), seq: s.seq.Add(1)}
 	s.xwait.list = append(s.xwait.list, w)
 	s.xwait.n.Add(1)
 	s.xwait.mu.Unlock()
@@ -908,13 +976,17 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error)
 		}
 		// The shard lock was held across the probe, so the match is
 		// still present.
-		t, ok := s.findInShardLocked(sh, ct, take)
+		st, ok := s.findInShardLocked(sh, ct, take)
 		sh.mu.Unlock()
 		if ok {
-			if o != nil && o.tracer != nil {
+			if sp != nil {
+				sp.Annotate("blocked", false)
+				sp.Annotate("shard", sh.idx)
+				sp.End()
+			} else if o != nil && o.tracer != nil {
 				o.tracer.Record("tuple", op, 0, "blocked", false)
 			}
-			return t, nil
+			return st, nil
 		}
 		break
 	}
@@ -928,7 +1000,7 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error)
 		s.xwait.n.Add(-1)
 		return true
 	}
-	return s.block(ctx, w, unregister, op, o)
+	return s.block(ctx, w, unregister, op, o, sp)
 }
 
 // block parks the caller on its waiter channel until an Out delivers a
@@ -937,42 +1009,61 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (Tuple, error)
 // if the claim fails a delivery (or Close) won the race and the
 // channel resolves immediately — the tuple wins over cancellation so
 // no take is lost.
-func (s *Space) block(ctx context.Context, w *waiter, unregister func() bool, op string, o *spaceObs) (Tuple, error) {
+func (s *Space) block(ctx context.Context, w *waiter, unregister func() bool, op string, o *spaceObs, sp *obs.Span) (stored, error) {
 	s.stBlocked.Add(1)
 	if o != nil {
 		o.blocked.Inc()
 	}
+	// Under a traced operation the park itself becomes a child span, so
+	// a trace shows the waiter-block interval distinct from the overall
+	// op. bsp is nil (and its methods no-ops) when untraced.
+	var bsp *obs.Span
+	if sp != nil {
+		bsp = o.tracer.StartChild(sp.Context(), "tuple", "block")
+	}
 	blockedAt := time.Now()
-	var t Tuple
+	var st stored
 	var ok bool
 	select {
-	case t, ok = <-w.ch:
+	case st, ok = <-w.ch:
 	case <-ctx.Done():
 		if unregister() {
 			waited := time.Since(blockedAt)
 			s.stBlockedNanos.Add(int64(waited))
 			if o != nil {
 				o.wait.Observe(waited)
-				if o.tracer != nil {
+				if sp != nil {
+					bsp.Annotate("canceled", true)
+					bsp.End()
+					sp.Annotate("blocked", true)
+					sp.Annotate("canceled", true)
+					sp.End()
+				} else if o.tracer != nil {
 					o.tracer.Record("tuple", op, waited, "blocked", true, "canceled", true)
 				}
 			}
-			return nil, ctx.Err()
+			return stored{}, ctx.Err()
 		}
-		t, ok = <-w.ch
+		st, ok = <-w.ch
 	}
 	waited := time.Since(blockedAt)
 	s.stBlockedNanos.Add(int64(waited))
 	if o != nil {
 		o.wait.Observe(waited)
-		if o.tracer != nil {
+		if sp != nil {
+			bsp.Annotate("woken", ok)
+			bsp.End()
+			sp.Annotate("blocked", true)
+			sp.Annotate("woken", ok)
+			sp.End()
+		} else if o.tracer != nil {
 			o.tracer.Record("tuple", op, waited, "blocked", true, "woken", ok)
 		}
 	}
 	if !ok {
-		return nil, ErrClosed
+		return stored{}, ErrClosed
 	}
-	return t, nil
+	return st, nil
 }
 
 // Close unblocks all waiting operations with ErrClosed and rejects all
@@ -1039,7 +1130,7 @@ func (s *Space) Snapshot() []Tuple {
 		sh.mu.Lock()
 	}
 	var keys []string
-	byKey := make(map[string][]Tuple)
+	byKey := make(map[string][]stored)
 	for _, sh := range s.shards {
 		for k, p := range sh.parts {
 			keys = append(keys, k)
@@ -1049,8 +1140,8 @@ func (s *Space) Snapshot() []Tuple {
 	sort.Strings(keys)
 	var out []Tuple
 	for _, k := range keys {
-		for _, t := range byKey[k] {
-			out = append(out, append(Tuple(nil), t...))
+		for _, st := range byKey[k] {
+			out = append(out, append(Tuple(nil), st.t...))
 		}
 	}
 	for i := len(s.shards) - 1; i >= 0; i-- {
