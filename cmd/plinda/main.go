@@ -56,6 +56,25 @@ import (
 	"freepdm/internal/tuplespace"
 )
 
+// validateWALFlags checks the durability flags for consistency: the
+// group-commit options only modify WAL behavior, so without -wal they
+// are silently dead configuration — better to refuse than to let an
+// operator believe fsync durability is on.
+func validateWALFlags(walDir string, fsync bool, walBatch int) error {
+	if walBatch < 0 {
+		return fmt.Errorf("-wal-batch must be >= 0, got %d", walBatch)
+	}
+	if walDir == "" {
+		if fsync {
+			return fmt.Errorf("-fsync requires -wal")
+		}
+		if walBatch != 0 {
+			return fmt.Errorf("-wal-batch requires -wal")
+		}
+	}
+	return nil
+}
+
 // demoProblem builds the motif-discovery demo deterministically, so a
 // remote worker process constructs exactly the same problem (and
 // decodes the same pattern keys) as the server.
@@ -70,6 +89,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/metrics, /debug/trace and pprof on this address (e.g. localhost:6060)")
 	shards := flag.Int("shards", 0, "tuple-space shard count (rounded up to a power of two; 0 = derive from GOMAXPROCS)")
 	walDir := flag.String("wal", "", "write-ahead log directory: committed tuple ops survive a crash and replay on restart")
+	fsync := flag.Bool("fsync", false, "fsync every WAL group commit (survives machine crashes, not just process crashes; requires -wal)")
+	walBatch := flag.Int("wal-batch", 0, "max records coalesced into one WAL group-commit write (0 = default; requires -wal)")
 	addr := flag.String("addr", "", "serve the tuple space over TCP on this address so remote workers can join (e.g. :7117)")
 	workers := flag.Int("workers", 3, "local demo worker count")
 	workerAddr := flag.String("worker", "", "run as a remote worker against the server at this address (no local server)")
@@ -77,6 +98,11 @@ func main() {
 	slowOp := flag.Duration("slow-op", 0, "log every span at least this long as a slow op (0 disables)")
 	logJSON := flag.String("log-json", "", "write JSON-lines structured logs to stderr at this level (debug|info|warn|error)")
 	flag.Parse()
+
+	if err := validateWALFlags(*walDir, *fsync, *walBatch); err != nil {
+		fmt.Fprintf(os.Stderr, "plinda: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *logJSON != "" {
 		obs.SetDefault(obs.NewLogger(os.Stderr, obs.ParseLevel(*logJSON)))
@@ -90,7 +116,7 @@ func main() {
 	var store tuplespace.TxnStore = space
 	var backend tuplespace.ServerBackend = space
 	if *walDir != "" {
-		ds, err := durable.Open(*walDir, space, durable.Options{})
+		ds, err := durable.Open(*walDir, space, durable.Options{Fsync: *fsync, MaxBatch: *walBatch})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plinda: wal: %v\n", err)
 			os.Exit(1)

@@ -14,6 +14,104 @@ import (
 	"freepdm/internal/obs"
 )
 
+// TestValidateWALFlags pins the durability-flag contract: -fsync and
+// -wal-batch are refused without -wal (dead configuration an operator
+// would mistake for real durability), and -wal-batch rejects negatives.
+func TestValidateWALFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		walDir   string
+		fsync    bool
+		walBatch int
+		wantErr  bool
+	}{
+		{name: "defaults", wantErr: false},
+		{name: "wal alone", walDir: "d", wantErr: false},
+		{name: "wal+fsync", walDir: "d", fsync: true, wantErr: false},
+		{name: "wal+batch", walDir: "d", walBatch: 64, wantErr: false},
+		{name: "fsync without wal", fsync: true, wantErr: true},
+		{name: "batch without wal", walBatch: 8, wantErr: true},
+		{name: "negative batch", walDir: "d", walBatch: -1, wantErr: true},
+	}
+	for _, tc := range cases {
+		err := validateWALFlags(tc.walDir, tc.fsync, tc.walBatch)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateWALFlags(%q, %v, %d) = %v, wantErr=%v",
+				tc.name, tc.walDir, tc.fsync, tc.walBatch, err, tc.wantErr)
+		}
+	}
+}
+
+// TestFsyncFlagBoot boots the binary with -wal -fsync -wal-batch and
+// lets the demo run to completion: the full workload committing
+// through the fsync group-commit pipeline, then a clean quit.
+func TestFsyncFlagBoot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the plinda binary")
+	}
+	exe := filepath.Join(t.TempDir(), "plinda")
+	if out, err := exec.Command("go", "build", "-o", exe, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// An invalid combination must be refused before boot.
+	if out, err := exec.Command(exe, "-fsync").CombinedOutput(); err == nil {
+		t.Errorf("-fsync without -wal was accepted:\n%s", out)
+	} else if !strings.Contains(string(out), "-fsync requires -wal") {
+		t.Errorf("-fsync without -wal: unexpected output %q", out)
+	}
+
+	cmd := exec.Command(exe, "-wal", filepath.Join(t.TempDir(), "wal"),
+		"-fsync", "-wal-batch", "32", "-workers", "2")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Process.Kill() //nolint:errcheck — cleanup for early Fatals
+		cmd.Wait()         //nolint:errcheck
+	}()
+	// Wait for the demo to finish (the prompt follows the summary), then
+	// quit; a zero exit proves the WAL closed cleanly in fsync mode.
+	done := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "motifs") {
+				close(done)
+				break
+			}
+		}
+		io.Copy(io.Discard, out) //nolint:errcheck — keep the pipe drained
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("demo never completed under -fsync")
+	}
+	if _, err := io.WriteString(stdin, "quit\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		if err != nil {
+			t.Fatalf("plinda exited with error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("plinda did not exit on quit")
+	}
+}
+
 // TestMetricsSmoke is the CI smoke check for the observability surface:
 // it builds and boots the real plinda binary with a live debug
 // endpoint, scrapes /metrics while the demo runs, and validates the

@@ -5,12 +5,25 @@
 //
 // Every committed mutation — an Out, a committed (non-transactional)
 // take, or a transaction commit (its takes and outs as one record) —
-// is appended to an append-only gob log before it is applied, so after
+// is appended to an append-only log before it is applied, so after
 // a crash Open replays the log over the latest snapshot and recovers
 // exactly the committed state. Tentative takes of open transactions
 // are deliberately NOT logged: a crash aborts them by omission, and
 // the taken tuples are simply present again in the recovered space —
 // the recovery half of the transaction contract.
+//
+// Records are encoded with the tuplespace binary wire codec (the same
+// encoding tuples take over TCP) and framed as uvarint body length +
+// CRC32-C checksum + body; the checksum makes a torn or corrupt tail
+// record detectable without trusting the decoder.
+//
+// Appends are group-committed: an operation encodes and enqueues its
+// record under the apply lock (so log order is apply order), then
+// waits for the record to reach the file. The first waiter becomes the
+// leader and writes every queued record in one syscall (and one fsync,
+// in fsync mode); the others follow for free — N concurrent writers
+// pay one write, the group-commit protocol of conventional database
+// logs.
 //
 // Files are generation-numbered: snap-<g>.gob is a snapshot, and
 // wal-<g>.log holds the records since that snapshot. Compaction writes
@@ -18,26 +31,29 @@
 // starts an empty wal-<g+1>, and deletes generation g. A torn final
 // record — a crash mid-append — is detected and truncated on replay.
 //
-// Durability level: each record is flushed to the OS before the
-// operation is applied, so the state survives process crashes (the
-// kill -9 scenario the fault-injection tests exercise); fsync happens
-// on compaction and Close, not per record, so the very last records
-// may be lost to a machine crash. Replay is idempotent at the
-// semantic level: commit records remove their takes by exact match,
-// which is a no-op when the tuple is already absent.
+// Durability levels: by default each record is written to the OS
+// before the operation returns, so the state survives process crashes
+// (the kill -9 scenario the fault-injection tests exercise) but the
+// last records may be lost to a machine crash; Options.Fsync upgrades
+// every group commit to an fsync, surviving power loss at the cost of
+// one disk flush per batch. fsync always happens on compaction and
+// Close. Replay is idempotent at the semantic level: commit records
+// remove their takes by exact match, which is a no-op when the tuple
+// is already absent.
 package durable
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
@@ -47,12 +63,24 @@ import (
 // is automatically compacted into a snapshot.
 const DefaultCompactEvery = 1024
 
+// DefaultMaxBatch is the group-commit batch cap: the most records a
+// single leader write may cover. Bounding the batch bounds the latency
+// a record can inherit from the queue ahead of it.
+const DefaultMaxBatch = 256
+
 // Options configures a durable space.
 type Options struct {
 	// CompactEvery is the record count that triggers automatic
 	// compaction. Zero selects DefaultCompactEvery; a negative value
 	// disables automatic compaction (Compact can still be called).
 	CompactEvery int
+	// Fsync upgrades every group commit to an fsync before the
+	// batched operations return, surviving machine crashes rather
+	// than only process crashes.
+	Fsync bool
+	// MaxBatch caps the records coalesced into one group-commit
+	// write. Zero selects DefaultMaxBatch.
+	MaxBatch int
 }
 
 // record is one WAL entry: the takes and outs of a committed
@@ -62,13 +90,22 @@ type record struct {
 	Outs  []tuplespace.Tuple
 }
 
+// castagnoli is the CRC32-C table; the polynomial with hardware
+// support on current CPUs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 // Space is a write-ahead-logged tuple space. It implements
 // tuplespace.TxnStore (and the wire server's backend interface), so
 // PLinda programs and remote clients run against it unchanged.
 //
-// A single mutex serializes WAL appends with their physical
-// application and with compaction, so the log order is the apply
-// order and a snapshot is always consistent with its log position.
+// Two locks split the pipeline: mu serializes record encoding and
+// enqueueing with physical application and with compaction, so the log
+// order is the apply order and a snapshot is always consistent with
+// its log position; gmu guards the pending-record queue and the
+// leader/follower group-commit protocol, so the file write itself
+// happens outside mu and concurrent operations coalesce their
+// records into one syscall. Lock order is mu then gmu, never the
+// reverse.
 type Space struct {
 	dir string
 
@@ -76,17 +113,33 @@ type Space struct {
 	s            *tuplespace.Space
 	gen          uint64
 	f            *os.File
-	bw           *bufio.Writer
 	recs         int
 	compactEvery int
 	txns         map[*txn]struct{}
 	closed       bool
+	enc          []byte // record-body encode scratch, guarded by mu
+
+	fsync    bool
+	maxBatch int
+
+	gmu       sync.Mutex
+	gcond     *sync.Cond
+	pend      []byte // encoded frames awaiting write, in log order
+	ends      []int  // end offset of each pending frame within pend
+	seq       uint64 // records ever enqueued
+	flushed   uint64 // records whose frames reached the file
+	flushing  bool   // a leader is writing
+	werr      error  // sticky: first write/fsync error; fail-stops the WAL
+	slowWrite func() // test hook: runs in the leader, outside gmu, before the write
 
 	replayed int // records replayed by Open, for tests and doctors
 
 	appends     *obs.Counter
 	walBytes    *obs.Counter
+	walWrites   *obs.Counter
 	compactions *obs.Counter
+	batchH      *obs.Histogram
+	fsyncH      *obs.Histogram
 }
 
 func snapPath(dir string, gen uint64) string {
@@ -111,11 +164,17 @@ func Open(dir string, s *tuplespace.Space, opts Options) (*Space, error) {
 		dir:          dir,
 		s:            s,
 		compactEvery: opts.CompactEvery,
+		fsync:        opts.Fsync,
+		maxBatch:     opts.MaxBatch,
 		txns:         make(map[*txn]struct{}),
 	}
 	if d.compactEvery == 0 {
 		d.compactEvery = DefaultCompactEvery
 	}
+	if d.maxBatch <= 0 {
+		d.maxBatch = DefaultMaxBatch
+	}
+	d.gcond = sync.NewCond(&d.gmu)
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -227,23 +286,32 @@ func (d *Space) recover() error {
 		return err
 	}
 	d.f = f
-	d.bw = bufio.NewWriter(f)
 	return nil
 }
 
-// readRecord decodes one length-prefixed record from the head of data,
+// readRecord decodes one framed record from the head of data,
 // returning the bytes consumed; 0 means the data ends in a torn or
-// undecodable record.
+// corrupt record. Frame: uvarint body length, CRC32-C of the body
+// (little-endian), body (wire-codec takes batch then outs batch).
 func readRecord(data []byte) (record, int) {
 	size, n := binary.Uvarint(data)
-	if n <= 0 || uint64(len(data)-n) < size {
+	if n <= 0 || len(data)-n < 4 || uint64(len(data)-n-4) < size {
 		return record{}, 0
 	}
-	var rec record
-	if err := gob.NewDecoder(bytes.NewReader(data[n : n+int(size)])).Decode(&rec); err != nil {
+	sum := binary.LittleEndian.Uint32(data[n:])
+	body := data[n+4 : n+4+int(size)]
+	if crc32.Checksum(body, castagnoli) != sum {
 		return record{}, 0
 	}
-	return rec, n + int(size)
+	takes, rest, err := tuplespace.DecodeWireTuples(body)
+	if err != nil {
+		return record{}, 0
+	}
+	outs, rest, err := tuplespace.DecodeWireTuples(rest)
+	if err != nil || len(rest) != 0 {
+		return record{}, 0
+	}
+	return record{Takes: takes, Outs: outs}, n + 4 + int(size)
 }
 
 // apply replays one record against the space: exact-match removal of
@@ -262,12 +330,17 @@ func (d *Space) apply(rec record) error {
 	return nil
 }
 
-// append writes one record to the WAL and flushes it to the OS. Caller
-// holds d.mu. Triggers compaction when the record budget is spent.
-// When ctx carries a span context and a tracer is attached, the append
-// is recorded as a "wal"/"append" child span, so a distributed trace
-// shows the durability cost of each committed operation.
-func (d *Space) append(ctx context.Context, rec record) error {
+// enqueue encodes one record and places its frame on the group-commit
+// queue, returning the record's sequence number for commitWAL. Caller
+// holds d.mu, which is what makes the queue order the apply order. An
+// encoding error (a tuple carrying a non-wire-encodable field type)
+// leaves the queue untouched, so the caller can refuse the operation
+// before applying it.
+//
+// When ctx carries a span context and a tracer is attached, the
+// enqueue is recorded as a "wal"/"append" child span, so a distributed
+// trace shows the durability cost of each committed operation.
+func (d *Space) enqueue(ctx context.Context, rec record) (uint64, error) {
 	if tr := d.s.Tracer(); tr != nil {
 		if sp := tr.StartChild(obs.FromContext(ctx), "wal", "append"); sp != nil {
 			defer func() {
@@ -277,24 +350,133 @@ func (d *Space) append(ctx context.Context, rec record) error {
 			}()
 		}
 	}
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(rec); err != nil {
-		return err
+	body, err := tuplespace.AppendWireTuples(d.enc[:0], rec.Takes)
+	if err != nil {
+		return 0, err
 	}
-	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(body.Len()))
-	if _, err := d.bw.Write(lenBuf[:n]); err != nil {
-		return err
+	if body, err = tuplespace.AppendWireTuples(body, rec.Outs); err != nil {
+		return 0, err
 	}
-	if _, err := d.bw.Write(body.Bytes()); err != nil {
-		return err
+	d.enc = body[:0] // keep the grown scratch
+
+	d.gmu.Lock()
+	if d.werr != nil {
+		// The WAL is fail-stopped; refuse before applying.
+		err := d.werr
+		d.gmu.Unlock()
+		return 0, err
 	}
-	if err := d.bw.Flush(); err != nil {
-		return err
-	}
+	frameStart := len(d.pend)
+	d.pend = binary.AppendUvarint(d.pend, uint64(len(body)))
+	d.pend = binary.LittleEndian.AppendUint32(d.pend, crc32.Checksum(body, castagnoli))
+	d.pend = append(d.pend, body...)
+	frameLen := len(d.pend) - frameStart
+	d.ends = append(d.ends, len(d.pend))
+	d.seq++
+	seq := d.seq
+	d.gmu.Unlock()
+
 	d.recs++
 	d.appends.Inc()
-	d.walBytes.Add(int64(n + body.Len()))
+	d.walBytes.Add(int64(frameLen))
+	return seq, nil
+}
+
+// commitWAL blocks until record seq has reached the file (and disk, in
+// fsync mode). The first waiter whose record is unwritten becomes the
+// leader: it writes every pending frame up to the batch cap in one
+// syscall while followers wait on the condition; a finished leader
+// hands off, so a queue longer than the cap drains in successive
+// batches. Called without locks held.
+func (d *Space) commitWAL(seq uint64) error {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	for {
+		if d.flushed >= seq {
+			return nil
+		}
+		if d.werr != nil {
+			return d.werr
+		}
+		if d.flushing {
+			d.gcond.Wait()
+			continue
+		}
+		// Leader: cut a batch and write it outside the lock. Followers
+		// enqueueing meanwhile append past the cut; append may move
+		// d.pend to a new array, but the cut slice still aliases the
+		// old one, which no one else writes.
+		d.flushing = true
+		n := len(d.ends)
+		if n > d.maxBatch {
+			n = d.maxBatch
+		}
+		cut := d.ends[n-1]
+		buf := d.pend[:cut]
+		d.gmu.Unlock()
+
+		if d.slowWrite != nil {
+			d.slowWrite()
+		}
+		_, werr := d.f.Write(buf)
+		if werr == nil && d.fsync {
+			start := time.Now()
+			werr = d.f.Sync()
+			d.fsyncH.Observe(time.Since(start))
+		}
+
+		d.gmu.Lock()
+		rest := copy(d.pend, d.pend[cut:])
+		d.pend = d.pend[:rest]
+		d.ends = d.ends[:copy(d.ends, d.ends[n:])]
+		for i := range d.ends {
+			d.ends[i] -= cut
+		}
+		d.flushed += uint64(n)
+		if werr != nil && d.werr == nil {
+			d.werr = werr
+		}
+		d.flushing = false
+		d.walWrites.Inc()
+		// The batch-size histogram abuses duration buckets as record
+		// counts; its bounds are the unitless powers of two set up in
+		// Observe.
+		d.batchH.Observe(time.Duration(n))
+		d.gcond.Broadcast()
+	}
+}
+
+// drainLocked writes out every pending frame. Caller holds d.mu and
+// d.gmu; used by compaction and Close, which must see the queue empty
+// before touching the file.
+func (d *Space) drainLocked() error {
+	for d.flushing {
+		d.gcond.Wait()
+	}
+	if d.werr != nil {
+		return d.werr
+	}
+	if n := len(d.ends); n > 0 {
+		_, err := d.f.Write(d.pend)
+		d.pend = d.pend[:0]
+		d.ends = d.ends[:0]
+		d.flushed += uint64(n)
+		d.walWrites.Inc()
+		d.batchH.Observe(time.Duration(n))
+		if err != nil {
+			d.werr = err
+			d.gcond.Broadcast()
+			return err
+		}
+		d.gcond.Broadcast()
+	}
+	return nil
+}
+
+// maybeCompactLocked runs automatic compaction when the record budget
+// is spent. Caller holds d.mu; called after the triggering operation
+// has been applied, so the snapshot always contains it.
+func (d *Space) maybeCompactLocked() error {
 	if d.compactEvery > 0 && d.recs >= d.compactEvery {
 		return d.compactLocked()
 	}
@@ -314,8 +496,16 @@ func (d *Space) Compact() error {
 // compactLocked snapshots the logical state — the stored tuples plus
 // the tentative takes of open transactions, which are committed to
 // nothing yet and therefore still logically present — and rolls the
-// log to the next generation. Caller holds d.mu.
+// log to the next generation. Caller holds d.mu, which stops new
+// records from being enqueued; gmu is held across the file swap so no
+// group-commit leader can write to the old file mid-roll.
 func (d *Space) compactLocked() error {
+	d.gmu.Lock()
+	defer d.gmu.Unlock()
+	if err := d.drainLocked(); err != nil {
+		return err
+	}
+
 	tuples := d.s.Snapshot()
 	for tx := range d.txns {
 		tuples = append(tuples, tx.takes...)
@@ -346,11 +536,10 @@ func (d *Space) compactLocked() error {
 	if err != nil {
 		return err
 	}
-	d.f.Close()                       //nolint:errcheck — already flushed; the snapshot supersedes it
+	d.f.Close()                       //nolint:errcheck — already drained; the snapshot supersedes it
 	os.Remove(walPath(d.dir, d.gen))  //nolint:errcheck
 	os.Remove(snapPath(d.dir, d.gen)) //nolint:errcheck
 	d.f = nf
-	d.bw = bufio.NewWriter(nf)
 	d.recs = 0
 	d.gen = next
 	d.compactions.Inc()
@@ -371,14 +560,25 @@ func (d *Space) Out(fields ...any) error {
 func (d *Space) OutCtx(ctx context.Context, fields ...any) error {
 	t := append(tuplespace.Tuple(nil), fields...)
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return tuplespace.ErrClosed
 	}
-	if err := d.append(ctx, record{Outs: []tuplespace.Tuple{t}}); err != nil {
+	seq, err := d.enqueue(ctx, record{Outs: []tuplespace.Tuple{t}})
+	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
-	return d.s.OutCtx(ctx, fields...)
+	if err := d.s.OutCtx(ctx, fields...); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	cerr := d.maybeCompactLocked()
+	d.mu.Unlock()
+	if cerr != nil {
+		return cerr
+	}
+	return d.commitWAL(seq)
 }
 
 // OutN logs the batch as one record and applies it.
@@ -393,14 +593,25 @@ func (d *Space) OutNCtx(ctx context.Context, tuples []tuplespace.Tuple) error {
 		return nil
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return tuplespace.ErrClosed
 	}
-	if err := d.append(ctx, record{Outs: tuples}); err != nil {
+	seq, err := d.enqueue(ctx, record{Outs: tuples})
+	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
-	return d.s.OutNCtx(ctx, tuples)
+	if err := d.s.OutNCtx(ctx, tuples); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	cerr := d.maybeCompactLocked()
+	d.mu.Unlock()
+	if cerr != nil {
+		return cerr
+	}
+	return d.commitWAL(seq)
 }
 
 // In is a committed (non-transactional) take: the removal is logged
@@ -440,13 +651,22 @@ func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.
 			return nil, obs.SpanContext{}, err
 		}
 		if ok {
-			if aerr := d.append(ctx, record{Takes: []tuplespace.Tuple{t}}); aerr != nil {
+			seq, aerr := d.enqueue(ctx, record{Takes: []tuplespace.Tuple{t}})
+			if aerr != nil {
 				d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
 				d.mu.Unlock()
 				sp.End()
 				return nil, obs.SpanContext{}, aerr
 			}
+			cerr := d.maybeCompactLocked()
 			d.mu.Unlock()
+			if cerr == nil {
+				cerr = d.commitWAL(seq)
+			}
+			if cerr != nil {
+				sp.End()
+				return nil, obs.SpanContext{}, cerr
+			}
 			if sp != nil {
 				sp.Annotate("blocked", blocked)
 				sp.End()
@@ -465,17 +685,28 @@ func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.
 // Inp is the non-blocking committed take.
 func (d *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return nil, false, tuplespace.ErrClosed
 	}
 	t, ok, err := d.s.Inp(tmplFields...)
 	if err != nil || !ok {
+		d.mu.Unlock()
 		return nil, false, err
 	}
-	if err := d.append(context.Background(), record{Takes: []tuplespace.Tuple{t}}); err != nil {
+	seq, err := d.enqueue(context.Background(), record{Takes: []tuplespace.Tuple{t}})
+	if err != nil {
 		d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
+		d.mu.Unlock()
 		return nil, false, err
+	}
+	cerr := d.maybeCompactLocked()
+	d.mu.Unlock()
+	if cerr == nil {
+		cerr = d.commitWAL(seq)
+	}
+	if cerr != nil {
+		return nil, false, cerr
 	}
 	return t, true, nil
 }
@@ -491,7 +722,7 @@ func (d *Space) Rdp(tmplFields ...any) (Tuple, bool, error) { return d.s.Rdp(tmp
 
 func (d *Space) Len() (int, error) { return d.s.Len() }
 
-// Close flushes and syncs the WAL, then closes the underlying space,
+// Close drains and syncs the WAL, then closes the underlying space,
 // releasing every blocked operation with ErrClosed. Open transactions
 // are implicitly aborted by omission: their takes were never logged,
 // so recovery restores the tuples.
@@ -502,7 +733,9 @@ func (d *Space) Close() error {
 		return nil
 	}
 	d.closed = true
-	err := d.bw.Flush()
+	d.gmu.Lock()
+	err := d.drainLocked()
+	d.gmu.Unlock()
 	if serr := d.f.Sync(); err == nil {
 		err = serr
 	}
@@ -559,14 +792,26 @@ func (d *Space) Generation() uint64 {
 }
 
 // Observe attaches instruments to the underlying space and registers
-// the WAL's own counters: "wal.appends", "wal.bytes",
-// "wal.compactions".
+// the WAL's own instruments: counters "wal.appends" (records),
+// "wal.bytes", "wal.writes" (group-commit syscalls; appends/writes is
+// the coalescing ratio), "wal.compactions"; histogram
+// "wal.batch_records" (records per group-commit write, power-of-two
+// buckets — the bucket unit is a record count, not a duration); and,
+// in fsync mode, histogram "wal.fsync" (fsync latency, with quantiles
+// on /metrics like every histogram).
 func (d *Space) Observe(reg *obs.Registry, tracer *obs.Tracer) {
 	d.s.Observe(reg, tracer)
+	batchBounds := make([]time.Duration, 0, 9)
+	for b := 1; b <= 256; b *= 2 {
+		batchBounds = append(batchBounds, time.Duration(b))
+	}
 	d.mu.Lock()
 	d.appends = reg.Counter("wal.appends")
 	d.walBytes = reg.Counter("wal.bytes")
+	d.walWrites = reg.Counter("wal.writes")
 	d.compactions = reg.Counter("wal.compactions")
+	d.batchH = reg.Histogram("wal.batch_records", batchBounds...)
+	d.fsyncH = reg.Histogram("wal.fsync")
 	d.mu.Unlock()
 }
 
@@ -683,20 +928,32 @@ func (tx *txn) Commit(outs []tuplespace.Tuple) error {
 func (tx *txn) CommitCtx(ctx context.Context, outs []tuplespace.Tuple) error {
 	d := tx.d
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.closed {
+		d.mu.Unlock()
 		return tuplespace.ErrClosed
 	}
 	if tx.done {
+		d.mu.Unlock()
 		return errFinished
 	}
 	tx.done = true
 	delete(d.txns, tx)
-	if err := d.append(ctx, record{Takes: tx.takes, Outs: outs}); err != nil {
+	seq, err := d.enqueue(ctx, record{Takes: tx.takes, Outs: outs})
+	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
 	tx.takes = nil
-	return d.s.OutNCtx(ctx, outs)
+	if err := d.s.OutNCtx(ctx, outs); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	cerr := d.maybeCompactLocked()
+	d.mu.Unlock()
+	if cerr != nil {
+		return cerr
+	}
+	return d.commitWAL(seq)
 }
 
 func (tx *txn) Abort() error {

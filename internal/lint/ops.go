@@ -36,6 +36,13 @@ var tupleOps = map[string]opInfo{
 	"Rdp":   {consumer: true, errLast: true},
 	"InCtx": {blocking: true, takes: true, consumer: true, errLast: true, ctxFirst: true},
 	"RdCtx": {blocking: true, consumer: true, errLast: true, ctxFirst: true},
+	// The traced/ctx-carrying variants introduced with distributed
+	// tracing and the binary codec rewrite: same tuple semantics as
+	// their plain counterparts, analyzed identically.
+	"OutCtx":      {producer: true, errLast: true, ctxFirst: true},
+	"OutNCtx":     {errLast: true, ctxFirst: true},
+	"InCtxTraced": {blocking: true, takes: true, consumer: true, errLast: true, ctxFirst: true},
+	"InpTraced":   {takes: true, consumer: true, errLast: true},
 }
 
 // opCall is one resolved tuple-op call site.
@@ -266,7 +273,8 @@ func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 	switch {
 	case pkgPath == tuplespacePath &&
 		(typeName == "Space" || typeName == "Client" ||
-			typeName == "Store" || typeName == "TxnStore" || typeName == "Txn"):
+			typeName == "Store" || typeName == "TxnStore" || typeName == "Txn" ||
+			typeName == "TracedTaker" || typeName == "CtxOuter"):
 	case pkgPath == plindaPath && typeName == "Proc":
 	default:
 		if !a.implementsStore(named) {

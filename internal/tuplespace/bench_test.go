@@ -91,6 +91,31 @@ func BenchmarkTuplespaceWakeLatency(b *testing.B) {
 	<-done
 }
 
+// BenchmarkWireEncode measures the codec's encode hot path in
+// isolation: one representative Out request appended into a pooled
+// buffer, exactly as the client's send path does it. The pool means the
+// steady state allocates nothing.
+func BenchmarkWireEncode(b *testing.B) {
+	req := &request{
+		ID: 42,
+		Op: opOut,
+		// lint:ignore tuple-contract encoder micro-benchmark, never enters a space
+		Fields: []any{"job", 7, 3.14, "payload", []int{1, 2, 3}},
+		Trace:  0xabcdef,
+		Span:   0x123456,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eb, _ := getEncBuf()
+		var err error
+		eb.b, err = appendRequest(eb.b[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		putEncBuf(eb)
+	}
+}
+
 func benchTCPServer(b *testing.B) (addr string, stop func()) {
 	b.Helper()
 	s := New()

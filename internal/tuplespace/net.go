@@ -3,11 +3,9 @@ package tuplespace
 import (
 	"bufio"
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
-	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,9 +32,10 @@ var ErrLeaseExpired = errors.New("tuplespace: session lease expired")
 // workstation of the LAN with clients on the others (chapter 7); this
 // file provides the same split for the Go reproduction: Serve exposes
 // any TxnStore backend over a listener, and Dial returns a Client
-// whose operations have the same semantics as the local methods, with
-// tuples gob-encoded on the wire. Formals are transmitted as type
-// names and reconstructed server-side.
+// whose operations have the same semantics as the local methods.
+// Tuples travel in the binary wire format of codec.go; each connection
+// opens with the 5-byte version handshake, so incompatible builds fail
+// at dial time.
 //
 // The protocol is pipelined and multiplexed: every request carries a
 // client-assigned ID, responses come back tagged with the same ID and
@@ -45,7 +44,9 @@ var ErrLeaseExpired = errors.New("tuplespace: session lease expired")
 // occupies a waiter in the server's space, not the wire. Writes on
 // both ends go through a buffered writer that is flushed only when no
 // further frame is queued behind it, so bursts of small frames
-// coalesce into few packets.
+// coalesce into few packets. Frames are encoded into pooled buffers —
+// on the client outside the write lock, on the server in the handler
+// goroutines — so the lock and the writer goroutine do I/O only.
 //
 // Fault tolerance (chapter 5's transactions, on the wire): a client
 // dialed with DialOpts establishes a session, optionally named and
@@ -58,38 +59,32 @@ var ErrLeaseExpired = errors.New("tuplespace: session lease expired")
 // tentative take — a kill -9'd remote worker's task tuples reappear
 // for other workers.
 
-// wireField is one template field on the wire: either an actual value
-// or a formal carrying its type name.
-type wireField struct {
-	Actual   any
-	IsFormal bool
-	TypeName string
-}
-
 // request is one client operation. ID is echoed on the response so the
 // client can demultiplex concurrent operations on one connection.
-// Batch is used by "outn" (the tuples) and "txcommit" (the outs).
-// Txn carries the client-assigned transaction ID for "txbegin" and for
-// operations running inside the transaction. Target is the ID of the
-// request a "cancel" aims at. Lease and Name configure the session on
-// "hello"; Cont (guarded by HasCont) is a "txcommit" continuation.
+// Fields holds template or tuple fields (formals included, as formal
+// values — the codec encodes them as type tags). Batch is used by
+// "outn" (the tuples) and "txcommit" (the outs). Txn carries the
+// client-assigned transaction ID for "txbegin" and for operations
+// running inside the transaction. Target is the ID of the request a
+// "cancel" aims at. Lease and Name configure the session on "hello";
+// Cont (guarded by HasCont) is a "txcommit" continuation.
 //
 // Trace and Span are the distributed-tracing header: the span context
 // of the client-side operation span (or, on an untraced client, of the
 // caller's span). The server roots its per-request span under them, so
 // one trace follows an operation across the process boundary. Zero
-// means untraced; gob encodes absent fields compactly, so untraced
-// requests pay nothing.
+// means untraced; the codec's flag byte makes absent header fields
+// free, so untraced requests pay nothing.
 type request struct {
 	ID      uint64
-	Op      string // out outn in inp rd rdp len hello ping txbegin txcommit txabort cancel recover
-	Fields  []wireField
-	Batch   [][]wireField
+	Op      byte
+	Fields  []any
+	Batch   []Tuple
 	Txn     uint64
 	Target  uint64
 	Lease   int64 // nanoseconds
 	Name    string
-	Cont    []wireField
+	Cont    []any
 	HasCont bool
 	Trace   uint64
 	Span    uint64
@@ -165,79 +160,6 @@ func errResp(err error) *response {
 	return &response{Err: err.Error(), Code: codeFor(err)}
 }
 
-func init() {
-	gob.Register(wireField{})
-	gob.Register([]any(nil))
-	// Basic field types the miners use; applications with custom field
-	// types register them with RegisterWireType.
-	gob.Register(int(0))
-	gob.Register(int64(0))
-	gob.Register(float64(0))
-	gob.Register("")
-	gob.Register(false)
-	gob.Register([]byte(nil))
-	gob.Register([]int(nil))
-	gob.Register([]float64(nil))
-	gob.Register([]string(nil))
-}
-
-// RegisterWireType makes a concrete tuple-field type transferable over
-// the networked tuple space and usable as a formal. Both the server
-// and the client process must register it.
-func RegisterWireType(sample any) {
-	gob.Register(sample)
-	wireTypesMu.Lock()
-	wireTypes[reflect.TypeOf(sample).String()] = reflect.TypeOf(sample)
-	wireTypesMu.Unlock()
-}
-
-// wireTypes is read on every formal decode and written only by
-// RegisterWireType (typically at init time), hence the RWMutex.
-var (
-	wireTypesMu sync.RWMutex
-	wireTypes   = map[string]reflect.Type{
-		"int":       reflect.TypeOf(int(0)),
-		"int64":     reflect.TypeOf(int64(0)),
-		"float64":   reflect.TypeOf(float64(0)),
-		"string":    reflect.TypeOf(""),
-		"bool":      reflect.TypeOf(false),
-		"[]uint8":   reflect.TypeOf([]byte(nil)),
-		"[]int":     reflect.TypeOf([]int(nil)),
-		"[]float64": reflect.TypeOf([]float64(nil)),
-		"[]string":  reflect.TypeOf([]string(nil)),
-	}
-)
-
-func encodeFields(fields []any) ([]wireField, error) {
-	out := make([]wireField, len(fields))
-	for i, f := range fields {
-		if fo, ok := f.(formal); ok {
-			out[i] = wireField{IsFormal: true, TypeName: fo.t.String()}
-			continue
-		}
-		out[i] = wireField{Actual: f}
-	}
-	return out, nil
-}
-
-func decodeFields(fields []wireField) ([]any, error) {
-	out := make([]any, len(fields))
-	for i, f := range fields {
-		if !f.IsFormal {
-			out[i] = f.Actual
-			continue
-		}
-		wireTypesMu.RLock()
-		t, ok := wireTypes[f.TypeName]
-		wireTypesMu.RUnlock()
-		if !ok {
-			return nil, fmt.Errorf("tuplespace: unknown wire type %q (RegisterWireType it)", f.TypeName)
-		}
-		out[i] = formal{t}
-	}
-	return out, nil
-}
-
 // countingConn counts bytes crossing a server connection into the
 // space's registry (nil-safe counters).
 type countingConn struct {
@@ -255,13 +177,6 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.tx.Add(int64(n))
 	return n, err
-}
-
-// wireOps lists every protocol op, for pre-building the per-connection
-// histogram table (read concurrently by blocking-op handlers).
-var wireOps = []string{
-	"out", "outn", "in", "inp", "rd", "rdp", "len",
-	"hello", "ping", "txbegin", "txcommit", "txabort", "cancel", "recover",
 }
 
 // ServerBackend is what Serve needs from a space implementation: the
@@ -300,17 +215,18 @@ func (ns *netServer) cont(name string) (Tuple, bool) {
 
 // connState is the per-connection server machinery: a reader loop
 // (the calling goroutine), handler goroutines for blocking ops, one
-// writer goroutine that owns the gob encoder, and the session state —
+// writer goroutine that does pure frame I/O, and the session state —
 // name, lease timer, open transactions, and cancel handles for
 // in-flight blocking operations.
 type connState struct {
 	ns      *netServer
 	be      ServerBackend
-	respCh  chan *response
-	wg      sync.WaitGroup // in-flight blocking-op handlers
+	respCh  chan *encBuf // encoded response frames, pooled buffers
+	wg      sync.WaitGroup
 	reg     *obs.Registry
 	tracer  *obs.Tracer
-	hists   map[string]*obs.Histogram // immutable after setup
+	cm      *codecMetrics
+	hists   [opMax]*obs.Histogram // nil entries when unobserved
 	flushes *obs.Counter
 	bouts   *obs.Counter
 	btuples *obs.Counter
@@ -346,9 +262,11 @@ type connState struct {
 //
 // If the backend has an observer attached, the server also records
 // wire-level metrics: request/response byte counters
-// ("net.rx_bytes"/"net.tx_bytes"), connection counters, a per-op
-// latency histogram ("net.op.<op>", covering queueing plus matching —
-// for blocking in/rd this includes the wait), batch counters
+// ("net.rx_bytes"/"net.tx_bytes"), codec byte/pool counters
+// ("codec.enc_bytes", "codec.dec_bytes", "codec.pool_hits",
+// "codec.pool_misses"), connection counters, a per-op latency
+// histogram ("net.op.<op>", covering queueing plus matching — for
+// blocking in/rd this includes the wait), batch counters
 // ("net.batch_outs"/"net.batch_tuples"), a response-flush counter
 // ("net.flushes"), session/lease/transaction counters
 // ("net.sessions", "net.lease_expirations", "net.txn_begins",
@@ -385,7 +303,7 @@ func serveConn(ns *netServer, conn net.Conn) {
 	cs := &connState{
 		ns:      ns,
 		be:      ns.be,
-		respCh:  make(chan *response, 64),
+		respCh:  make(chan *encBuf, 64),
 		reg:     ns.be.Registry(),
 		tracer:  ns.be.Tracer(),
 		txns:    make(map[uint64]Txn),
@@ -399,9 +317,9 @@ func serveConn(ns *netServer, conn net.Conn) {
 		cs.reg.Gauge("net.open_conns").Add(1)
 		defer cs.reg.Gauge("net.open_conns").Add(-1)
 		rwc = &countingConn{Conn: conn, rx: cs.reg.Counter("net.rx_bytes"), tx: cs.reg.Counter("net.tx_bytes")}
-		cs.hists = make(map[string]*obs.Histogram, len(wireOps))
-		for _, op := range wireOps {
-			cs.hists[op] = cs.reg.Histogram("net.op." + op)
+		cs.cm = newCodecMetrics(cs.reg)
+		for op := byte(1); op < opMax; op++ {
+			cs.hists[op] = cs.reg.Histogram("net.op." + opName(op))
 		}
 		cs.flushes = cs.reg.Counter("net.flushes")
 		cs.bouts = cs.reg.Counter("net.batch_outs")
@@ -416,60 +334,84 @@ func serveConn(ns *netServer, conn net.Conn) {
 		cs.openTxns = cs.reg.Gauge("net.open_txns")
 	}
 
-	// Writer: sole owner of the encoder. Flushes only when no response
-	// is queued behind the one just encoded, coalescing bursts (e.g.
-	// the wakeups after an OutN) into one packet. Keeps draining after
-	// an encode error so handler sends never block.
+	// Handshake: both sides send their banner first, then validate the
+	// peer's, so neither end deadlocks waiting. The server's banner
+	// must be flushed before the writer goroutine takes over bw.
 	bw := bufio.NewWriter(rwc)
-	enc := gob.NewEncoder(bw)
+	if err := writeHandshake(bw); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	br := bufio.NewReader(rwc)
+	if err := expectHandshake(br); err != nil {
+		return
+	}
+
+	// Writer: pure I/O — handlers encode, this goroutine writes frames
+	// and returns buffers to the pool. Flushes only when no response is
+	// queued behind the one just written, coalescing bursts (e.g. the
+	// wakeups after an OutN) into one packet. Keeps draining after a
+	// write error so handler sends never block.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		var werr error
-		for resp := range cs.respCh {
-			if werr != nil {
-				continue
-			}
-			if werr = enc.Encode(resp); werr != nil {
-				continue
-			}
-			if len(cs.respCh) == 0 {
-				if werr = bw.Flush(); werr == nil {
-					cs.flushes.Inc()
+		for e := range cs.respCh {
+			if werr == nil {
+				if werr = writeFrame(bw, e.b); werr == nil && len(cs.respCh) == 0 {
+					if werr = bw.Flush(); werr == nil {
+						cs.flushes.Inc()
+					}
 				}
 			}
+			putEncBuf(e)
 		}
 	}()
 
-	dec := gob.NewDecoder(rwc)
+	var scratch []byte
 	for {
-		var req request
-		if err := dec.Decode(&req); err != nil {
+		body, err := readFrame(br, &scratch)
+		if err != nil {
 			break // connection closed
 		}
+		cs.cm.dec(len(body))
 		cs.touch()
-		if req.Op == "in" || req.Op == "rd" {
+		req := new(request)
+		if derr := decodeRequest(body, req); derr != nil {
+			if req.ID == 0 {
+				break // header itself unreadable: nothing to route to
+			}
+			// The frame boundary is intact (length-prefixed), so a bad
+			// body — e.g. an unregistered formal type — poisons only
+			// this request, not the connection.
+			resp := errResp(derr)
+			resp.ID = req.ID
+			cs.sendResp(resp)
+			continue
+		}
+		if req.Op == opIn || req.Op == opRd {
 			// Blocking ops get their own goroutine so they cannot stall
 			// the requests pipelined behind them. The cancel handle is
 			// registered before the handler starts, so a pipelined
 			// "cancel" never races past it.
-			r := req
 			hctx, hcancel := context.WithCancel(cs.ctx)
 			cs.mu.Lock()
-			cs.cancels[r.ID] = hcancel
+			cs.cancels[req.ID] = hcancel
 			cs.mu.Unlock()
 			cs.wg.Add(1)
 			go func() {
 				defer cs.wg.Done()
-				cs.handle(&r, hctx)
+				cs.handle(req, hctx)
 				cs.mu.Lock()
-				delete(cs.cancels, r.ID)
+				delete(cs.cancels, req.ID)
 				cs.mu.Unlock()
 				hcancel()
 			}()
 			continue
 		}
-		cs.handle(&req, cs.ctx)
+		cs.handle(req, cs.ctx)
 	}
 	// Connection teardown: release blocked handlers, then auto-abort
 	// the session's surviving transactions — the connection-drop half
@@ -493,6 +435,24 @@ func serveConn(ns *netServer, conn net.Conn) {
 	}
 	close(cs.respCh)
 	<-writerDone
+}
+
+// sendResp encodes a response into a pooled buffer and queues it for
+// the writer goroutine. Encoding can only fail on a tuple carrying an
+// unregistered custom type; that failure is reported in-band as an
+// error response, which always encodes.
+func (cs *connState) sendResp(resp *response) {
+	e, hit := getEncBuf()
+	cs.cm.pool(hit)
+	b, err := appendResponse(e.b, resp)
+	if err != nil {
+		er := errResp(err)
+		er.ID = resp.ID
+		b, _ = appendResponse(e.b[:0], er) // error responses cannot fail to encode
+	}
+	e.b = b
+	cs.cm.enc(len(b))
+	cs.respCh <- e
 }
 
 // touch resets the lease timer; called for every decoded request, so
@@ -590,7 +550,7 @@ func (cs *connState) handle(req *request, ctx context.Context) {
 		start = time.Now()
 	}
 	parent := obs.SpanContext{Trace: obs.ID(req.Trace), Span: obs.ID(req.Span)}
-	sp := cs.tracer.StartChild(parent, "net", req.Op)
+	sp := cs.tracer.StartChild(parent, "net", opName(req.Op))
 	if sp != nil {
 		cs.noteSession(parent)
 		ctx = obs.ContextWith(ctx, sp.Context())
@@ -599,17 +559,17 @@ func (cs *connState) handle(req *request, ctx context.Context) {
 	resp.ID = req.ID
 	if !start.IsZero() {
 		d := time.Since(start)
-		if cs.hists != nil {
+		if cs.reg != nil && req.Op < opMax {
 			cs.hists[req.Op].Observe(d)
 		}
 		if sp != nil {
 			sp.Annotate("ok", resp.Err == "")
 			sp.End()
 		} else {
-			cs.tracer.Record("net", req.Op, d, "ok", resp.Err == "")
+			cs.tracer.Record("net", opName(req.Op), d, "ok", resp.Err == "")
 		}
 	}
-	cs.respCh <- resp
+	cs.sendResp(resp)
 }
 
 // txn looks up an open transaction of this session.
@@ -630,25 +590,13 @@ func (cs *connState) takeTxn(id uint64) Txn {
 	return tx
 }
 
-func decodeBatch(batch [][]wireField) ([]Tuple, error) {
-	tuples := make([]Tuple, len(batch))
-	for i, wf := range batch {
-		fields, err := decodeFields(wf)
-		if err != nil {
-			return nil, err
-		}
-		tuples[i] = Tuple(fields)
-	}
-	return tuples, nil
-}
-
 func serveOne(cs *connState, req *request, ctx context.Context) *response {
 	be := cs.be
 	if cs.sessionExpired() {
 		return errResp(ErrLeaseExpired)
 	}
 	switch req.Op {
-	case "hello":
+	case opHello:
 		cs.mu.Lock()
 		cs.name = req.Name
 		if req.Lease > 0 {
@@ -662,9 +610,9 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		cs.mu.Unlock()
 		cs.sessions.Inc()
 		return &response{OK: true}
-	case "ping":
+	case opPing:
 		return &response{OK: true} // the reader's touch already reset the lease
-	case "txbegin":
+	case opTxBegin:
 		tx, err := be.Begin()
 		if err != nil {
 			return cs.mapErr(err)
@@ -680,7 +628,7 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		cs.txnBegins.Inc()
 		cs.openTxns.Add(1)
 		return &response{OK: true}
-	case "txcommit":
+	case opTxCommit:
 		if req.HasCont && cs.sessionName() == "" {
 			return errResp(errors.New("tuplespace: continuation commit requires a named session"))
 		}
@@ -688,32 +636,25 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		if tx == nil {
 			return cs.mapErr(ErrTxnFinished)
 		}
-		outs, err := decodeBatch(req.Batch)
-		if err != nil {
-			return errResp(err)
-		}
 		// Commit through the ctx-carrying variant when the backend has
 		// one, so the WAL-append span and the outs' trace stamps land in
 		// this request's trace.
+		var err error
 		if cc, ok := tx.(CtxCommitter); ok {
-			err = cc.CommitCtx(ctx, outs)
+			err = cc.CommitCtx(ctx, req.Batch)
 		} else {
-			err = tx.Commit(outs)
+			err = tx.Commit(req.Batch)
 		}
 		if err != nil {
 			return cs.mapErr(err)
 		}
 		if req.HasCont {
-			contFields, err := decodeFields(req.Cont)
-			if err != nil {
-				return errResp(err)
-			}
-			cs.ns.setCont(cs.sessionName(), Tuple(contFields))
+			cs.ns.setCont(cs.sessionName(), Tuple(req.Cont))
 		}
 		cs.txnCommits.Inc()
 		cs.openTxns.Add(-1)
 		return &response{OK: true}
-	case "txabort":
+	case opTxAbort:
 		tx := cs.takeTxn(req.Txn)
 		if tx == nil {
 			return cs.mapErr(ErrTxnFinished)
@@ -724,7 +665,7 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		cs.txnAborts.Inc()
 		cs.openTxns.Add(-1)
 		return &response{OK: true}
-	case "cancel":
+	case opCancel:
 		cs.mu.Lock()
 		fn := cs.cancels[req.Target]
 		cs.mu.Unlock()
@@ -733,36 +674,31 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			cs.cxls.Inc()
 		}
 		return &response{OK: true}
-	case "recover":
+	case opRecover:
 		name := cs.sessionName()
 		if name == "" {
 			return errResp(errors.New("tuplespace: recover requires a named session"))
 		}
 		t, ok := cs.ns.cont(name)
 		return &response{Tuple: t, OK: ok}
-	case "outn":
-		tuples, err := decodeBatch(req.Batch)
-		if err != nil {
-			return errResp(err)
-		}
+	case opOutN:
+		var err error
 		if co, ok := be.(CtxOuter); ok {
-			err = co.OutNCtx(ctx, tuples)
+			err = co.OutNCtx(ctx, req.Batch)
 		} else {
-			err = be.OutN(tuples)
+			err = be.OutN(req.Batch)
 		}
 		if err != nil {
 			return cs.mapErr(err)
 		}
 		cs.bouts.Inc()
-		cs.btuples.Add(int64(len(tuples)))
+		cs.btuples.Add(int64(len(req.Batch)))
 		return &response{OK: true}
 	}
-	fields, err := decodeFields(req.Fields)
-	if err != nil {
-		return errResp(err)
-	}
+	fields := req.Fields
 	switch req.Op {
-	case "out":
+	case opOut:
+		var err error
 		if co, ok := be.(CtxOuter); ok {
 			err = co.OutCtx(ctx, fields...)
 		} else {
@@ -772,7 +708,7 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			return cs.mapErr(err)
 		}
 		return &response{OK: true}
-	case "in":
+	case opIn:
 		// Takes go through the traced variant when the backend has one,
 		// returning the producer's span context stamped on the tuple so
 		// the response can hand provenance back to the consumer.
@@ -800,7 +736,7 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: true, Trace: uint64(org.Trace), Span: uint64(org.Span)}
-	case "rd":
+	case opRd:
 		// Reads are non-destructive and therefore never tentative: a rd
 		// inside a transaction goes straight to the store.
 		t, err := be.RdCtx(ctx, fields...)
@@ -808,9 +744,10 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: true}
-	case "inp":
+	case opInp:
 		var t Tuple
 		var ok bool
+		var err error
 		if req.Txn != 0 {
 			tx := cs.txn(req.Txn)
 			if tx == nil {
@@ -824,20 +761,20 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: ok}
-	case "rdp":
+	case opRdp:
 		t, ok, err := be.Rdp(fields...)
 		if err != nil {
 			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: ok}
-	case "len":
+	case opLen:
 		n, err := be.Len()
 		if err != nil {
 			return cs.mapErr(err)
 		}
 		return &response{OK: true, Len: n}
 	default:
-		return errResp(fmt.Errorf("tuplespace: unknown op %q", req.Op))
+		return errResp(fmt.Errorf("tuplespace: unknown op %d", req.Op))
 	}
 }
 
@@ -862,11 +799,11 @@ func (e *timeoutError) Unwrap() error   { return ErrTimeout }
 // connections.
 type Client struct {
 	conn net.Conn
+	br   *bufio.Reader // owned by readLoop; holds handshake overflow
 
-	wmu sync.Mutex // owns enc + bw
+	wmu sync.Mutex // owns bw
 	bw  *bufio.Writer
-	enc *gob.Encoder
-	wq  atomic.Int32 // writers queued or encoding; used to coalesce flushes
+	wq  atomic.Int32 // writers queued or writing; used to coalesce flushes
 
 	pmu     sync.Mutex
 	pending map[uint64]chan *response // nil after fail/Close
@@ -881,17 +818,20 @@ type Client struct {
 
 	reg    atomic.Pointer[obs.Registry]
 	trc    atomic.Pointer[obs.Tracer]
+	cm     atomic.Pointer[codecMetrics]
 	rootSC atomic.Pointer[obs.SpanContext] // ambient parent for non-ctx ops
 }
 
 // Observe attaches instruments to the client: every operation round
 // trip becomes a client-side span ("net"/"cli.<op>") when a parent
 // span context is available — from the operation's ctx, or the ambient
-// session context set by SetSpanContext. PLinda cascades its observer
-// here for remote incarnations.
+// session context set by SetSpanContext — and the codec counters
+// ("codec.enc_bytes" etc.) start accumulating. PLinda cascades its
+// observer here for remote incarnations.
 func (c *Client) Observe(reg *obs.Registry, tracer *obs.Tracer) {
 	c.reg.Store(reg)
 	c.trc.Store(tracer)
+	c.cm.Store(newCodecMetrics(reg))
 }
 
 // Registry returns the attached registry (nil when unobserved).
@@ -922,7 +862,8 @@ func (c *Client) parentSC(ctx context.Context) obs.SpanContext {
 
 // DialOptions configures a client session.
 type DialOptions struct {
-	// DialTimeout bounds connection establishment; zero is unbounded.
+	// DialTimeout bounds connection establishment, including the
+	// version handshake; zero is unbounded.
 	DialTimeout time.Duration
 	// OpTimeout bounds every non-blocking operation (Out, OutN, Inp,
 	// Rdp, Len, Ping, transaction begin/commit/abort); zero is
@@ -955,25 +896,39 @@ func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, er
 	return DialOpts(addr, DialOptions{DialTimeout: dialTimeout, OpTimeout: opTimeout})
 }
 
-// DialOpts connects to a served tuple space. If the options request a
-// lease or a session name, the session is established synchronously
-// before DialOpts returns.
+// DialOpts connects to a served tuple space and performs the version
+// handshake. If the options request a lease or a session name, the
+// session is established synchronously before DialOpts returns.
 func DialOpts(addr string, o DialOptions) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	bw := bufio.NewWriter(conn)
+	if o.DialTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(o.DialTimeout)) //nolint:errcheck — best-effort bound on the handshake
+	}
+	br := bufio.NewReader(conn)
+	if err := writeHandshake(conn); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, err
+	}
+	if err := expectHandshake(br); err != nil {
+		conn.Close() //nolint:errcheck
+		return nil, err
+	}
+	if o.DialTimeout > 0 {
+		conn.SetDeadline(time.Time{}) //nolint:errcheck
+	}
 	c := &Client{
 		conn:    conn,
-		bw:      bw,
-		enc:     gob.NewEncoder(bw),
+		br:      br,
+		bw:      bufio.NewWriter(conn),
 		pending: make(map[uint64]chan *response),
 	}
 	c.opTimeout.Store(int64(o.OpTimeout))
 	go c.readLoop()
 	if o.Lease > 0 || o.Name != "" {
-		if _, err := c.roundTrip(&request{Op: "hello", Lease: int64(o.Lease), Name: o.Name}); err != nil {
+		if _, err := c.roundTrip(&request{Op: opHello, Lease: int64(o.Lease), Name: o.Name}); err != nil {
 			c.Close() //nolint:errcheck
 			return nil, err
 		}
@@ -1017,17 +972,23 @@ func (c *Client) stopPinger() {
 
 // Ping performs one keepalive round trip, resetting the session lease.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(&request{Op: "ping"})
+	_, err := c.roundTrip(&request{Op: opPing})
 	return err
 }
 
 // readLoop is the sole reader of the connection: it demultiplexes
 // tagged responses to the goroutines awaiting them.
 func (c *Client) readLoop() {
-	dec := gob.NewDecoder(c.conn)
+	var scratch []byte
 	for {
-		var resp response
-		if err := dec.Decode(&resp); err != nil {
+		body, err := readFrame(c.br, &scratch)
+		if err != nil {
+			c.fail()
+			return
+		}
+		c.cm.Load().dec(len(body))
+		resp := new(response)
+		if err := decodeResponse(body, resp); err != nil {
 			c.fail()
 			return
 		}
@@ -1036,14 +997,14 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.pmu.Unlock()
 		if ch != nil {
-			ch <- &resp // cap 1; the sole send for this ID
+			ch <- resp // cap 1; the sole send for this ID
 		}
 	}
 }
 
-// fail abandons the connection: the gob stream may hold a partial
-// frame, so every pending and future operation resolves to
-// ErrClientClosed. Reports whether the client was already failed.
+// fail abandons the connection: the stream may hold a partial frame,
+// so every pending and future operation resolves to ErrClientClosed.
+// Reports whether the client was already failed.
 func (c *Client) fail() bool {
 	already := c.closed.Swap(true)
 	if !already {
@@ -1077,24 +1038,47 @@ func (c *Client) Close() error {
 
 // blockingOp reports whether the op may legitimately wait forever on
 // the server and must therefore not carry a timeout.
-func blockingOp(op string) bool { return op == "in" || op == "rd" }
+func blockingOp(op byte) bool { return op == opIn || op == opRd }
 
-// send registers a response channel and writes the frame. On a write
-// error the connection is abandoned.
+// encodeReq encodes req into a pooled buffer. An encode error (an
+// unregistered custom field type) surfaces here, before any bytes hit
+// the wire, leaving the connection healthy.
+func (c *Client) encodeReq(req *request) (*encBuf, error) {
+	e, hit := getEncBuf()
+	cm := c.cm.Load()
+	cm.pool(hit)
+	b, err := appendRequest(e.b, req)
+	if err != nil {
+		putEncBuf(e)
+		return nil, err
+	}
+	e.b = b
+	cm.enc(len(b))
+	return e, nil
+}
+
+// send assigns the request ID, encodes outside the write lock,
+// registers a response channel, and writes the frame. On a write error
+// the connection is abandoned.
 func (c *Client) send(req *request) (chan *response, error) {
 	if c.closed.Load() {
 		return nil, ErrClientClosed
 	}
 	req.ID = c.nextID.Add(1)
+	e, err := c.encodeReq(req)
+	if err != nil {
+		return nil, err
+	}
 	ch := make(chan *response, 1)
 	c.pmu.Lock()
 	if c.pending == nil {
 		c.pmu.Unlock()
+		putEncBuf(e)
 		return nil, ErrClientClosed
 	}
 	c.pending[req.ID] = ch
 	c.pmu.Unlock()
-	if err := c.write(req); err != nil {
+	if err := c.writeBuf(e); err != nil {
 		if c.fail() {
 			return nil, ErrClientClosed
 		}
@@ -1103,17 +1087,29 @@ func (c *Client) send(req *request) (chan *response, error) {
 	return ch, nil
 }
 
-// write encodes one frame under the write lock; flushes only if no
-// other writer is queued behind it (which will flush for both).
+// write encodes and writes one fire-and-forget frame (used by the
+// cancel protocol, which awaits the original response instead).
 func (c *Client) write(req *request) error {
+	e, err := c.encodeReq(req)
+	if err != nil {
+		return err
+	}
+	return c.writeBuf(e)
+}
+
+// writeBuf writes one encoded frame under the write lock and returns
+// the buffer to the pool; flushes only if no other writer is queued
+// behind it (which will flush for both).
+func (c *Client) writeBuf(e *encBuf) error {
 	c.wq.Add(1)
 	c.wmu.Lock()
-	err := c.enc.Encode(req)
+	err := writeFrame(c.bw, e.b)
 	queued := c.wq.Add(-1)
 	if err == nil && queued == 0 {
 		err = c.bw.Flush()
 	}
 	c.wmu.Unlock()
+	putEncBuf(e)
 	return err
 }
 
@@ -1126,9 +1122,9 @@ func (c *Client) roundTrip(req *request) (*response, error) {
 // drown every session trace in keepalive noise.
 func (c *Client) roundTripCtx(ctx context.Context, req *request) (*response, error) {
 	var sp *obs.Span
-	if req.Op != "ping" {
+	if req.Op != opPing {
 		parent := c.parentSC(ctx)
-		sp = c.trc.Load().StartChild(parent, "net", "cli."+req.Op)
+		sp = c.trc.Load().StartChild(parent, "net", "cli."+opName(req.Op))
 		if sc := sp.Context(); sc.Valid() {
 			req.Trace, req.Span = uint64(sc.Trace), uint64(sc.Span)
 		} else if parent.Valid() {
@@ -1170,13 +1166,13 @@ func (c *Client) doRoundTrip(ctx context.Context, req *request) (*response, erro
 		// connection state is no longer trustworthy — abandon it, like
 		// a transport error.
 		c.fail()
-		return nil, &timeoutError{op: req.Op}
+		return nil, &timeoutError{op: opName(req.Op)}
 	case <-ctx.Done():
 		// Ask the server to cancel the blocked operation, then await
 		// the original response: the server always answers, with the
 		// tuple if the cancellation lost the race — the tuple wins, so
 		// no take is lost on the wire.
-		c.write(&request{ID: c.nextID.Add(1), Op: "cancel", Target: req.ID}) //nolint:errcheck — a write failure fails the conn; ch resolves either way
+		c.write(&request{ID: c.nextID.Add(1), Op: opCancel, Target: req.ID}) //nolint:errcheck — a write failure fails the conn; ch resolves either way
 		resp, ok := <-ch
 		if !ok {
 			return nil, ErrClientClosed
@@ -1191,17 +1187,13 @@ func (c *Client) doRoundTrip(ctx context.Context, req *request) (*response, erro
 	}
 }
 
-func (c *Client) op(op string, fields []any) (*response, error) {
-	wf, err := encodeFields(fields)
-	if err != nil {
-		return nil, err
-	}
-	return c.roundTrip(&request{Op: op, Fields: wf})
+func (c *Client) op(op byte, fields []any) (*response, error) {
+	return c.roundTrip(&request{Op: op, Fields: fields})
 }
 
 // Out places a tuple in the remote space.
 func (c *Client) Out(fields ...any) error {
-	_, err := c.op("out", fields)
+	_, err := c.op(opOut, fields)
 	return err
 }
 
@@ -1212,24 +1204,8 @@ func (c *Client) OutN(tuples []Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	batch, err := encodeBatch(tuples)
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTrip(&request{Op: "outn", Batch: batch})
+	_, err := c.roundTrip(&request{Op: opOutN, Batch: tuples})
 	return err
-}
-
-func encodeBatch(tuples []Tuple) ([][]wireField, error) {
-	batch := make([][]wireField, len(tuples))
-	for i, t := range tuples {
-		wf, err := encodeFields(t)
-		if err != nil {
-			return nil, err
-		}
-		batch[i] = wf
-	}
-	return batch, nil
 }
 
 // In blocks until a matching tuple exists remotely and removes it.
@@ -1240,7 +1216,7 @@ func (c *Client) In(tmplFields ...any) (Tuple, error) {
 // InCtx is In with cancellation: the server-side waiter is withdrawn
 // when ctx is done, under the same tuple-wins rule as Space.InCtx.
 func (c *Client) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	return c.blockCtx(ctx, "in", tmplFields, 0)
+	return c.blockCtx(ctx, opIn, tmplFields, 0)
 }
 
 // Rd blocks until a matching tuple exists and returns a copy.
@@ -1250,10 +1226,10 @@ func (c *Client) Rd(tmplFields ...any) (Tuple, error) {
 
 // RdCtx is Rd with cancellation.
 func (c *Client) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	return c.blockCtx(ctx, "rd", tmplFields, 0)
+	return c.blockCtx(ctx, opRd, tmplFields, 0)
 }
 
-func (c *Client) blockCtx(ctx context.Context, op string, tmplFields []any, txn uint64) (Tuple, error) {
+func (c *Client) blockCtx(ctx context.Context, op byte, tmplFields []any, txn uint64) (Tuple, error) {
 	t, _, err := c.blockTraced(ctx, op, tmplFields, txn)
 	return t, err
 }
@@ -1261,12 +1237,8 @@ func (c *Client) blockCtx(ctx context.Context, op string, tmplFields []any, txn 
 // blockTraced is blockCtx plus the origin span context the server
 // returns for a take: the span under which the tuple was stamped by
 // its producer, zero when untraced.
-func (c *Client) blockTraced(ctx context.Context, op string, tmplFields []any, txn uint64) (Tuple, obs.SpanContext, error) {
-	wf, err := encodeFields(tmplFields)
-	if err != nil {
-		return nil, obs.SpanContext{}, err
-	}
-	resp, err := c.roundTripCtx(ctx, &request{Op: op, Fields: wf, Txn: txn})
+func (c *Client) blockTraced(ctx context.Context, op byte, tmplFields []any, txn uint64) (Tuple, obs.SpanContext, error) {
+	resp, err := c.roundTripCtx(ctx, &request{Op: op, Fields: tmplFields, Txn: txn})
 	if err != nil {
 		return nil, obs.SpanContext{}, err
 	}
@@ -1277,17 +1249,13 @@ func (c *Client) blockTraced(ctx context.Context, op string, tmplFields []any, t
 // InCtxTraced implements TracedTaker: InCtx plus the producer's span
 // context for the taken tuple.
 func (c *Client) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
-	return c.blockTraced(ctx, "in", tmplFields, 0)
+	return c.blockTraced(ctx, opIn, tmplFields, 0)
 }
 
 // OutCtx implements CtxOuter: Out with the ctx's span context carried
 // in the wire header so the server stamps the tuple with this trace.
 func (c *Client) OutCtx(ctx context.Context, fields ...any) error {
-	wf, err := encodeFields(fields)
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTripCtx(ctx, &request{Op: "out", Fields: wf})
+	_, err := c.roundTripCtx(ctx, &request{Op: opOut, Fields: fields})
 	return err
 }
 
@@ -1296,17 +1264,13 @@ func (c *Client) OutNCtx(ctx context.Context, tuples []Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	batch, err := encodeBatch(tuples)
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTripCtx(ctx, &request{Op: "outn", Batch: batch})
+	_, err := c.roundTripCtx(ctx, &request{Op: opOutN, Batch: tuples})
 	return err
 }
 
 // Inp is the non-blocking destructive match.
 func (c *Client) Inp(tmplFields ...any) (Tuple, bool, error) {
-	resp, err := c.op("inp", tmplFields)
+	resp, err := c.op(opInp, tmplFields)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1315,7 +1279,7 @@ func (c *Client) Inp(tmplFields ...any) (Tuple, bool, error) {
 
 // Rdp is the non-blocking non-destructive match.
 func (c *Client) Rdp(tmplFields ...any) (Tuple, bool, error) {
-	resp, err := c.op("rdp", tmplFields)
+	resp, err := c.op(opRdp, tmplFields)
 	if err != nil {
 		return nil, false, err
 	}
@@ -1324,7 +1288,7 @@ func (c *Client) Rdp(tmplFields ...any) (Tuple, bool, error) {
 
 // Len reports the remote tuple count.
 func (c *Client) Len() (int, error) {
-	resp, err := c.op("len", nil)
+	resp, err := c.op(opLen, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -1335,7 +1299,7 @@ func (c *Client) Len() (int, error) {
 // session's name (see DialOptions.Name and ContCommitter). ok is false
 // when no continuation was ever committed.
 func (c *Client) Recover() (Tuple, bool, error) {
-	resp, err := c.roundTrip(&request{Op: "recover"})
+	resp, err := c.roundTrip(&request{Op: opRecover})
 	if err != nil {
 		return nil, false, err
 	}
@@ -1347,7 +1311,7 @@ func (c *Client) Recover() (Tuple, bool, error) {
 // expiry aborts it automatically.
 func (c *Client) Begin() (Txn, error) {
 	id := c.txnSeq.Add(1)
-	if _, err := c.roundTrip(&request{Op: "txbegin", Txn: id}); err != nil {
+	if _, err := c.roundTrip(&request{Op: opTxBegin, Txn: id}); err != nil {
 		return nil, err
 	}
 	return &clientTxn{c: c, id: id}, nil
@@ -1362,24 +1326,20 @@ type clientTxn struct {
 }
 
 func (tx *clientTxn) In(tmplFields ...any) (Tuple, error) {
-	return tx.c.blockCtx(context.Background(), "in", tmplFields, tx.id)
+	return tx.c.blockCtx(context.Background(), opIn, tmplFields, tx.id)
 }
 
 func (tx *clientTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	return tx.c.blockCtx(ctx, "in", tmplFields, tx.id)
+	return tx.c.blockCtx(ctx, opIn, tmplFields, tx.id)
 }
 
 // InCtxTraced implements TracedTaker for transactional takes.
 func (tx *clientTxn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
-	return tx.c.blockTraced(ctx, "in", tmplFields, tx.id)
+	return tx.c.blockTraced(ctx, opIn, tmplFields, tx.id)
 }
 
 func (tx *clientTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
-	wf, err := encodeFields(tmplFields)
-	if err != nil {
-		return nil, false, err
-	}
-	resp, err := tx.c.roundTrip(&request{Op: "inp", Fields: wf, Txn: tx.id})
+	resp, err := tx.c.roundTrip(&request{Op: opInp, Fields: tmplFields, Txn: tx.id})
 	if err != nil {
 		return nil, false, err
 	}
@@ -1405,21 +1365,15 @@ func (tx *clientTxn) CommitCont(outs []Tuple, cont Tuple) error {
 }
 
 func (tx *clientTxn) commit(ctx context.Context, outs []Tuple, cont Tuple, hasCont bool) error {
-	batch, err := encodeBatch(outs)
-	if err != nil {
-		return err
-	}
-	req := &request{Op: "txcommit", Txn: tx.id, Batch: batch, HasCont: hasCont}
+	req := &request{Op: opTxCommit, Txn: tx.id, Batch: outs, HasCont: hasCont}
 	if hasCont {
-		if req.Cont, err = encodeFields(cont); err != nil {
-			return err
-		}
+		req.Cont = cont
 	}
-	_, err = tx.c.roundTripCtx(ctx, req)
+	_, err := tx.c.roundTripCtx(ctx, req)
 	return err
 }
 
 func (tx *clientTxn) Abort() error {
-	_, err := tx.c.roundTrip(&request{Op: "txabort", Txn: tx.id})
+	_, err := tx.c.roundTrip(&request{Op: opTxAbort, Txn: tx.id})
 	return err
 }

@@ -201,7 +201,8 @@ func TestClientOpTimeoutOnHungServer(t *testing.T) {
 			if err != nil {
 				return
 			}
-			defer conn.Close() // hold open, say nothing
+			writeHandshake(conn) //nolint:errcheck — complete the handshake...
+			defer conn.Close()   // ...then hold open, say nothing
 		}
 	}()
 

@@ -234,16 +234,16 @@ func appendTag(sig []byte, v string) []byte {
 
 // compiledTemplate is a template prepared for repeated matching: the
 // per-field matchers plus the signature routing information. The
-// inline arrays let the non-blocking path keep the whole compiled form
-// on the caller's stack.
+// non-blocking path compiles into caller-owned stack scratch (see
+// poll), so the whole compiled form lives on the caller's stack; the
+// struct itself carries no arrays — a self-referential inline buffer
+// would force the value to the heap (stores through a pointer
+// parameter are heap stores under Go's escape analysis).
 type compiledTemplate struct {
 	fields []compiledField
 	sig    []byte // signature partition key
 	cross  bool   // leading formal string: may match any tagged partition
 	prefix string // cross templates: "<arity>:string;" candidate-key prefix
-
-	farr [6]compiledField
-	sbuf [88]byte
 }
 
 func (ct *compiledTemplate) match(t Tuple) bool {
@@ -258,15 +258,26 @@ func (ct *compiledTemplate) match(t Tuple) bool {
 	return true
 }
 
-// compileFrom prepares the template for matching, computing its
-// signature and per-field matchers in one pass.
-func (ct *compiledTemplate) compileFrom(tm Template) {
-	if len(tm) <= len(ct.farr) {
-		ct.fields = ct.farr[:len(tm)]
+// compileTemplate prepares a template for matching, computing its
+// signature and per-field matchers in one pass. fields and sig are
+// caller-owned scratch (pass the zero-length slice of a stack array to
+// keep the compiled form stack-resident, or nil to let it allocate —
+// required when the result outlives the caller's frame, e.g. in a
+// registered waiter). The result is returned by value so the callee
+// never stores through a pointer into it, which would defeat stack
+// allocation at every call site.
+func compileTemplate(tm Template, fields []compiledField, sig []byte) compiledTemplate {
+	var ct compiledTemplate
+	if cap(fields) >= len(tm) {
+		fields = fields[:len(tm)]
+		for i := range fields {
+			fields[i] = compiledField{}
+		}
 	} else {
-		ct.fields = make([]compiledField, len(tm))
+		fields = make([]compiledField, len(tm))
 	}
-	sig := ct.sbuf[:0]
+	ct.fields = fields
+	sig = sig[:0]
 	sig = strconv.AppendInt(sig, int64(len(tm)), 10)
 	sig = append(sig, ':')
 	for i, f := range tm {
@@ -325,6 +336,7 @@ func (ct *compiledTemplate) compileFrom(tm Template) {
 		// every matchable partition key shares.
 		ct.prefix = string(sig[:bytes.IndexByte(sig, ';')+1])
 	}
+	return ct
 }
 
 // signatureOf appends the partition key for a tuple to sig: the arity,
@@ -477,7 +489,31 @@ type shard struct {
 	waiters []*waiter
 	sorted  []string // sorted partition keys; nil = stale, rebuilt on demand
 	count   int64    // stored tuples in this shard
+	empties int      // partitions currently holding no tuples
 	closed  bool
+}
+
+// sweepThreshold bounds how many drained partitions a shard retains.
+// Emptied partitions are kept rather than deleted — the Out/Inp cycle
+// of a steady-state workload would otherwise recreate the partition,
+// its map entry, and its key string on every round trip. A sweep
+// reclaims them only when they are both numerous and the majority of
+// the map, which a fixed working set of signatures never triggers.
+const sweepThreshold = 512
+
+// noteEmptiedLocked records that a take drained p's last tuple and
+// sweeps the shard's empty partitions if they have accumulated.
+func (sh *shard) noteEmptiedLocked() {
+	sh.empties++
+	if sh.empties > sweepThreshold && sh.empties*2 > len(sh.parts) {
+		for k, p := range sh.parts {
+			if len(p.tuples) == 0 {
+				delete(sh.parts, k)
+			}
+		}
+		sh.sorted = nil
+		sh.empties = 0
+	}
 }
 
 // sortedKeysLocked returns the shard's partition keys in sorted order,
@@ -617,6 +653,8 @@ func (s *Space) out(t Tuple, org obs.SpanContext) error {
 			p = &partition{}
 			sh.parts[string(sig)] = p
 			sh.sorted = nil
+		} else if len(p.tuples) == 0 {
+			sh.empties-- // refilling a retained empty partition
 		}
 		p.tuples = append(p.tuples, stored{t: t, org: org})
 		sh.count++
@@ -719,8 +757,7 @@ func (s *Space) findInShardLocked(sh *shard, ct *compiledTemplate, take bool) (s
 		}
 		st, ok := s.scanPartitionLocked(sh, p, ct, take)
 		if ok && take && len(p.tuples) == 0 {
-			delete(sh.parts, string(ct.sig))
-			sh.sorted = nil
+			sh.noteEmptiedLocked()
 		}
 		return st, ok
 	}
@@ -730,10 +767,12 @@ func (s *Space) findInShardLocked(sh *shard, ct *compiledTemplate, take bool) (s
 			break
 		}
 		p := sh.parts[k]
+		if p == nil {
+			continue // swept since the sorted cache was built
+		}
 		if st, ok := s.scanPartitionLocked(sh, p, ct, take); ok {
 			if take && len(p.tuples) == 0 {
-				delete(sh.parts, k)
-				sh.sorted = nil
+				sh.noteEmptiedLocked()
 			}
 			return st, ok
 		}
@@ -765,8 +804,12 @@ func (s *Space) poll(tm Template, take bool) (stored, bool, error) {
 	if s.closed.Load() {
 		return stored{}, false, ErrClosed
 	}
-	var ct compiledTemplate // stack-compiled: poll never retains it
-	ct.compileFrom(tm)
+	// Stack-compiled: poll never retains the template, so the scratch
+	// arrays and the compiled form stay in this frame — the non-blocking
+	// hot path (a worker's Inp poll loop) allocates nothing here.
+	var farr [6]compiledField
+	var sbuf [88]byte
+	ct := compileTemplate(tm, farr[:0], sbuf[:0])
 	op := "rdp"
 	if take {
 		s.stInps.Add(1)
@@ -871,9 +914,9 @@ func (s *Space) wait(ctx context.Context, tm Template, take bool) (stored, error
 	if err := ctx.Err(); err != nil {
 		return stored{}, err
 	}
-	// Heap-compiled: a registered waiter retains it.
-	ct := &compiledTemplate{}
-	ct.compileFrom(tm)
+	// Heap-compiled (nil scratch): a registered waiter retains it.
+	ct := new(compiledTemplate)
+	*ct = compileTemplate(tm, nil, nil)
 	op := "rd"
 	if take {
 		s.stIns.Add(1)
@@ -1163,6 +1206,7 @@ func (s *Space) Restore(tuples []Tuple) error {
 		sh.parts = make(map[string]*partition)
 		sh.sorted = nil
 		sh.count = 0
+		sh.empties = 0
 		s.tupleCnt.Add(-removed)
 		if o != nil && removed != 0 {
 			o.tuples.Add(-removed)
