@@ -432,9 +432,15 @@ func (d *Space) commitWAL(seq uint64) error {
 		for i := range d.ends {
 			d.ends[i] -= cut
 		}
-		d.flushed += uint64(n)
-		if werr != nil && d.werr == nil {
-			d.werr = werr
+		if werr != nil {
+			// The batch never reached the file (or disk): leave flushed
+			// where it is so every waiter in the batch — leader included
+			// — observes werr instead of a false success.
+			if d.werr == nil {
+				d.werr = werr
+			}
+		} else {
+			d.flushed += uint64(n)
 		}
 		d.flushing = false
 		d.walWrites.Inc()
@@ -460,14 +466,16 @@ func (d *Space) drainLocked() error {
 		_, err := d.f.Write(d.pend)
 		d.pend = d.pend[:0]
 		d.ends = d.ends[:0]
-		d.flushed += uint64(n)
 		d.walWrites.Inc()
 		d.batchH.Observe(time.Duration(n))
 		if err != nil {
+			// Do not advance flushed: followers waiting in commitWAL on
+			// these records must see the error, not a false success.
 			d.werr = err
 			d.gcond.Broadcast()
 			return err
 		}
+		d.flushed += uint64(n)
 		d.gcond.Broadcast()
 	}
 	return nil

@@ -101,6 +101,79 @@ func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 	}
 }
 
+// TestGroupCommitWriteFailureFailsBatch proves a failed batch write is
+// reported to every operation whose record it carried. The first Out's
+// leader write is stalled (slowWrite hook) so two followers enqueue
+// behind it; the first write succeeds, and the hook then closes the
+// WAL file out from under the second — the batch of two. Both batched
+// Outs must return the write error, not a false success, and the WAL
+// must fail-stop: later operations keep failing.
+func TestGroupCommitWriteFailureFailsBatch(t *testing.T) {
+	d, err := Open(t.TempDir(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close() //nolint:errcheck
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var calls atomic.Int32
+	d.slowWrite = func() {
+		switch calls.Add(1) {
+		case 1:
+			close(entered)
+			<-gate
+		case 2:
+			// Inject: the batched write that follows must fail.
+			d.f.Close() //nolint:errcheck
+		}
+	}
+
+	first := make(chan error, 1)
+	go func() {
+		// lint:ignore tuple-contract fault-injection fixture: observed via returned errors, not taken
+		first <- d.Out("a", 1)
+	}()
+	<-entered // the first Out is now the stalled leader
+
+	batched := make(chan error, 2)
+	for _, v := range []int{2, 3} {
+		go func(v int) {
+			// lint:ignore tuple-contract fault-injection fixture: observed via returned errors, not taken
+			batched <- d.Out("b", v)
+		}(v)
+	}
+	// Wait until both followers have enqueued behind the stalled
+	// leader's record, so they share the second (failing) batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		d.gmu.Lock()
+		n := len(d.ends)
+		d.gmu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("followers never enqueued: %d pending frames", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	if err := <-first; err != nil {
+		t.Errorf("first Out (written before the injected failure) = %v, want nil", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-batched; err == nil {
+			t.Error("batched Out returned nil after its WAL write failed")
+		}
+	}
+	// lint:ignore tuple-contract fault-injection fixture: observed via returned errors, not taken
+	if err := d.Out("later", 4); err == nil {
+		t.Error("Out after a WAL write failure returned nil; the WAL must fail-stop")
+	}
+}
+
 // TestFsyncMode exercises the fsync durability level end to end:
 // records survive a reopen, and the fsync latency histogram sees one
 // observation per group commit.

@@ -426,7 +426,11 @@ func (r *wireReader) value() (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return append([]byte(nil), s...), nil
+		// make (not append) so a non-nil empty []byte{} stays non-nil:
+		// tuple matching distinguishes nil from empty.
+		out := make([]byte, n-1)
+		copy(out, s)
+		return out, nil
 	case vInts:
 		n, err := r.elems(1)
 		if err != nil {

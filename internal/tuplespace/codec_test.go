@@ -1,0 +1,43 @@
+package tuplespace
+
+import "testing"
+
+// TestCodecBytesNilEmptyRoundTrip pins the reason the []byte count+1
+// encoding exists: tuple matching distinguishes a nil []byte from an
+// empty []byte{} (see matchField), so both must survive encode→decode
+// unchanged — over the wire and through WAL replay.
+func TestCodecBytesNilEmptyRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"nil", nil},
+		{"empty", []byte{}},
+		{"data", []byte{1, 2, 3}},
+	}
+	for _, tc := range cases {
+		b, err := appendValue(nil, tc.in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tc.name, err)
+		}
+		r := &wireReader{b: b}
+		v, err := r.value()
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		got, ok := v.([]byte)
+		if !ok && v != nil {
+			t.Fatalf("%s: decoded %T, want []byte", tc.name, v)
+		}
+		if (got == nil) != (tc.in == nil) {
+			t.Errorf("%s: nil-ness changed through codec: in nil=%v, out nil=%v",
+				tc.name, tc.in == nil, got == nil)
+		}
+		if string(got) != string(tc.in) {
+			t.Errorf("%s: content changed: %v -> %v", tc.name, tc.in, got)
+		}
+		if len(r.b) != 0 {
+			t.Errorf("%s: %d trailing bytes after decode", tc.name, len(r.b))
+		}
+	}
+}
