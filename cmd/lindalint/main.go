@@ -2,20 +2,29 @@
 // this module: it loads packages through go/types and verifies that
 // every Out has a matching In, that formals stay out of stored
 // tuples, that blocking operations are not reachable under a lock,
-// and that tuple-op errors are handled. See README.md ("Static
-// analysis") for the check catalogue and the suppression syntax.
+// that tuple-op errors are handled — and, through the whole-program
+// tuple-flow graph, that no blocking In can wait forever
+// (tuple-deadlock), no tag accumulates unconsumed (tuple-leak), and
+// every worker receive loop honors the poison key
+// (poison-propagation). See README.md ("Static analysis") for the
+// check catalogue and the suppression syntax.
 //
 // Usage:
 //
-//	lindalint [-checks list] [packages]
+//	lindalint [-checks list] [-json] [-graph] [packages]
 //
 // Packages are directory patterns relative to the current directory
-// ("./..." by default, recursing like the go tool). The exit status
-// is 0 when the tree is clean, 1 when findings are reported, and 2
-// when loading or type-checking fails.
+// ("./..." by default, recursing like the go tool). -json emits one
+// diagnostic object per line (file, line, col, check, message,
+// suppressed — suppressed findings are included, marked) instead of
+// text. -graph emits the tuple-flow graph of the loaded packages as
+// GraphViz DOT and reports nothing. The exit status is 0 when the
+// tree is clean, 1 when findings are reported, and 2 when loading or
+// type-checking fails.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +34,20 @@ import (
 	"freepdm/internal/lint"
 )
 
+// diagnostic is the -json wire shape, one object per line.
+type diagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Check      string `json:"check"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(lint.AllChecks, ",")+")")
+	jsonFlag := flag.Bool("json", false, "emit one JSON diagnostic per line, including suppressed findings (marked)")
+	graphFlag := flag.Bool("graph", false, "emit the tuple-flow graph of the loaded packages as GraphViz DOT and exit")
 	flag.Parse()
 
 	var enabled map[string]bool
@@ -72,15 +93,45 @@ func main() {
 		pkgs = append(pkgs, ps...)
 	}
 
-	findings := lint.Run(pkgs, enabled)
-	for _, f := range findings {
-		if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			f.Pos.Filename = rel
-		}
-		fmt.Println(f)
+	if *graphFlag {
+		os.Stdout.Write(lint.DOT(pkgs))
+		return
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "lindalint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+
+	rel := func(name string) string {
+		if r, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(r, "..") {
+			return r
+		}
+		return name
+	}
+
+	reported := 0
+	if *jsonFlag {
+		enc := json.NewEncoder(os.Stdout)
+		for _, f := range lint.RunAll(pkgs, enabled) {
+			if !f.Suppressed {
+				reported++
+			}
+			if err := enc.Encode(diagnostic{
+				File:       rel(f.Pos.Filename),
+				Line:       f.Pos.Line,
+				Col:        f.Pos.Column,
+				Check:      f.Check,
+				Message:    f.Msg,
+				Suppressed: f.Suppressed,
+			}); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		for _, f := range lint.Run(pkgs, enabled) {
+			reported++
+			f.Pos.Filename = rel(f.Pos.Filename)
+			fmt.Println(f)
+		}
+	}
+	if reported > 0 {
+		fmt.Fprintf(os.Stderr, "lindalint: %d finding(s) in %d package(s)\n", reported, len(pkgs))
 		os.Exit(1)
 	}
 }

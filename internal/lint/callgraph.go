@@ -1,0 +1,224 @@
+package lint
+
+// A lightweight whole-program call graph over the loaded packages.
+//
+// Nodes are top-level functions and methods, identified by
+// types.Func.FullName(). The string key matters: a package loaded
+// directly (with its test files) and the same package type-checked
+// again through the dependency cache of another package's importer
+// produce *distinct* types.Func objects for the same source function,
+// but identical full names — keying by name merges the two copies, so
+// an edge from internal/experiments into internal/core lands on the
+// node that internal/core's own flow sites anchor to.
+//
+// Edges are reference edges, not call edges: any mention of a
+// function object inside a body (a direct call, a method value, a
+// function passed as an argument — the idiom plinda.Server.Spawn and
+// core's ProcFunc factories live on) makes the target reachable from
+// the mentioning function. That over-approximates calls, which is the
+// safe direction for every client below: reachability is used to
+// *excuse* producers (tuple-deadlock) and consumers (tuple-leak), and
+// to *scope* the poison-propagation check to process bodies.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcNode is one declared function or method of a loaded package.
+type funcNode struct {
+	pkg   *Package
+	decl  *ast.FuncDecl
+	obj   *types.Func
+	entry bool // a root of the reachability walk (see callGraph doc)
+	proc  bool // a PLinda process context: proc-shaped, proc-lit-bearing, or Proc-parameterized
+}
+
+// callGraph is the reference graph plus its two reachability closures.
+type callGraph struct {
+	funcs map[string]*funcNode
+	refs  map[string]map[string]bool
+	reach map[string]bool // reachable from an entry point
+	procs map[string]bool // reachable from a PLinda process context
+}
+
+// buildCallGraph constructs the graph for the loaded package set.
+//
+// Entry points — the roots real executions start from — are main and
+// init functions, every exported function (the loaded packages form a
+// library surface; an external caller can reach any of them, and test
+// functions are exported by construction), and every method (methods
+// are dispatched through interfaces the reference walk cannot see, so
+// excluding unexported ones would fabricate dead code). What remains
+// unreachable is exactly the unexported, unreferenced plain function:
+// dead code whose tuple ops cannot excuse a blocked consumer.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		funcs: make(map[string]*funcNode),
+		refs:  make(map[string]map[string]bool),
+		reach: make(map[string]bool),
+		procs: make(map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.addFunc(pkg, fd, obj)
+			}
+		}
+	}
+	g.close(g.reach, func(n *funcNode) bool { return n.entry })
+	g.close(g.procs, func(n *funcNode) bool { return n.proc })
+	return g
+}
+
+func (g *callGraph) addFunc(pkg *Package, fd *ast.FuncDecl, obj *types.Func) {
+	key := obj.FullName()
+	sig := obj.Type().(*types.Signature)
+	n := &funcNode{pkg: pkg, decl: fd, obj: obj}
+	n.entry = fd.Name.Name == "main" || fd.Name.Name == "init" ||
+		fd.Name.IsExported() || fd.Recv != nil
+	n.proc = isProcSignature(sig) || hasProcParam(sig)
+	if fd.Body == nil {
+		g.funcs[key] = n
+		return
+	}
+	out := g.refs[key]
+	if out == nil {
+		out = make(map[string]bool)
+		g.refs[key] = out
+	}
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.Ident:
+			if fn, ok := pkg.Info.Uses[node].(*types.Func); ok {
+				out[fn.FullName()] = true
+			}
+		case *ast.FuncLit:
+			if lsig, ok := pkg.Info.Types[node].Type.(*types.Signature); ok && isProcSignature(lsig) {
+				// A proc-shaped literal (a master/worker body built in
+				// place) makes its enclosing declaration a process
+				// context: the loops and helpers around it run under a
+				// plinda.Proc.
+				n.proc = true
+			}
+		}
+		return true
+	})
+	g.funcs[key] = n
+}
+
+// close computes the closure of the reference graph from the nodes
+// seed selects, into set.
+func (g *callGraph) close(set map[string]bool, seed func(*funcNode) bool) {
+	var stack []string
+	for key, n := range g.funcs {
+		if seed(n) {
+			set[key] = true
+			stack = append(stack, key)
+		}
+	}
+	for len(stack) > 0 {
+		key := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for ref := range g.refs[key] {
+			if !set[ref] {
+				if _, known := g.funcs[ref]; known {
+					set[ref] = true
+					stack = append(stack, ref)
+				}
+			}
+		}
+	}
+}
+
+// reachable reports whether the named function can execute: package
+// scope (fn == nil, a variable initializer) always runs at import,
+// and functions the graph has never seen (another module's code
+// observed through an interface) are presumed live.
+func (g *callGraph) reachable(fn *types.Func) bool {
+	if fn == nil {
+		return true
+	}
+	key := fn.FullName()
+	if _, known := g.funcs[key]; !known {
+		return true
+	}
+	return g.reach[key]
+}
+
+// inProcContext reports whether the named function runs under a
+// plinda.Proc: it is itself a process body or helper, or the closure
+// walk found it referenced from one.
+func (g *callGraph) inProcContext(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	return g.procs[fn.FullName()]
+}
+
+// isProcSignature matches func(*plinda.Proc) error, the plinda.ProcFunc
+// shape every master and worker body has.
+func isProcSignature(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	if !isProcPointer(sig.Params().At(0).Type()) {
+		return false
+	}
+	named, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// hasProcParam reports whether any parameter is a *plinda.Proc — the
+// helper-function convention for code factored out of a process body.
+func hasProcParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isProcPointer(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isProcPointer(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named := namedOf(ptr.Elem())
+	return named != nil && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == plindaPath && named.Obj().Name() == "Proc"
+}
+
+// displayName renders a function for diagnostics: "pkg.Func" or
+// "(pkg.Type).Method" with the module prefix stripped.
+func displayName(fn *types.Func) string {
+	if fn == nil {
+		return "package scope"
+	}
+	name := fn.FullName()
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		// "freepdm/internal/core.RunPLED" -> "core.RunPLED";
+		// "(*freepdm/internal/plinda.Proc).In" -> "(*plinda.Proc).In"
+		prefix := ""
+		if strings.HasPrefix(name, "(*") {
+			prefix = "(*"
+		} else if strings.HasPrefix(name, "(") {
+			prefix = "("
+		}
+		name = prefix + name[i+1:]
+	}
+	return name
+}

@@ -178,19 +178,9 @@ func (a *analysis) checkContract() []Finding {
 		}
 		msg := fmt.Sprintf("tag %q is %s by %s %s but never %s", s.tag, role, s.desc, s.render(), otherRole)
 		if near != nil {
-			reason := fmt.Sprintf("arity %d vs %d", len(s.fields), len(near.fields))
-			if len(s.fields) == len(near.fields) {
-				for i := range s.fields {
-					if !s.fields[i].unifies(near.fields[i]) {
-						reason = fmt.Sprintf("field %d is %s vs %s", i,
-							fieldName(s.fields[i]), fieldName(near.fields[i]))
-						break
-					}
-				}
-			}
 			msg = fmt.Sprintf("tag %q: %s %s cannot match %s %s at %s (%s)",
 				s.tag, s.desc, s.render(), near.desc, near.render(),
-				a.relPos(near.pos), reason)
+				a.relPos(near.pos), mismatchReason(s, near))
 		}
 		fs = append(fs, Finding{Pos: a.fset.Position(s.pos), Check: CheckContract, Msg: msg})
 	}

@@ -1,0 +1,340 @@
+package lint
+
+// The three whole-program checks built on the tuple-flow graph:
+//
+//   - tuple-deadlock: a blocking In/Rd on a tag no reachable producer
+//     in the program can satisfy — the process parks forever;
+//   - tuple-leak: a tag produced but never *taken* (In/Inp) by any
+//     reachable consumer — the tuples accumulate in the space for the
+//     life of the program (a read-only Rd does not drain them);
+//   - poison-propagation: an unbounded receive loop in a PLinda
+//     process body that neither tests for nor forwards core.PoisonKey
+//     — the master's termination fan-out cannot drain that worker.
+//
+// "The program" is the loaded package set: run lindalint over ./...
+// (as CI does) and the graph spans the module; run it over one
+// package and the graph is that package alone, exactly like the
+// tuple-contract check.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// poisonKeyValue is core.PoisonKey's value. The check matches any
+// constant expression with this value rather than the named constant
+// alone, so a package that spells its own poison key still passes —
+// but the value must agree, which is the actual wire contract.
+// (Spelled here literally instead of importing internal/core: the
+// analyzer should not link against the tree it analyzes, and
+// TestPoisonKeyValueInSync pins the two together.)
+const poisonKeyValue = "\x00poison"
+
+// checkDeadlock reports every reachable blocking consumer whose tag
+// no reachable producer can satisfy, with the shortest explanation of
+// what is missing: no producer for the tag at all, a same-tag
+// producer whose shape cannot unify (the nearest miss, with the first
+// differing field), or a matching producer that is dead code.
+func (g *flowGraph) checkDeadlock() []Finding {
+	var fs []Finding
+	for _, c := range g.consumers {
+		if !c.blocking || c.sig.dynamic {
+			continue // non-blocking ops return; dynamic/wildcard tags are unknowable
+		}
+		if !g.reachable(c) {
+			continue // dead code cannot park a process
+		}
+		var unreachable, near *flowSite
+		satisfied := false
+		for _, p := range g.producers {
+			if c.sig.unifies(p.sig) {
+				if g.reachable(p) {
+					satisfied = true
+					break
+				}
+				if unreachable == nil {
+					unreachable = p
+				}
+				continue
+			}
+			if near == nil && !p.sig.dynamic && p.sig.tag == c.sig.tag {
+				near = p
+			}
+		}
+		if satisfied {
+			continue
+		}
+		var msg string
+		switch {
+		case unreachable != nil:
+			msg = fmt.Sprintf("blocking %s %s can only be satisfied by %s %s at %s, which is unreachable from any entry point: this op blocks forever",
+				c.sig.desc, c.sig.render(), unreachable.sig.desc, unreachable.sig.render(),
+				crossPos(c.a.fset, unreachable.pos))
+		case near != nil:
+			msg = fmt.Sprintf("blocking %s %s cannot match %s %s at %s (%s): this op blocks forever",
+				c.sig.desc, c.sig.render(), near.sig.desc, near.sig.render(),
+				crossPos(c.a.fset, near.pos), mismatchReason(c.sig, near.sig))
+		default:
+			msg = fmt.Sprintf("blocking %s %s: no producer for tag %q anywhere in the program — this op blocks forever",
+				c.sig.desc, c.sig.render(), c.sig.tag)
+		}
+		fs = append(fs, Finding{Pos: c.a.fset.Position(c.pos), Check: CheckDeadlock, Msg: msg})
+	}
+	return fs
+}
+
+// checkLeak reports every reachable producer whose tuples no
+// reachable consumer ever takes: either nothing matches them at all,
+// or they are only ever Rd (read, not removed). Both ways the space
+// grows without bound. Producer sites in test files are exempt —
+// tests deliberately leave tuples behind and assert on them with Rdp.
+func (g *flowGraph) checkLeak() []Finding {
+	var fs []Finding
+	for _, p := range g.producers {
+		if p.sig.dynamic || !g.reachable(p) {
+			continue
+		}
+		if p.a.inTestFile(p.pos) {
+			continue
+		}
+		var reader *flowSite
+		taken := false
+		for _, c := range g.consumers {
+			if !p.sig.unifies(c.sig) {
+				continue
+			}
+			if c.takes && g.reachable(c) {
+				taken = true
+				break
+			}
+			if reader == nil {
+				reader = c
+			}
+		}
+		if taken {
+			continue
+		}
+		var msg string
+		if reader != nil {
+			msg = fmt.Sprintf("tag %q is produced by %s %s but only ever read (%s at %s), never taken: tuples accumulate in the space forever",
+				p.sig.tag, p.sig.desc, p.sig.render(), reader.sig.desc, crossPos(p.a.fset, reader.pos))
+		} else {
+			msg = fmt.Sprintf("tag %q is produced by %s %s but no reachable consumer ever takes it: tuples accumulate in the space forever",
+				p.sig.tag, p.sig.desc, p.sig.render())
+		}
+		fs = append(fs, Finding{Pos: p.a.fset.Position(p.pos), Check: CheckLeak, Msg: msg})
+	}
+	return fs
+}
+
+// mismatchReason explains the first way two same-tag signatures fail
+// to unify (shared with the tuple-contract nearest-miss diagnostic).
+func mismatchReason(s, o *signature) string {
+	if len(s.fields) != len(o.fields) {
+		return fmt.Sprintf("arity %d vs %d", len(s.fields), len(o.fields))
+	}
+	for i := range s.fields {
+		if !s.fields[i].unifies(o.fields[i]) {
+			return fmt.Sprintf("field %d is %s vs %s", i, fieldName(s.fields[i]), fieldName(o.fields[i]))
+		}
+	}
+	return "shapes do not unify"
+}
+
+// checkPoison walks every function body that runs in a PLinda process
+// context and reports unbounded receive loops — for loops with no
+// condition whose body performs a blocking take — that neither
+// mention the poison-key value nor forward the taken tuple onward.
+// Such a loop can only end with its process: the PLED/PLET masters'
+// kill fan-out outs one poison task per worker, and a worker that
+// never looks for it keeps blocking on real work that will never
+// come.
+func checkPoison(analyses []*analysis, cg *callGraph) []Finding {
+	var fs []Finding
+	for _, a := range analyses {
+		for _, f := range a.pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := a.pkg.Info.Defs[fd.Name].(*types.Func)
+				w := &poisonWalker{a: a, cg: cg, fn: obj}
+				fs = append(fs, w.walkFunc(fd.Body, declProcContext(a, cg, fd, obj))...)
+			}
+		}
+	}
+	return fs
+}
+
+// declProcContext reports whether a top-level declaration itself runs
+// as or under a PLinda process.
+func declProcContext(a *analysis, cg *callGraph, fd *ast.FuncDecl, obj *types.Func) bool {
+	if obj == nil {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	return isProcSignature(sig) || hasProcParam(sig) || cg.inProcContext(obj)
+}
+
+type poisonWalker struct {
+	a  *analysis
+	cg *callGraph
+	fn *types.Func
+}
+
+// walkFunc scans one function body. proc says whether this body runs
+// in a process context; function literals re-evaluate it from their
+// own signature (a proc-shaped literal is a process body wherever it
+// appears; any other literal inherits the enclosing answer, since a
+// closure built inside a process runs under the same Proc).
+func (w *poisonWalker) walkFunc(body *ast.BlockStmt, proc bool) []Finding {
+	var fs []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			litProc := proc
+			if sig, ok := w.a.pkg.Info.Types[n].Type.(*types.Signature); ok && isProcSignature(sig) {
+				litProc = true
+			}
+			fs = append(fs, w.walkFunc(n.Body, litProc)...)
+			return false
+		case *ast.ForStmt:
+			if proc && n.Cond == nil && n.Init == nil && n.Post == nil {
+				fs = append(fs, w.checkLoop(n, body)...)
+			}
+			return true
+		}
+		return true
+	})
+	return fs
+}
+
+// checkLoop inspects one unbounded loop. enclosing is the function
+// body the loop lives in: the poison test may legitimately be hoisted
+// out of the loop (a helper called on the taken key), so the
+// poison-value search covers the whole body.
+func (w *poisonWalker) checkLoop(loop *ast.ForStmt, enclosing *ast.BlockStmt) []Finding {
+	// The blocking takes of this loop, with the objects their results
+	// bind to (for forwarding detection), not descending into nested
+	// function literals or nested unbounded loops (reported on their
+	// own).
+	var takes []*opCall
+	bound := make(map[types.Object]bool)
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && n.Init == nil && n.Post == nil {
+				return false // a nested unbounded loop is checked on its own
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if op := w.a.tupleOpCall(call); op != nil && op.info.blocking && op.info.takes {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := w.a.pkg.Info.Defs[id]; obj != nil {
+								bound[obj] = true
+							} else if obj := w.a.pkg.Info.Uses[id]; obj != nil {
+								bound[obj] = true
+							}
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if op := w.a.tupleOpCall(n); op != nil && op.info.blocking && op.info.takes {
+				takes = append(takes, op)
+			}
+		}
+		return true
+	})
+	if len(takes) == 0 {
+		return nil
+	}
+	if w.mentionsPoisonValue(enclosing) {
+		return nil
+	}
+	if w.forwardsTaken(loop.Body, bound) {
+		return nil
+	}
+	var fs []Finding
+	for _, op := range takes {
+		tag := "a dynamic tag"
+		args := op.templateArgs()
+		if len(args) > 0 {
+			if t, ok := w.a.constString(args[0]); ok {
+				tag = fmt.Sprintf("tag %q", t)
+			}
+		}
+		fs = append(fs, Finding{
+			Pos:   w.a.fset.Position(op.call.Pos()),
+			Check: CheckPoison,
+			Msg: fmt.Sprintf("unbounded receive loop blocks on %s (%s) but never consumes or forwards the poison key: the master's termination fan-out cannot stop this worker",
+				tag, op.name),
+		})
+	}
+	return fs
+}
+
+// mentionsPoisonValue reports whether any expression in the body has
+// the poison-key constant value.
+func (w *poisonWalker) mentionsPoisonValue(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if s, ok := w.a.constString(expr); ok && s == poisonKeyValue {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// forwardsTaken reports whether the loop body re-outs the *whole*
+// taken tuple — Out(tu...), the transparent relay idiom, which
+// propagates poison onward by construction. Producing values derived
+// from the tuple (Out("result", tu[1], ...)) does not count: a result
+// report drops the poison key on the floor.
+func (w *poisonWalker) forwardsTaken(body *ast.BlockStmt, bound map[types.Object]bool) bool {
+	if len(bound) == 0 {
+		return false
+	}
+	forwarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if forwarded {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !call.Ellipsis.IsValid() || len(call.Args) == 0 {
+			return true
+		}
+		op := w.a.tupleOpCall(call)
+		if op == nil || !op.info.producer {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.Ident); ok {
+			if obj := w.a.pkg.Info.Uses[id]; obj != nil && bound[obj] {
+				forwarded = true
+			}
+		}
+		return true
+	})
+	return forwarded
+}

@@ -1,0 +1,219 @@
+package lint
+
+// The whole-program tuple-flow graph.
+//
+// A node is one producer or consumer site — an Out/OutN argument list,
+// a tuplespace.Tuple literal, or an In/Inp/Rd/Rdp template — anchored
+// to its enclosing function, with the signature machinery of
+// contract.go describing what it can produce or match. Where the
+// tuple-contract check cross-references those signatures *per
+// package*, the flow graph joins them across every loaded package and
+// filters both sides through the call graph, which is what lets the
+// deadlock/leak/poison checks in deadlock.go reason about the program
+// instead of the file.
+//
+// Soundness caveats (documented in DESIGN.md and deliberately shared
+// with tuple-contract): forwarding call sites (Out(fields...),
+// In(tmpl...)) contribute nothing — they are almost always interface
+// plumbing (the durable space wrapping the in-memory one), and
+// letting a forwarder count as a universal producer or consumer would
+// silence every finding in any program that layers stores. Dynamic
+// tags (Out(name+"-trial", ...)) participate as matchers but are
+// never themselves reported. Reflection is invisible.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// flowSite is one node of the tuple-flow graph.
+type flowSite struct {
+	a        *analysis
+	fn       *types.Func // enclosing function; nil at package scope
+	sig      *signature
+	pos      token.Pos
+	blocking bool
+	takes    bool
+}
+
+// flowGraph joins every package's producer and consumer sites.
+type flowGraph struct {
+	cg        *callGraph
+	producers []*flowSite
+	consumers []*flowSite
+}
+
+// buildFlowGraph collects the sites of the already-built per-package
+// analyses and the call graph of the same package set.
+func buildFlowGraph(analyses []*analysis, cg *callGraph) *flowGraph {
+	g := &flowGraph{cg: cg}
+	for _, a := range analyses {
+		for _, op := range a.ops {
+			args := op.templateArgs()
+			if op.call.Ellipsis.IsValid() || len(args) == 0 {
+				continue // forwarding or empty: unknowable (see package doc)
+			}
+			site := &flowSite{
+				a:        a,
+				fn:       op.fn,
+				sig:      a.signatureOf(args, op.call.Pos(), op.name),
+				pos:      op.call.Pos(),
+				blocking: op.info.blocking,
+				takes:    op.info.takes,
+			}
+			switch {
+			case op.info.producer:
+				g.producers = append(g.producers, site)
+			case op.info.consumer:
+				g.consumers = append(g.consumers, site)
+			}
+		}
+		for _, lit := range a.lits {
+			if len(lit.Elts) == 0 {
+				continue
+			}
+			keyed := false
+			for _, e := range lit.Elts {
+				if _, ok := e.(*ast.KeyValueExpr); ok {
+					keyed = true
+					break
+				}
+			}
+			if keyed {
+				continue
+			}
+			g.producers = append(g.producers, &flowSite{
+				a:   a,
+				fn:  a.litFns[lit],
+				sig: a.signatureOf(lit.Elts, lit.Pos(), "Tuple literal"),
+				pos: lit.Pos(),
+			})
+		}
+	}
+	return g
+}
+
+func (g *flowGraph) reachable(s *flowSite) bool { return g.cg.reachable(s.fn) }
+
+// crossPos renders a position for a message that may cross packages:
+// "pkg/file.go:line" (one directory of context, unlike the
+// package-local relPos).
+func crossPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s/%s:%d", filepath.Base(filepath.Dir(p.Filename)), filepath.Base(p.Filename), p.Line)
+}
+
+// DOT renders the tuple-flow graph of the loaded packages as GraphViz
+// DOT: one node per function holding a tuple-op site, clustered by
+// package, with a tag-labeled edge from every producing function to
+// every consuming function whose signatures unify. Blocking consumers
+// draw the edge bold; dynamic-tag edges are labeled "(dynamic)". The
+// output is deterministically ordered.
+func DOT(pkgs []*Package) []byte {
+	analyses := make([]*analysis, len(pkgs))
+	for i, pkg := range pkgs {
+		analyses[i] = newAnalysis(pkg)
+	}
+	g := buildFlowGraph(analyses, buildCallGraph(pkgs))
+	return g.dot()
+}
+
+func (g *flowGraph) dot() []byte {
+	type node struct {
+		id, label, pkg string
+	}
+	nodes := make(map[string]node) // id -> node
+	nodeID := func(s *flowSite) string {
+		pkgPath := s.a.pkg.Path
+		id := pkgPath + ".<pkg scope>"
+		if s.fn != nil {
+			id = s.fn.FullName()
+		}
+		if _, ok := nodes[id]; !ok {
+			nodes[id] = node{id: id, label: displayName(s.fn), pkg: pkgPath}
+		}
+		return id
+	}
+	type edge struct {
+		from, to, tag string
+		blocking      bool
+	}
+	seen := make(map[edge]bool)
+	var edges []edge
+	for _, p := range g.producers {
+		for _, c := range g.consumers {
+			if !p.sig.unifies(c.sig) {
+				continue
+			}
+			tag := p.sig.tag
+			if p.sig.dynamic {
+				tag = c.sig.tag
+				if c.sig.dynamic {
+					tag = "(dynamic)"
+				}
+			}
+			e := edge{from: nodeID(p), to: nodeID(c), tag: tag, blocking: c.blocking}
+			if !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	// Unmatched sites still appear as nodes: a produced-never-consumed
+	// tag shows up as a function with no out-edge for it.
+	for _, p := range g.producers {
+		nodeID(p)
+	}
+	for _, c := range g.consumers {
+		nodeID(c)
+	}
+
+	byPkg := make(map[string][]node)
+	for _, n := range nodes {
+		byPkg[n.pkg] = append(byPkg[n.pkg], n)
+	}
+	pkgOrder := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgOrder = append(pkgOrder, p)
+	}
+	sort.Strings(pkgOrder)
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.tag < b.tag
+	})
+
+	var buf bytes.Buffer
+	buf.WriteString("digraph tupleflow {\n")
+	buf.WriteString("\trankdir=LR;\n")
+	buf.WriteString("\tnode [shape=box, fontname=\"Helvetica\", fontsize=11];\n")
+	buf.WriteString("\tedge [fontname=\"Helvetica\", fontsize=10];\n")
+	for i, p := range pkgOrder {
+		ns := byPkg[p]
+		sort.Slice(ns, func(a, b int) bool { return ns[a].id < ns[b].id })
+		fmt.Fprintf(&buf, "\tsubgraph cluster_%d {\n\t\tlabel=%q;\n\t\tstyle=rounded;\n", i, p)
+		for _, n := range ns {
+			fmt.Fprintf(&buf, "\t\t%q [label=%q];\n", n.id, n.label)
+		}
+		buf.WriteString("\t}\n")
+	}
+	for _, e := range edges {
+		attrs := fmt.Sprintf("label=%q", e.tag)
+		if e.blocking {
+			attrs += ", style=bold"
+		}
+		fmt.Fprintf(&buf, "\t%q -> %q [%s];\n", e.from, e.to, attrs)
+	}
+	buf.WriteString("}\n")
+	return buf.Bytes()
+}

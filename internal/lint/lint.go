@@ -9,23 +9,34 @@ import (
 )
 
 // Check names, in reporting order. Each is documented in README.md
-// ("Static analysis") and implemented in contract.go / checks.go.
+// ("Static analysis") and implemented in contract.go / checks.go /
+// deadlock.go.
 const (
 	CheckContract   = "tuple-contract" // producer/consumer signature cross-reference
 	CheckFormal     = "formal-misuse"  // formal template field passed to Out / stored in a Tuple
 	CheckCrossShard = "cross-shard"    // leading formal-string template: cross-shard slow path
 	CheckLock       = "lock-blocking"  // blocking In/Rd reachable while a sync lock is held
 	CheckErr        = "tuple-errcheck" // discarded tuple-op error result
+
+	// The whole-program checks built on the tuple-flow graph
+	// (flowgraph.go, callgraph.go, deadlock.go).
+	CheckDeadlock = "tuple-deadlock"     // blocking In/Rd with no reachable producer
+	CheckLeak     = "tuple-leak"         // tag produced but never taken by any reachable consumer
+	CheckPoison   = "poison-propagation" // unbounded worker receive loop ignores the poison key
 )
 
 // AllChecks lists every check name lindalint knows.
-var AllChecks = []string{CheckContract, CheckFormal, CheckCrossShard, CheckLock, CheckErr}
+var AllChecks = []string{
+	CheckContract, CheckFormal, CheckCrossShard, CheckLock, CheckErr,
+	CheckDeadlock, CheckLeak, CheckPoison,
+}
 
 // Finding is one diagnostic, anchored to a source position.
 type Finding struct {
-	Pos   token.Position
-	Check string
-	Msg   string
+	Pos        token.Position
+	Check      string
+	Msg        string
+	Suppressed bool // covered by a lint:ignore / nolint directive
 }
 
 // String renders the finding in the canonical
@@ -41,10 +52,30 @@ func (f Finding) String() string {
 // are tuple-errcheck findings on lines carrying a "//nolint:errcheck"
 // comment.
 func Run(pkgs []*Package, enabled map[string]bool) []Finding {
+	all := RunAll(pkgs, enabled)
+	out := all[:0]
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// RunAll is Run without the suppression filter: suppressed findings
+// are returned too, marked, so callers (the -json output mode) can
+// show what a directive silenced. The per-package checks
+// (tuple-contract and friends) see each package in isolation; the
+// flow-graph checks (tuple-deadlock, tuple-leak, poison-propagation)
+// see the loaded package set as one program.
+func RunAll(pkgs []*Package, enabled map[string]bool) []Finding {
 	on := func(check string) bool { return enabled == nil || enabled[check] }
+	analyses := make([]*analysis, len(pkgs))
+	for i, pkg := range pkgs {
+		analyses[i] = newAnalysis(pkg)
+	}
 	var all []Finding
-	for _, pkg := range pkgs {
-		a := newAnalysis(pkg)
+	for _, a := range analyses {
 		if on(CheckContract) {
 			all = append(all, a.checkContract()...)
 		}
@@ -60,22 +91,46 @@ func Run(pkgs []*Package, enabled map[string]bool) []Finding {
 		if on(CheckErr) {
 			all = append(all, a.checkErrors()...)
 		}
-		all = a.suppress(all)
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
+	if on(CheckDeadlock) || on(CheckLeak) || on(CheckPoison) {
+		cg := buildCallGraph(pkgs)
+		g := buildFlowGraph(analyses, cg)
+		if on(CheckDeadlock) {
+			all = append(all, g.checkDeadlock()...)
+		}
+		if on(CheckLeak) {
+			all = append(all, g.checkLeak()...)
+		}
+		if on(CheckPoison) {
+			all = append(all, checkPoison(analyses, cg)...)
+		}
+	}
+	markSuppressed(analyses, all)
+	sortFindings(all)
+	return dedup(all)
+}
+
+// sortFindings orders findings stably by file, line, column, check
+// name and message, so output and golden-fixture diffs are
+// deterministic regardless of the discovery (map-iteration) order the
+// checks produced them in.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
 		if a.Check != b.Check {
 			return a.Check < b.Check
 		}
 		return a.Msg < b.Msg
 	})
-	return dedup(all)
 }
 
 func dedup(fs []Finding) []Finding {
@@ -89,23 +144,26 @@ func dedup(fs []Finding) []Finding {
 	return out
 }
 
-// suppress drops the findings of this package's files that are
-// covered by an ignore directive, leaving findings of other packages
-// (already filtered) untouched.
-func (a *analysis) suppress(fs []Finding) []Finding {
-	out := fs[:0]
-	for _, f := range fs {
-		dirs := a.ignores[f.Pos.Filename]
+// markSuppressed flags the findings covered by an ignore directive.
+// Directives are matched by filename across the whole analysis set,
+// so a directive suppresses flow-graph findings anchored in its file
+// no matter which package's walk produced them.
+func markSuppressed(analyses []*analysis, fs []Finding) {
+	byFile := make(map[string]fileIgnores)
+	for _, a := range analyses {
+		for name, dirs := range a.ignores {
+			byFile[name] = dirs
+		}
+	}
+	for i, f := range fs {
+		dirs := byFile[f.Pos.Filename]
 		if dirs == nil {
-			out = append(out, f)
 			continue
 		}
 		if dirs.covers(f.Pos.Line, f.Check) || dirs.covers(f.Pos.Line-1, f.Check) {
-			continue
+			fs[i].Suppressed = true
 		}
-		out = append(out, f)
 	}
-	return out
 }
 
 // fileIgnores records the ignore directives of one file by line.

@@ -51,6 +51,7 @@ type opCall struct {
 	name string // method name
 	recv string // "Space", "Client", "Store", "Txn", or "Proc"
 	info opInfo
+	fn   *types.Func // enclosing top-level function or method; nil at package level
 }
 
 // returnsErr reports whether this call's last result is an error.
@@ -73,7 +74,8 @@ type analysis struct {
 	pkg     *Package
 	fset    *token.FileSet
 	ops     []*opCall
-	lits    []*ast.CompositeLit         // tuplespace.Tuple composite literals
+	lits    []*ast.CompositeLit // tuplespace.Tuple composite literals
+	litFns  map[*ast.CompositeLit]*types.Func
 	formals map[types.Object]types.Type // objects holding formal values; nil type = unknown formal
 	ignores map[string]fileIgnores
 
@@ -99,6 +101,7 @@ func newAnalysis(pkg *Package) *analysis {
 	a := &analysis{
 		pkg:     pkg,
 		fset:    pkg.Fset,
+		litFns:  make(map[*ast.CompositeLit]*types.Func),
 		formals: make(map[types.Object]types.Type),
 		ignores: make(map[string]fileIgnores),
 	}
@@ -222,22 +225,33 @@ func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 }
 
 // collect walks the package once, resolving tuple-op call sites and
-// tuplespace.Tuple composite literals.
+// tuplespace.Tuple composite literals. Each site remembers its
+// enclosing top-level function (ops inside function literals are
+// attributed to the declaration the literal lexically lives in), so
+// the whole-program flow graph can anchor sites to call-graph nodes.
 func (a *analysis) collect() {
 	for _, f := range a.pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				if op := a.tupleOpCall(n); op != nil {
-					a.ops = append(a.ops, op)
-				}
-			case *ast.CompositeLit:
-				if a.isTupleLit(n) {
-					a.lits = append(a.lits, n)
-				}
+		for _, d := range f.Decls {
+			var fn *types.Func
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn, _ = a.pkg.Info.Defs[fd.Name].(*types.Func)
 			}
-			return true
-		})
+			ast.Inspect(d, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if op := a.tupleOpCall(n); op != nil {
+						op.fn = fn
+						a.ops = append(a.ops, op)
+					}
+				case *ast.CompositeLit:
+					if a.isTupleLit(n) {
+						a.lits = append(a.lits, n)
+						a.litFns[n] = fn
+					}
+				}
+				return true
+			})
+		}
 	}
 }
 

@@ -1,0 +1,45 @@
+// Package flowdeadlock seeds the tuple-deadlock golden fixtures: a
+// blocking In on a tag nothing produces, a blocking In whose only
+// producer is dead code, and — the not-firing case — a handshake
+// whose producer is reachable. testdata is invisible to the go tool,
+// so this package is only ever type-checked by the analyzer's loader.
+package flowdeadlock
+
+import "freepdm/internal/tuplespace"
+
+// WaitOrphan blocks on a tag no producer in the program can satisfy:
+// tuple-deadlock (and the per-package tuple-contract check agrees).
+func WaitOrphan(s *tuplespace.Space) (int, error) {
+	tu, err := s.In("orphan", tuplespace.FormalInt)
+	if err != nil {
+		return 0, err
+	}
+	return tu[1].(int), nil
+}
+
+// deadProduce is the only producer of "zombie", but nothing
+// references it: dead code cannot unblock a consumer.
+func deadProduce(s *tuplespace.Space) error {
+	return s.Out("zombie", 2)
+}
+
+// WaitZombie satisfies the per-package contract check (deadProduce
+// exists) but still deadlocks at runtime: tuple-deadlock's
+// reachability filter sees through it.
+func WaitZombie(s *tuplespace.Space) (int, error) {
+	tu, err := s.In("zombie", tuplespace.FormalInt)
+	if err != nil {
+		return 0, err
+	}
+	return tu[1].(int), nil
+}
+
+// Handshake is the not-firing case: the producer is reachable, the
+// blocking In can be satisfied.
+func Handshake(s *tuplespace.Space) error {
+	if err := s.Out("ready", 1); err != nil {
+		return err
+	}
+	_, err := s.In("ready", tuplespace.FormalInt)
+	return err
+}

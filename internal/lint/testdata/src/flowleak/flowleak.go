@@ -1,0 +1,40 @@
+// Package flowleak seeds the tuple-leak golden fixtures: a completion
+// tag that is only ever read (never taken), an undrained report tag
+// with no consumer at all, and — the not-firing case — a counter that
+// is drained with Inp. testdata is invisible to the go tool, so this
+// package is only ever type-checked by the analyzer's loader.
+package flowleak
+
+import "freepdm/internal/tuplespace"
+
+// Announce outs the completion tuple WatchDone below only ever Rds:
+// every Announce grows the space by one tuple nothing removes —
+// tuple-leak (the per-package contract check is satisfied, which is
+// exactly why this needs its own check).
+func Announce(s *tuplespace.Space) error {
+	return s.Out("done", "worker-1")
+}
+
+// WatchDone reads the completion tuple without taking it.
+func WatchDone(s *tuplespace.Space) (string, error) {
+	tu, err := s.Rd("done", tuplespace.FormalString)
+	if err != nil {
+		return "", err
+	}
+	return tu[1].(string), nil
+}
+
+// Report is the undrained completion tag: no consumer anywhere, so
+// both tuple-contract and tuple-leak fire.
+func Report(s *tuplespace.Space) error {
+	return s.Out("report", 3.14)
+}
+
+// Drained is the not-firing case: the Inp takes what the Out put.
+func Drained(s *tuplespace.Space) error {
+	if err := s.Out("task-count", 7); err != nil {
+		return err
+	}
+	_, _, err := s.Inp("task-count", tuplespace.FormalInt)
+	return err
+}

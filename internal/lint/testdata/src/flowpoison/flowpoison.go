@@ -1,0 +1,79 @@
+// Package flowpoison seeds the poison-propagation golden fixtures: a
+// worker receive loop that never looks for the poison key (firing), a
+// worker that tests the key and a transparent relay that forwards the
+// whole tuple (both not firing). testdata is invisible to the go
+// tool, so this package is only ever type-checked by the analyzer's
+// loader.
+package flowpoison
+
+import (
+	"freepdm/internal/plinda"
+	"freepdm/internal/tuplespace"
+)
+
+// poison spells core.PoisonKey's value; the check matches the
+// constant value, not the named constant.
+const poison = "\x00poison"
+
+// BadWorker blocks on tasks forever and never tests or forwards the
+// poison key: the master's termination fan-out cannot stop it —
+// poison-propagation.
+func BadWorker(p *plinda.Proc) error {
+	for {
+		tu, err := p.In("task", tuplespace.FormalString)
+		if err != nil {
+			return err
+		}
+		if err := p.Out("result", tu[1].(string), 1.0); err != nil {
+			return err
+		}
+	}
+}
+
+// GoodWorker tests every taken key against the poison value and
+// returns on it: not firing.
+func GoodWorker(p *plinda.Proc) error {
+	for {
+		tu, err := p.In("task", tuplespace.FormalString)
+		if err != nil {
+			return err
+		}
+		if tu[1].(string) == poison {
+			return nil
+		}
+		if err := p.Out("result", tu[1].(string), 2.0); err != nil {
+			return err
+		}
+	}
+}
+
+// Relay re-outs the whole taken tuple, so a poison task passes
+// through it to the downstream consumer untouched: not firing.
+func Relay(p *plinda.Proc) error {
+	for {
+		tu, err := p.In("task", tuplespace.FormalString)
+		if err != nil {
+			return err
+		}
+		if err := p.Out(tu...); err != nil {
+			return err
+		}
+	}
+}
+
+// Seed produces the work and the poison fan-out the workers drain.
+func Seed(p *plinda.Proc) error {
+	if err := p.Out("task", "alpha"); err != nil {
+		return err
+	}
+	return p.Out("task", poison)
+}
+
+// Collect takes the result reports.
+func Collect(p *plinda.Proc) (string, error) {
+	tu, err := p.In("result", tuplespace.FormalString, tuplespace.FormalFloat)
+	if err != nil {
+		return "", err
+	}
+	return tu[1].(string), nil
+}

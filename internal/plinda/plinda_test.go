@@ -31,6 +31,7 @@ func TestVectorAddition(t *testing.T) {
 			if err := p.Xstart(); err != nil {
 				return err
 			}
+			// lint:ignore poison-propagation the slave terminates on the negative-index sentinel task, not core.PoisonKey
 			tu, err := p.In("task", tuplespace.FormalInt, tuplespace.FormalInts, tuplespace.FormalInts)
 			if err != nil {
 				return err
@@ -259,7 +260,7 @@ func TestFailureRecovery(t *testing.T) {
 				case holdingTxn <- p.Name():
 				default:
 				}
-				// lint:ignore tuple-contract deliberately unmatched so the op blocks until the kill
+				// lint:ignore tuple-contract,poison-propagation deliberately unmatched so the op blocks until the kill
 				if _, err := p.In("never-matches", tuplespace.FormalInt); err != nil {
 					return err // ErrKilled: the txn holding item 5 aborts
 				}

@@ -307,7 +307,7 @@ func TestNetCustomTypeNeedsRegistration(t *testing.T) {
 	c, _ := Dial(addr)
 	defer c.Close()
 	// Formals of unregistered types are rejected with a clear error.
-	// lint:ignore tuple-contract the wire layer rejects the template before any match is attempted
+	// lint:ignore tuple-contract,tuple-deadlock the wire layer rejects the template before any match is attempted
 	if _, err := c.In("y", Formal(custom{})); err == nil {
 		t.Fatal("unregistered wire type accepted")
 	}
