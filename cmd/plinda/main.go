@@ -47,6 +47,7 @@ import (
 	"strings"
 	"time"
 
+	"freepdm/internal/cluster"
 	"freepdm/internal/core"
 	"freepdm/internal/durable"
 	"freepdm/internal/mining/motif"
@@ -93,7 +94,9 @@ func main() {
 	walBatch := flag.Int("wal-batch", 0, "max records coalesced into one WAL group-commit write (0 = default; requires -wal)")
 	addr := flag.String("addr", "", "serve the tuple space over TCP on this address so remote workers can join (e.g. :7117)")
 	workers := flag.Int("workers", 3, "local demo worker count")
-	workerAddr := flag.String("worker", "", "run as a remote worker against the server at this address (no local server)")
+	workerAddr := flag.String("worker", "", "run as a remote worker against the server at this address (no local server); a comma-separated list joins a cluster")
+	nodes := flag.String("nodes", "", "comma-separated tuple-space server addresses: route the space across a multi-node cluster instead of hosting it in-process (host:port,host:port,...)")
+	opTimeout := flag.Duration("op-timeout", 2*time.Second, "bound on non-blocking remote tuple ops in cluster/worker mode (0 = none)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of new traces to sample, 0..1 (children always follow their parent)")
 	slowOp := flag.Duration("slow-op", 0, "log every span at least this long as a slow op (0 disables)")
 	logJSON := flag.String("log-json", "", "write JSON-lines structured logs to stderr at this level (debug|info|warn|error)")
@@ -109,12 +112,50 @@ func main() {
 	}
 
 	if *workerAddr != "" {
-		os.Exit(runRemoteWorker(*workerAddr))
+		os.Exit(runRemoteWorker(*workerAddr, *opTimeout))
 	}
 
-	space := tuplespace.NewSharded(*shards)
-	var store tuplespace.TxnStore = space
-	var backend tuplespace.ServerBackend = space
+	if *nodes != "" && (*walDir != "" || *addr != "") {
+		fmt.Fprintln(os.Stderr, "plinda: -nodes is incompatible with -wal and -addr: durability and serving live on the member servers")
+		os.Exit(2)
+	}
+
+	var space *tuplespace.Space
+	var store tuplespace.TxnStore
+	var backend tuplespace.ServerBackend
+	if *nodes != "" {
+		rt, err := cluster.New(strings.Split(*nodes, ","), cluster.Options{
+			Dial: tuplespace.DialOptions{
+				DialTimeout: 2 * time.Second,
+				OpTimeout:   *opTimeout,
+				Lease:       3 * time.Second,
+				Name:        fmt.Sprintf("plinda-%d", os.Getpid()),
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plinda: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		store = rt
+		// Member servers that ran (or hosted) an earlier demo still hold
+		// its broadcast poison pills; drain the ones visible on the
+		// routed task path so they cannot kill this run's workers at
+		// birth — the same startup hygiene the WAL branch performs.
+		drained := 0
+		for {
+			_, ok, err := tuplespace.Inp(rt, core.TagTask, core.PoisonKey)
+			if err != nil || !ok {
+				break
+			}
+			drained++
+		}
+		if drained > 0 {
+			fmt.Printf("plinda: drained %d stale poison tuples from the cluster\n", drained)
+		}
+	} else {
+		space = tuplespace.NewSpace(tuplespace.Options{Shards: *shards})
+		store, backend = space, space
+	}
 	if *walDir != "" {
 		ds, err := durable.Open(*walDir, space, durable.Options{Fsync: *fsync, MaxBatch: *walBatch})
 		if err != nil {
@@ -131,7 +172,7 @@ func main() {
 		// workers at birth.
 		drained := 0
 		for {
-			_, ok, err := ds.Inp(core.TagTask, core.PoisonKey)
+			_, ok, err := tuplespace.Inp(ds, core.TagTask, core.PoisonKey)
 			if err != nil || !ok {
 				break
 			}
@@ -143,6 +184,7 @@ func main() {
 	}
 	srv := plinda.NewServerOnStore(store)
 	defer srv.Close()
+	defer store.Close() //nolint:errcheck
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(4096)
@@ -172,7 +214,11 @@ func main() {
 		fmt.Printf("plinda: serving tuple space on %s (plinda -worker %s to join)\n", ln.Addr(), ln.Addr())
 	}
 
-	fmt.Printf("plinda: starting server (%d tuple-space shards) and the motif-discovery demo (%d workers)\n", space.Shards(), *workers)
+	if space != nil {
+		fmt.Printf("plinda: starting server (%d tuple-space shards) and the motif-discovery demo (%d workers)\n", space.Shards(), *workers)
+	} else {
+		fmt.Printf("plinda: starting server (tuple space routed across %s) and the motif-discovery demo (%d workers)\n", *nodes, *workers)
+	}
 	pr := demoProblem()
 	done := make(chan struct{})
 	go func() {
@@ -190,7 +236,7 @@ func main() {
 				// lint:ignore tuple-contract consumed by the PLET workers in internal/core
 				extra[i] = tuplespace.Tuple{core.TagTask, core.PoisonKey}
 			}
-			if err := store.OutN(extra); err != nil {
+			if err := tuplespace.OutN(store, extra); err != nil {
 				fmt.Printf("plinda: remote poison: %v\n", err)
 			}
 		}
@@ -267,7 +313,7 @@ func main() {
 			f.Close()
 			fmt.Println("tuple space rolled back")
 		case "stats":
-			tuples, err := srv.Space().Len()
+			tuples, err := store.Len()
 			if err != nil {
 				fmt.Println("error:", err)
 				break
@@ -310,18 +356,26 @@ func main() {
 // the server's lease machinery aborts its open transaction so the
 // task reappears; if the server restarts, the worker redials. Returns
 // a process exit code.
-func runRemoteWorker(addr string) int {
+func runRemoteWorker(addr string, opTimeout time.Duration) int {
 	pr := demoProblem()
 	name := fmt.Sprintf("remote-%d", os.Getpid())
 	fmt.Printf("plinda worker %s: joining %s\n", name, addr)
 	worker := core.PLETWorker(pr)
+	dialOpts := tuplespace.DialOptions{
+		DialTimeout: 2 * time.Second,
+		OpTimeout:   opTimeout,
+		Lease:       3 * time.Second,
+		Name:        name,
+	}
+	dial := func() (tuplespace.TxnStore, error) {
+		if addrs := strings.Split(addr, ","); len(addrs) > 1 {
+			return cluster.New(addrs, cluster.Options{Dial: dialOpts})
+		}
+		return tuplespace.DialOpts(addr, dialOpts)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= plinda.MaxRespawns; attempt++ {
-		cl, err := tuplespace.DialOpts(addr, tuplespace.DialOptions{
-			DialTimeout: 2 * time.Second,
-			Lease:       3 * time.Second,
-			Name:        name,
-		})
+		cl, err := dial()
 		if err != nil {
 			lastErr = err
 			time.Sleep(200 * time.Millisecond)

@@ -1,0 +1,274 @@
+// Cluster transactions: coordinator pinning and the follower-first
+// two-phase commit over the per-node wire transactions.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"freepdm/internal/obs"
+	"freepdm/internal/tuplespace"
+)
+
+// crossProbeInterval paces the polling fallback a transactional
+// blocking take uses for cross templates (tentative takes cannot be
+// hedged across nodes, so the transaction probes instead).
+const crossProbeInterval = 2 * time.Millisecond
+
+// routerTxn is one cluster transaction. The node of the first take
+// becomes the coordinator; takes that land on other nodes open
+// follower sub-transactions there. Commit publishes outs and commits
+// followers first and the coordinator last: the coordinator's takes
+// are what made this unit of work invisible to other workers, so they
+// are only finalized once every other effect is durable. A crash
+// between the phases aborts the coordinator (its takes reappear and
+// the work is redone) while follower effects may survive — duplicated
+// side tuples, never lost ones — which the PLinda programs absorb by
+// idempotent accounting (see DESIGN.md).
+type routerTxn struct {
+	r *Router
+
+	mu    sync.Mutex
+	subs  map[int]tuplespace.Txn
+	order []int // sub-txn creation order; order[0] is the coordinator
+	done  bool
+}
+
+// Begin opens a cluster transaction. No node is contacted until the
+// first take pins the coordinator.
+func (r *Router) Begin() (tuplespace.Txn, error) {
+	if r.closed.Load() {
+		return nil, tuplespace.ErrClientClosed
+	}
+	return &routerTxn{r: r, subs: make(map[int]tuplespace.Txn)}, nil
+}
+
+// sub returns the sub-transaction on node i, opening it if needed.
+// Opening retries through the node's health machinery (Begin holds no
+// tentative state); operations on an open sub fail fast instead.
+func (tx *routerTxn) sub(ctx context.Context, i int) (tuplespace.Txn, error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.done {
+		return nil, tuplespace.ErrTxnFinished
+	}
+	if s, ok := tx.subs[i]; ok {
+		return s, nil
+	}
+	var s tuplespace.Txn
+	if err := tx.r.nodes[i].do(ctx, func(cl *tuplespace.Client) error {
+		var e error
+		s, e = cl.Begin()
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	tx.subs[i] = s
+	tx.order = append(tx.order, i)
+	return s, nil
+}
+
+func (tx *routerTxn) In(ctx context.Context, tmplFields ...any) (tuplespace.Tuple, error) {
+	t, _, err := tx.InTraced(ctx, tmplFields...)
+	return t, err
+}
+
+func (tx *routerTxn) InTraced(ctx context.Context, tmplFields ...any) (t tuplespace.Tuple, org obs.SpanContext, err error) {
+	done := tx.r.startOp(ctx, "txn.in")
+	defer func() { done(err) }()
+	if !tuplespace.CrossTemplate(tmplFields) {
+		s, err := tx.sub(ctx, tx.r.home(tmplFields))
+		if err != nil {
+			return nil, obs.SpanContext{}, err
+		}
+		return s.InTraced(ctx, tmplFields...)
+	}
+	// Cross template: a blocking take must stay tentative, so it
+	// cannot hedge plain In calls across nodes. Poll the nodes'
+	// sub-transactions instead until one yields a match.
+	for {
+		for i := range tx.r.nodes {
+			s, err := tx.sub(ctx, i)
+			if err != nil {
+				return nil, obs.SpanContext{}, err
+			}
+			t, ok, err := s.Inp(ctx, tmplFields...)
+			if err != nil {
+				return nil, obs.SpanContext{}, err
+			}
+			if ok {
+				return t, obs.SpanContext{}, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, obs.SpanContext{}, ctx.Err()
+		case <-time.After(crossProbeInterval):
+		}
+	}
+}
+
+func (tx *routerTxn) Inp(ctx context.Context, tmplFields ...any) (t tuplespace.Tuple, ok bool, err error) {
+	done := tx.r.startOp(ctx, "txn.inp")
+	defer func() { done(err) }()
+	if !tuplespace.CrossTemplate(tmplFields) {
+		s, err := tx.sub(ctx, tx.r.home(tmplFields))
+		if err != nil {
+			return nil, false, err
+		}
+		return s.Inp(ctx, tmplFields...)
+	}
+	for i := range tx.r.nodes {
+		s, err := tx.sub(ctx, i)
+		if err != nil {
+			return nil, false, err
+		}
+		t, ok, err = s.Inp(ctx, tmplFields...)
+		if err != nil || ok {
+			return t, ok, err
+		}
+	}
+	return nil, false, nil
+}
+
+// Commit finalizes the transaction: outs and follower sub-commits
+// first, the coordinator's commit last.
+func (tx *routerTxn) Commit(ctx context.Context, outs []tuplespace.Tuple) error {
+	return tx.commit(ctx, outs, nil, false)
+}
+
+// CommitCont is Commit additionally storing the continuation tuple —
+// on the coordinator node, which is also where Recover finds it.
+func (tx *routerTxn) CommitCont(ctx context.Context, outs []tuplespace.Tuple, cont tuplespace.Tuple) error {
+	return tx.commit(ctx, outs, cont, true)
+}
+
+func (tx *routerTxn) commit(ctx context.Context, outs []tuplespace.Tuple, cont tuplespace.Tuple, hasCont bool) (err error) {
+	done := tx.r.startOp(ctx, "txn.commit")
+	defer func() { done(err) }()
+
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		return tuplespace.ErrTxnFinished
+	}
+	tx.done = true
+	subs, order := tx.subs, tx.order
+	tx.mu.Unlock()
+
+	// A continuation needs a coordinator to live on even when the
+	// transaction took nothing.
+	if hasCont && len(order) == 0 {
+		var s tuplespace.Txn
+		if err := tx.r.nodes[0].do(ctx, func(cl *tuplespace.Client) error {
+			var e error
+			s, e = cl.Begin()
+			return e
+		}); err != nil {
+			return err
+		}
+		subs[0] = s
+		order = []int{0}
+	}
+
+	byNode := make(map[int][]tuplespace.Tuple)
+	for _, t := range outs {
+		h := tx.r.home(t)
+		byNode[h] = append(byNode[h], t)
+	}
+
+	abortAll := func(from int) {
+		for _, i := range order[from:] {
+			subs[i].Abort() //nolint:errcheck — best-effort; the server also aborts on lease expiry
+		}
+	}
+
+	if len(order) == 0 {
+		// Pure-out transaction: no takes anywhere, nothing tentative
+		// to protect. Route the batches directly.
+		return tx.r.OutN(ctx, outs)
+	}
+	coord := order[0]
+
+	// Phase 1 — followers: publish every non-coordinator batch and
+	// commit every follower sub-transaction. A failure here aborts the
+	// coordinator, so the work is retried; follower batches that
+	// already landed surface as duplicate side tuples.
+	for h, batch := range byNode {
+		if h == coord {
+			continue
+		}
+		b := batch
+		var ferr error
+		if s, ok := subs[h]; ok {
+			ferr = s.Commit(ctx, b)
+			delete(subs, h)
+			order = removeNode(order, h)
+		} else {
+			ferr = tx.r.nodes[h].do(ctx, func(cl *tuplespace.Client) error {
+				return cl.OutN(ctx, b)
+			})
+		}
+		if ferr != nil {
+			abortAll(0)
+			return ferr
+		}
+	}
+	for _, i := range append([]int(nil), order...) {
+		if i == coord {
+			continue
+		}
+		if err := subs[i].Commit(ctx, nil); err != nil {
+			abortAll(0)
+			return err
+		}
+		delete(subs, i)
+		order = removeNode(order, i)
+	}
+
+	// Phase 2 — the coordinator: its takes plus its share of the outs
+	// (and the continuation) commit atomically on the home node of the
+	// take that started the transaction.
+	s := subs[coord]
+	if hasCont {
+		cc, ok := s.(tuplespace.ContCommitter)
+		if !ok {
+			s.Abort() //nolint:errcheck
+			return fmt.Errorf("cluster: node %d transaction cannot store continuations", coord)
+		}
+		return cc.CommitCont(ctx, byNode[coord], cont)
+	}
+	return s.Commit(ctx, byNode[coord])
+}
+
+// Abort rolls back every sub-transaction.
+func (tx *routerTxn) Abort() error {
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		return nil
+	}
+	tx.done = true
+	subs := tx.subs
+	tx.mu.Unlock()
+	var firstErr error
+	for _, s := range subs {
+		if err := s.Abort(); err != nil && firstErr == nil && !errors.Is(err, tuplespace.ErrTxnFinished) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func removeNode(order []int, i int) []int {
+	out := order[:0]
+	for _, v := range order {
+		if v != i {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -36,12 +37,12 @@ func TestObservedPLETOverTCPTraceCoherence(t *testing.T) {
 
 	// A remote client works against the same space the PLET program
 	// uses, so wire metrics and tuple metrics land in one registry.
-	cl, err := tuplespace.DialTimeout(l.Addr().String(), time.Second, 2*time.Second)
+	cl, err := tuplespace.DialOpts(l.Addr().String(), tuplespace.DialOptions{DialTimeout: time.Second, OpTimeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	if err := cl.Out("remote-marker", 1); err != nil {
+	if err := cl.Out(context.Background(), "remote-marker", 1); err != nil {
 		t.Fatal(err)
 	}
 
@@ -76,7 +77,7 @@ func TestObservedPLETOverTCPTraceCoherence(t *testing.T) {
 		t.Fatalf("PLET under observation returned %d results, sequential %d", len(got), len(want))
 	}
 
-	if _, ok, err := cl.Inp("remote-marker", tuplespace.FormalInt); err != nil || !ok {
+	if _, ok, err := cl.Inp(context.Background(), "remote-marker", tuplespace.FormalInt); err != nil || !ok {
 		t.Fatalf("remote marker withdraw: ok=%v err=%v", ok, err)
 	}
 

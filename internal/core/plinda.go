@@ -233,12 +233,20 @@ func (m *pledMaster) seed() []string {
 }
 
 // apply advances the scheduling state by one result event and returns
-// the task keys it newly queued.
-func (m *pledMaster) apply(ev pledEvent) ([]string, error) {
+// the task keys it newly queued, plus whether the event was fresh. A
+// duplicate event — a second result for a key already classified good
+// or bad, which the cluster's two-phase commit can produce when a
+// worker crashes between the follower and coordinator phases — leaves
+// the state (including the done counter) untouched: counting it would
+// let done outrun sent and terminate the master with takes missing.
+func (m *pledMaster) apply(ev pledEvent) ([]string, bool, error) {
+	if m.good[ev.Key] || m.bad[ev.Key] {
+		return nil, false, nil
+	}
 	m.done++
 	pat, err := m.dec.Decode(ev.Key)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	var newKeys []string
 	if m.pr.Good(pat, ev.Score) {
@@ -258,7 +266,7 @@ func (m *pledMaster) apply(ev pledEvent) ([]string, error) {
 		// Deferred children waiting on a bad subpattern are dead.
 		delete(m.pendingBy, ev.Key)
 	}
-	return newKeys, nil
+	return newKeys, true, nil
 }
 
 func taskTuples(keys []string) []tuplespace.Tuple {
@@ -303,7 +311,7 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			}
 			m.seed()
 			for _, ev := range cont.Events {
-				if _, err := m.apply(ev); err != nil {
+				if _, _, err := m.apply(ev); err != nil {
 					return err
 				}
 			}
@@ -336,9 +344,17 @@ func RunPLED(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 				return err
 			}
 			ev := pledEvent{Key: tu[1].(string), Score: tu[2].(float64)}
-			newKeys, err := m.apply(ev)
+			newKeys, fresh, err := m.apply(ev)
 			if err != nil {
 				return err
+			}
+			if !fresh {
+				// Duplicate result: consume the tuple (the commit below
+				// finalizes the take) but log and count nothing.
+				if err := p.Xcommit(); err != nil {
+					return err
+				}
+				continue
 			}
 			if err := p.OutN(taskTuples(newKeys)); err != nil {
 				return err
@@ -483,7 +499,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 		if o != nil && o.tracer != nil {
 			o.tracer.Record("master", "poison", 0, "program", "plet", "workers", workers)
 		}
-		// Drain the good-pattern report tuples.
+		// Drain the good-pattern report tuples. A key can appear twice
+		// when the cluster's two-phase commit re-ran a worker whose
+		// report had already landed on a follower node; the first
+		// report wins and duplicates are dropped, so the result set
+		// still equals SolveSequential's.
+		seen := make(map[string]bool)
 		for {
 			tu, ok, err := p.Inp(TagGood, tuplespace.FormalString, tuplespace.FormalFloat)
 			if err != nil {
@@ -492,7 +513,12 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 			if !ok {
 				break
 			}
-			pat, err := dec.Decode(tu[1].(string))
+			key := tu[1].(string)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pat, err := dec.Decode(key)
 			if err != nil {
 				return err
 			}

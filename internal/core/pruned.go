@@ -10,11 +10,21 @@ package core
 // Because tuple spaces are unordered, the master may learn that a
 // child is pruned before it learns the child exists; such prunes are
 // buffered until the parent's expansion registers the child.
+//
+// The tracker is idempotent per node: a repeated Expanded or Pruned
+// report for a node it has already processed is a no-op. Duplicated
+// control tuples are a fact of life under the cluster's two-phase
+// commit — a worker crash between the follower and coordinator phases
+// re-runs the task and republishes its report (see cluster package
+// docs) — and must not reset a node's remaining-children count or
+// double-prune its parent chain.
 type PrunedTracker struct {
 	root      string
 	parent    map[string]string
 	remaining map[string]int
-	early     map[string]int // prunes seen before registration
+	early     map[string]bool // prunes seen before registration
+	expanded  map[string]bool
+	pruned    map[string]bool
 	done      bool
 }
 
@@ -26,7 +36,9 @@ func NewPrunedTracker(root string) *PrunedTracker {
 		root:      root,
 		parent:    map[string]string{},
 		remaining: map[string]int{},
-		early:     map[string]int{},
+		early:     map[string]bool{},
+		expanded:  map[string]bool{},
+		pruned:    map[string]bool{},
 	}
 }
 
@@ -35,33 +47,41 @@ func (t *PrunedTracker) Done() bool { return t.done }
 
 // Expanded registers that node was found good and generated the given
 // children. A good node with no children is a leaf: report it with
-// Pruned instead. Returns Done().
+// Pruned instead. A duplicate report for an already-expanded node is
+// ignored. Returns Done().
 func (t *PrunedTracker) Expanded(node string, children []string) bool {
+	if t.expanded[node] {
+		return t.done
+	}
+	t.expanded[node] = true
 	t.remaining[node] = len(children)
 	for _, c := range children {
 		t.parent[c] = node
 	}
 	// Apply any prunes that raced ahead of this expansion.
 	for _, c := range children {
-		if n := t.early[c]; n > 0 {
-			t.early[c]--
-			if t.early[c] == 0 {
-				delete(t.early, c)
-			}
+		if t.early[c] {
+			delete(t.early, c)
 			t.prune(c)
 		}
 	}
 	if len(children) == 0 {
+		t.pruned[node] = true
 		t.prune(node)
 	}
 	return t.done
 }
 
 // Pruned records that the subtree under node is complete (the node was
-// not good, or it was a leaf). Returns Done().
+// not good, or it was a leaf). A duplicate report for an already-
+// pruned node is ignored. Returns Done().
 func (t *PrunedTracker) Pruned(node string) bool {
+	if t.pruned[node] {
+		return t.done
+	}
+	t.pruned[node] = true
 	if _, known := t.parent[node]; !known && node != t.root {
-		t.early[node]++
+		t.early[node] = true
 		return t.done
 	}
 	t.prune(node)

@@ -1,0 +1,23 @@
+package durable_test
+
+import (
+	"testing"
+
+	"freepdm/internal/durable"
+	"freepdm/internal/tuplespace"
+	"freepdm/internal/tuplespace/storetest"
+)
+
+// TestDurableConformance runs the Store v2 conformance suite against
+// the write-ahead-logged space: logging every mutation must not change
+// the observable Linda semantics.
+func TestDurableConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) tuplespace.TxnStore {
+		ds, err := durable.Open(t.TempDir(), nil, durable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ds.Close() })
+		return ds
+	})
+}

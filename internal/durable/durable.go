@@ -317,13 +317,14 @@ func readRecord(data []byte) (record, int) {
 // apply replays one record against the space: exact-match removal of
 // each take (a no-op if absent — idempotence), then the outs.
 func (d *Space) apply(rec record) error {
+	ctx := context.Background()
 	for _, t := range rec.Takes {
-		if _, _, err := d.s.Inp(t...); err != nil {
+		if _, _, err := d.s.Inp(ctx, t...); err != nil {
 			return err
 		}
 	}
 	for _, t := range rec.Outs {
-		if err := d.s.Out(t...); err != nil {
+		if err := d.s.Out(ctx, t...); err != nil {
 			return err
 		}
 	}
@@ -557,15 +558,10 @@ func (d *Space) compactLocked() error {
 }
 
 // Out logs then applies; see the package comment for the crash
-// semantics of the log-before-apply order.
-func (d *Space) Out(fields ...any) error {
-	return d.OutCtx(context.Background(), fields...)
-}
-
-// OutCtx is Out carrying a context: the WAL append becomes a child
-// span of the ctx's span context, and the stored tuple is stamped with
-// it as its origin.
-func (d *Space) OutCtx(ctx context.Context, fields ...any) error {
+// semantics of the log-before-apply order. The WAL append becomes a
+// child span of the ctx's span context, and the stored tuple is
+// stamped with it as its origin.
+func (d *Space) Out(ctx context.Context, fields ...any) error {
 	t := append(tuplespace.Tuple(nil), fields...)
 	d.mu.Lock()
 	if d.closed {
@@ -577,7 +573,7 @@ func (d *Space) OutCtx(ctx context.Context, fields ...any) error {
 		d.mu.Unlock()
 		return err
 	}
-	if err := d.s.OutCtx(ctx, fields...); err != nil {
+	if err := d.s.Out(ctx, fields...); err != nil {
 		d.mu.Unlock()
 		return err
 	}
@@ -589,14 +585,9 @@ func (d *Space) OutCtx(ctx context.Context, fields ...any) error {
 	return d.commitWAL(seq)
 }
 
-// OutN logs the batch as one record and applies it.
-func (d *Space) OutN(tuples []tuplespace.Tuple) error {
-	return d.OutNCtx(context.Background(), tuples)
-}
-
-// OutNCtx is OutN with the span and origin-stamping semantics of
-// OutCtx.
-func (d *Space) OutNCtx(ctx context.Context, tuples []tuplespace.Tuple) error {
+// OutN logs the batch as one record and applies it, with the span and
+// origin-stamping semantics of Out.
+func (d *Space) OutN(ctx context.Context, tuples []tuplespace.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
@@ -610,7 +601,7 @@ func (d *Space) OutNCtx(ctx context.Context, tuples []tuplespace.Tuple) error {
 		d.mu.Unlock()
 		return err
 	}
-	if err := d.s.OutNCtx(ctx, tuples); err != nil {
+	if err := d.s.OutN(ctx, tuples); err != nil {
 		d.mu.Unlock()
 		return err
 	}
@@ -624,25 +615,20 @@ func (d *Space) OutNCtx(ctx context.Context, tuples []tuplespace.Tuple) error {
 
 // In is a committed (non-transactional) take: the removal is logged
 // the instant it happens. The loop takes under the WAL lock but waits
-// outside it: a non-destructive RdCtx parks until a candidate appears,
+// outside it: a non-destructive Rd parks until a candidate appears,
 // then the take is retried — so a tuple can never be removed without
 // its log record, and a lost race simply re-parks.
-func (d *Space) In(tmplFields ...any) (Tuple, error) {
-	return d.InCtx(context.Background(), tmplFields...)
-}
-
-// InCtx is In with cancellation.
-func (d *Space) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	t, _, err := d.InCtxTraced(ctx, tmplFields...)
+func (d *Space) In(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	t, _, err := d.InTraced(ctx, tmplFields...)
 	return t, err
 }
 
-// InCtxTraced implements tuplespace.TracedTaker: the committed take
-// additionally returns the tuple's origin span context. Under a traced
-// context the match is recorded as a "tuple"/"in" span (the WAL path
-// polls rather than waiting inside the space, so the space's own span
-// would otherwise be absent for immediate hits).
-func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+// InTraced is the committed take additionally returning the tuple's
+// origin span context. Under a traced context the match is recorded as
+// a "tuple"/"in" span (the WAL path polls rather than waiting inside
+// the space, so the space's own span would otherwise be absent for
+// immediate hits).
+func (d *Space) InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
 	sp := d.s.Tracer().StartChild(obs.FromContext(ctx), "tuple", "in")
 	blocked := false
 	for {
@@ -652,7 +638,7 @@ func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.
 			sp.End()
 			return nil, obs.SpanContext{}, tuplespace.ErrClosed
 		}
-		t, org, ok, err := d.s.InpTraced(tmplFields...)
+		t, org, ok, err := d.s.InpTraced(ctx, tmplFields...)
 		if err != nil {
 			d.mu.Unlock()
 			sp.End()
@@ -661,7 +647,7 @@ func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.
 		if ok {
 			seq, aerr := d.enqueue(ctx, record{Takes: []tuplespace.Tuple{t}})
 			if aerr != nil {
-				d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
+				d.s.Out(context.Background(), t...) //nolint:errcheck — unlogged take must not stand
 				d.mu.Unlock()
 				sp.End()
 				return nil, obs.SpanContext{}, aerr
@@ -683,7 +669,7 @@ func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.
 		}
 		d.mu.Unlock()
 		blocked = true
-		if _, err := d.s.RdCtx(ctx, tmplFields...); err != nil {
+		if _, err := d.s.Rd(ctx, tmplFields...); err != nil {
 			sp.End()
 			return nil, obs.SpanContext{}, err
 		}
@@ -691,20 +677,20 @@ func (d *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.
 }
 
 // Inp is the non-blocking committed take.
-func (d *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
+func (d *Space) Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return nil, false, tuplespace.ErrClosed
 	}
-	t, ok, err := d.s.Inp(tmplFields...)
+	t, ok, err := d.s.Inp(ctx, tmplFields...)
 	if err != nil || !ok {
 		d.mu.Unlock()
 		return nil, false, err
 	}
-	seq, err := d.enqueue(context.Background(), record{Takes: []tuplespace.Tuple{t}})
+	seq, err := d.enqueue(ctx, record{Takes: []tuplespace.Tuple{t}})
 	if err != nil {
-		d.s.Out(t...) //nolint:errcheck — unlogged take must not stand
+		d.s.Out(context.Background(), t...) //nolint:errcheck — unlogged take must not stand
 		d.mu.Unlock()
 		return nil, false, err
 	}
@@ -719,14 +705,14 @@ func (d *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
 	return t, true, nil
 }
 
-// Rd, RdCtx, Rdp and Len are non-destructive and delegate directly.
-func (d *Space) Rd(tmplFields ...any) (Tuple, error) { return d.s.Rd(tmplFields...) }
-
-func (d *Space) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	return d.s.RdCtx(ctx, tmplFields...)
+// Rd, Rdp and Len are non-destructive and delegate directly.
+func (d *Space) Rd(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	return d.s.Rd(ctx, tmplFields...)
 }
 
-func (d *Space) Rdp(tmplFields ...any) (Tuple, bool, error) { return d.s.Rdp(tmplFields...) }
+func (d *Space) Rdp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	return d.s.Rdp(ctx, tmplFields...)
+}
 
 func (d *Space) Len() (int, error) { return d.s.Len() }
 
@@ -857,18 +843,14 @@ type txn struct {
 	done  bool
 }
 
-func (tx *txn) In(tmplFields ...any) (Tuple, error) {
-	return tx.InCtx(context.Background(), tmplFields...)
-}
-
-func (tx *txn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	t, _, err := tx.InCtxTraced(ctx, tmplFields...)
+func (tx *txn) In(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	t, _, err := tx.InTraced(ctx, tmplFields...)
 	return t, err
 }
 
-// InCtxTraced implements tuplespace.TracedTaker for transactional
-// takes: tentative like InCtx, with the tuple's origin passed through.
-func (tx *txn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+// InTraced is the tentative transactional take with the tuple's origin
+// passed through.
+func (tx *txn) InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
 	d := tx.d
 	sp := d.s.Tracer().StartChild(obs.FromContext(ctx), "tuple", "in")
 	blocked := false
@@ -884,7 +866,7 @@ func (tx *txn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.S
 			sp.End()
 			return nil, obs.SpanContext{}, errFinished
 		}
-		t, org, ok, err := d.s.InpTraced(tmplFields...)
+		t, org, ok, err := d.s.InpTraced(ctx, tmplFields...)
 		if err != nil {
 			d.mu.Unlock()
 			sp.End()
@@ -901,14 +883,14 @@ func (tx *txn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.S
 		}
 		d.mu.Unlock()
 		blocked = true
-		if _, err := d.s.RdCtx(ctx, tmplFields...); err != nil {
+		if _, err := d.s.Rd(ctx, tmplFields...); err != nil {
 			sp.End()
 			return nil, obs.SpanContext{}, err
 		}
 	}
 }
 
-func (tx *txn) Inp(tmplFields ...any) (Tuple, bool, error) {
+func (tx *txn) Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
 	d := tx.d
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -918,7 +900,7 @@ func (tx *txn) Inp(tmplFields ...any) (Tuple, bool, error) {
 	if tx.done {
 		return nil, false, errFinished
 	}
-	t, ok, err := d.s.Inp(tmplFields...)
+	t, ok, err := d.s.Inp(ctx, tmplFields...)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -926,14 +908,10 @@ func (tx *txn) Inp(tmplFields ...any) (Tuple, bool, error) {
 	return t, true, nil
 }
 
-func (tx *txn) Commit(outs []tuplespace.Tuple) error {
-	return tx.CommitCtx(context.Background(), outs)
-}
-
-// CommitCtx implements tuplespace.CtxCommitter: the atomic commit
-// record's WAL append is traced under the ctx's span context, and the
-// published outs carry it as their origin.
-func (tx *txn) CommitCtx(ctx context.Context, outs []tuplespace.Tuple) error {
+// Commit logs the atomic commit record — its WAL append is traced
+// under the ctx's span context, and the published outs carry it as
+// their origin.
+func (tx *txn) Commit(ctx context.Context, outs []tuplespace.Tuple) error {
 	d := tx.d
 	d.mu.Lock()
 	if d.closed {
@@ -952,7 +930,7 @@ func (tx *txn) CommitCtx(ctx context.Context, outs []tuplespace.Tuple) error {
 		return err
 	}
 	tx.takes = nil
-	if err := d.s.OutNCtx(ctx, outs); err != nil {
+	if err := d.s.OutN(ctx, outs); err != nil {
 		d.mu.Unlock()
 		return err
 	}
@@ -981,17 +959,13 @@ func (tx *txn) Abort() error {
 	}
 	// Physical restore only — the log still holds the records that
 	// produced these tuples, and no take record, so replay agrees.
-	return d.s.OutN(takes)
+	return d.s.OutN(context.Background(), takes)
 }
 
 var errFinished = tuplespace.ErrTxnFinished
 
 // Interface conformance, checked at compile time.
 var (
-	_ tuplespace.TxnStore     = (*Space)(nil)
-	_ tuplespace.Txn          = (*txn)(nil)
-	_ tuplespace.TracedTaker  = (*Space)(nil)
-	_ tuplespace.TracedTaker  = (*txn)(nil)
-	_ tuplespace.CtxOuter     = (*Space)(nil)
-	_ tuplespace.CtxCommitter = (*txn)(nil)
+	_ tuplespace.TxnStore = (*Space)(nil)
+	_ tuplespace.Txn      = (*txn)(nil)
 )

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,11 +42,11 @@ func TestDurableCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if err := d.Out("item", i); err != nil {
+		if err := d.Out(context.Background(), "item", i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, ok, err := d.Inp("item", 3); err != nil || !ok {
+	if _, ok, err := d.Inp(context.Background(), "item", 3); err != nil || !ok {
 		t.Fatalf("Inp: ok=%v err=%v", ok, err)
 	}
 	want := d.Snapshot()
@@ -62,10 +63,10 @@ func TestDurableCrashRecovery(t *testing.T) {
 		t.Fatal("no WAL records replayed")
 	}
 	sameTuples(t, want, d2.Snapshot(), "after recovery")
-	if _, ok, err := d2.Inp("item", 3); err != nil || ok {
+	if _, ok, err := d2.Inp(context.Background(), "item", 3); err != nil || ok {
 		t.Fatalf("taken tuple resurrected: ok=%v err=%v", ok, err)
 	}
-	if _, ok, err := d2.Inp("item", 4); err != nil || !ok {
+	if _, ok, err := d2.Inp(context.Background(), "item", 4); err != nil || !ok {
 		t.Fatalf("surviving tuple lost: ok=%v err=%v", ok, err)
 	}
 }
@@ -80,7 +81,7 @@ func TestDurableTruncatedTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := d.Out("rec", i); err != nil {
+		if err := d.Out(context.Background(), "rec", i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -105,14 +106,14 @@ func TestDurableTruncatedTail(t *testing.T) {
 	if d2.Replayed() != 4 {
 		t.Fatalf("replayed %d records, want 4 (torn fifth discarded)", d2.Replayed())
 	}
-	if _, ok, _ := d2.Rdp("rec", 4); ok {
+	if _, ok, _ := d2.Rdp(context.Background(), "rec", 4); ok {
 		t.Fatal("torn record's tuple survived")
 	}
-	if _, ok, _ := d2.Rdp("rec", 3); !ok {
+	if _, ok, _ := d2.Rdp(context.Background(), "rec", 3); !ok {
 		t.Fatal("intact record's tuple lost")
 	}
 	// The log must keep working from the truncation point.
-	if err := d2.Out("rec", 99); err != nil {
+	if err := d2.Out(context.Background(), "rec", 99); err != nil {
 		t.Fatal(err)
 	}
 	want := d2.Snapshot()
@@ -137,12 +138,12 @@ func TestDurableReplayIdempotence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if err := d.Out("x", i, float64(i)*0.5); err != nil {
+		if err := d.Out(context.Background(), "x", i, float64(i)*0.5); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 4; i++ {
-		if _, ok, err := d.Inp("x", i, tuplespace.FormalFloat); err != nil || !ok {
+		if _, ok, err := d.Inp(context.Background(), "x", i, tuplespace.FormalFloat); err != nil || !ok {
 			t.Fatalf("Inp %d: ok=%v err=%v", i, ok, err)
 		}
 	}
@@ -176,11 +177,11 @@ func TestDurableSnapshotPlusWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 11; i++ { // 2 compactions at 4 and 8, then 3 live records
-		if err := d.Out("n", i); err != nil {
+		if err := d.Out(context.Background(), "n", i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, ok, err := d.Inp("n", 9); err != nil || !ok {
+	if _, ok, err := d.Inp(context.Background(), "n", 9); err != nil || !ok {
 		t.Fatalf("Inp: ok=%v err=%v", ok, err)
 	}
 	if d.Generation() == 0 {
@@ -210,7 +211,7 @@ func TestDurableTxnSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := d.Out("task", i); err != nil {
+		if err := d.Out(context.Background(), "task", i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -220,10 +221,10 @@ func TestDurableTxnSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx.Inp("task", 0); err != nil || !ok {
+	if _, ok, err := tx.Inp(context.Background(), "task", 0); err != nil || !ok {
 		t.Fatalf("txn Inp: ok=%v err=%v", ok, err)
 	}
-	if err := tx.Commit([]tuplespace.Tuple{{"result", 0}}); err != nil {
+	if err := tx.Commit(context.Background(), []tuplespace.Tuple{{"result", 0}}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -232,13 +233,13 @@ func TestDurableTxnSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx2.Inp("task", 1); err != nil || !ok {
+	if _, ok, err := tx2.Inp(context.Background(), "task", 1); err != nil || !ok {
 		t.Fatalf("txn2 Inp: ok=%v err=%v", ok, err)
 	}
 	if err := tx2.Abort(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := d.Rdp("task", 1); !ok {
+	if _, ok, _ := d.Rdp(context.Background(), "task", 1); !ok {
 		t.Fatal("aborted take not restored")
 	}
 
@@ -247,10 +248,10 @@ func TestDurableTxnSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx3.Inp("task", 2); err != nil || !ok {
+	if _, ok, err := tx3.Inp(context.Background(), "task", 2); err != nil || !ok {
 		t.Fatalf("txn3 Inp: ok=%v err=%v", ok, err)
 	}
-	if _, ok, _ := d.Rdp("task", 2); ok {
+	if _, ok, _ := d.Rdp(context.Background(), "task", 2); ok {
 		t.Fatal("tentative take still visible")
 	}
 	if err := d.Close(); err != nil { // crash with tx3 open
@@ -262,16 +263,16 @@ func TestDurableTxnSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer d2.Close()
-	if _, ok, _ := d2.Rdp("task", 2); !ok {
+	if _, ok, _ := d2.Rdp(context.Background(), "task", 2); !ok {
 		t.Fatal("tentatively taken task tuple did not reappear after crash")
 	}
-	if _, ok, _ := d2.Rdp("task", 0); ok {
+	if _, ok, _ := d2.Rdp(context.Background(), "task", 0); ok {
 		t.Fatal("committed take resurrected")
 	}
-	if _, ok, _ := d2.Rdp("result", 0); !ok {
+	if _, ok, _ := d2.Rdp(context.Background(), "result", 0); !ok {
 		t.Fatal("committed out lost")
 	}
-	if _, ok, _ := d2.Rdp("task", 1); !ok {
+	if _, ok, _ := d2.Rdp(context.Background(), "task", 1); !ok {
 		t.Fatal("abort-restored tuple lost")
 	}
 }
@@ -286,11 +287,11 @@ func TestDurableObserve(t *testing.T) {
 	reg := obs.NewRegistry()
 	d.Observe(reg, nil)
 	for i := 0; i < 5; i++ {
-		if err := d.Out("m", i); err != nil {
+		if err := d.Out(context.Background(), "m", i); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, ok, err := d.Inp("m", tuplespace.FormalInt); err != nil || !ok {
+	if _, ok, err := d.Inp(context.Background(), "m", tuplespace.FormalInt); err != nil || !ok {
 		t.Fatalf("Inp: ok=%v err=%v", ok, err)
 	}
 	snap := reg.Snapshot()

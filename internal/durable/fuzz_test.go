@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
@@ -49,11 +50,11 @@ func FuzzWALTail(f *testing.F) {
 			t.Fatal(err)
 		}
 		// lint:ignore tuple-contract recovery fixtures: consumed by replay assertions, not a worker
-		if err := d.Out("a", 1); err != nil {
+		if err := d.Out(context.Background(), "a", 1); err != nil {
 			t.Fatal(err)
 		}
 		// lint:ignore tuple-contract recovery fixtures: consumed by replay assertions, not a worker
-		if err := d.Out("b", "two"); err != nil {
+		if err := d.Out(context.Background(), "b", "two"); err != nil {
 			t.Fatal(err)
 		}
 		gen := d.Generation()

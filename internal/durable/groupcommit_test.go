@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -40,7 +41,7 @@ func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// lint:ignore tuple-contract group-commit fixture: observed via WAL counters, not taken
-		if err := d.Out("a", 1); err != nil {
+		if err := d.Out(context.Background(), "a", 1); err != nil {
 			t.Errorf("Out a: %v", err)
 		}
 	}()
@@ -51,7 +52,7 @@ func TestGroupCommitBatchesConcurrentAppends(t *testing.T) {
 		go func(v int) {
 			defer wg.Done()
 			// lint:ignore tuple-contract group-commit fixture: observed via WAL counters, not taken
-			if err := d.Out("b", v); err != nil {
+			if err := d.Out(context.Background(), "b", v); err != nil {
 				t.Errorf("Out b %d: %v", v, err)
 			}
 		}(v)
@@ -132,7 +133,7 @@ func TestGroupCommitWriteFailureFailsBatch(t *testing.T) {
 	first := make(chan error, 1)
 	go func() {
 		// lint:ignore tuple-contract fault-injection fixture: observed via returned errors, not taken
-		first <- d.Out("a", 1)
+		first <- d.Out(context.Background(), "a", 1)
 	}()
 	<-entered // the first Out is now the stalled leader
 
@@ -140,7 +141,7 @@ func TestGroupCommitWriteFailureFailsBatch(t *testing.T) {
 	for _, v := range []int{2, 3} {
 		go func(v int) {
 			// lint:ignore tuple-contract fault-injection fixture: observed via returned errors, not taken
-			batched <- d.Out("b", v)
+			batched <- d.Out(context.Background(), "b", v)
 		}(v)
 	}
 	// Wait until both followers have enqueued behind the stalled
@@ -169,7 +170,7 @@ func TestGroupCommitWriteFailureFailsBatch(t *testing.T) {
 		}
 	}
 	// lint:ignore tuple-contract fault-injection fixture: observed via returned errors, not taken
-	if err := d.Out("later", 4); err == nil {
+	if err := d.Out(context.Background(), "later", 4); err == nil {
 		t.Error("Out after a WAL write failure returned nil; the WAL must fail-stop")
 	}
 }
@@ -186,7 +187,7 @@ func TestFsyncMode(t *testing.T) {
 	reg := obs.NewRegistry()
 	d.Observe(reg, nil)
 	for i := 0; i < 3; i++ {
-		if err := d.Out("f", i); err != nil {
+		if err := d.Out(context.Background(), "f", i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -206,7 +207,7 @@ func TestFsyncMode(t *testing.T) {
 	}
 	// Each record must still be individually intact under the codec
 	// framing: take one back and reopen again.
-	if _, ok, err := d2.Inp("f", 1); err != nil || !ok {
+	if _, ok, err := d2.Inp(context.Background(), "f", 1); err != nil || !ok {
 		t.Fatalf("Inp after fsync recovery: ok=%v err=%v", ok, err)
 	}
 	if err := d2.Close(); err != nil {
@@ -237,7 +238,7 @@ func BenchmarkWALGroupCommit(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			// lint:ignore tuple-contract write-only benchmark: the tuples are never read back
-			if err := d.Out("bench", 1); err != nil {
+			if err := d.Out(context.Background(), "bench", 1); err != nil {
 				b.Error(err)
 				return
 			}

@@ -159,7 +159,7 @@ func init() {
 			srv := plinda.NewServer()
 			defer srv.Close()
 			for i := 0; i < tasks; i++ {
-				if err := srv.Space().Out("work", i); err != nil {
+				if err := tuplespace.Out(srv.Space(), "work", i); err != nil {
 					return 0, err
 				}
 			}
@@ -197,7 +197,7 @@ func init() {
 			// exactly one.
 			done := 0
 			for {
-				_, ok, err := srv.Space().Inp("done", tuplespace.FormalInt)
+				_, ok, err := tuplespace.Inp(srv.Space(), "done", tuplespace.FormalInt)
 				if err != nil || !ok {
 					break
 				}

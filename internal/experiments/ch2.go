@@ -90,7 +90,7 @@ func runPLindaCmp() (cmpOutcome, error) {
 	srv := plinda.NewServer()
 	defer srv.Close()
 	for i := 0; i < cmpTasks; i++ {
-		if err := srv.Space().Out("work", i); err != nil {
+		if err := tuplespace.Out(srv.Space(), "work", i); err != nil {
 			return cmpOutcome{}, err
 		}
 	}
@@ -129,7 +129,7 @@ func runPLindaCmp() (cmpOutcome, error) {
 	// Completed when every result tuple exists.
 	done := 0
 	for i := 0; i < cmpTasks; i++ {
-		if _, ok, err := srv.Space().Inp("res", i, tuplespace.FormalInt); err == nil && ok {
+		if _, ok, err := tuplespace.Inp(srv.Space(), "res", i, tuplespace.FormalInt); err == nil && ok {
 			done++
 		}
 	}

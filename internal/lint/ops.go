@@ -19,30 +19,32 @@ const (
 
 // opInfo describes one tuple-space operation method.
 type opInfo struct {
-	blocking bool // In/Rd/InCtx/RdCtx: blocks until a match arrives
-	takes    bool // In/Inp/InCtx: destructive
+	blocking bool // In/Rd/InTraced: blocks until a match arrives
+	takes    bool // In/Inp/InTraced/InpTraced: destructive
 	producer bool // Out
-	consumer bool // In/Inp/Rd/Rdp/InCtx/RdCtx: takes a template
+	consumer bool // In/Inp/Rd/Rdp and traced variants: takes a template
 	errLast  bool // last result is an error
-	ctxFirst bool // first argument is a context.Context, not a field
+	ctxFirst bool // first argument is not a field (Store v2 ctx, or the
+	// store itself for the package-level non-ctx wrappers); set per call
+	// site by tupleOpCall, since Proc keeps the non-ctx spelling while
+	// every Store/Txn method is ctx-first
 }
 
+// tupleOps names the Linda operations with their tuple semantics. Since
+// Store v2 the same names serve both surfaces: ctx-first on
+// Store/Txn/Client/Space (and any implementer), plain fields-only on
+// plinda.Proc and the tuplespace package-level convenience wrappers.
 var tupleOps = map[string]opInfo{
-	"Out":   {producer: true, errLast: true},
-	"OutN":  {errLast: true},
-	"In":    {blocking: true, takes: true, consumer: true, errLast: true},
-	"Rd":    {blocking: true, consumer: true, errLast: true},
-	"Inp":   {takes: true, consumer: true, errLast: true},
-	"Rdp":   {consumer: true, errLast: true},
-	"InCtx": {blocking: true, takes: true, consumer: true, errLast: true, ctxFirst: true},
-	"RdCtx": {blocking: true, consumer: true, errLast: true, ctxFirst: true},
-	// The traced/ctx-carrying variants introduced with distributed
-	// tracing and the binary codec rewrite: same tuple semantics as
-	// their plain counterparts, analyzed identically.
-	"OutCtx":      {producer: true, errLast: true, ctxFirst: true},
-	"OutNCtx":     {errLast: true, ctxFirst: true},
-	"InCtxTraced": {blocking: true, takes: true, consumer: true, errLast: true, ctxFirst: true},
-	"InpTraced":   {takes: true, consumer: true, errLast: true},
+	"Out":  {producer: true, errLast: true},
+	"OutN": {errLast: true},
+	"In":   {blocking: true, takes: true, consumer: true, errLast: true},
+	"Rd":   {blocking: true, consumer: true, errLast: true},
+	"Inp":  {takes: true, consumer: true, errLast: true},
+	"Rdp":  {consumer: true, errLast: true},
+	// The traced variants: same tuple semantics as their plain
+	// counterparts, analyzed identically.
+	"InTraced":  {blocking: true, takes: true, consumer: true, errLast: true},
+	"InpTraced": {takes: true, consumer: true, errLast: true},
 }
 
 // opCall is one resolved tuple-op call site.
@@ -60,7 +62,8 @@ func (c *opCall) returnsErr() bool {
 }
 
 // templateArgs is the slice of arguments that are tuple fields: all of
-// them, except that ctx-first ops (InCtx/RdCtx) carry the context as
+// them, except that ctx-first ops (every Store v2 method) carry the
+// context — or, for the package-level wrappers, the store — as
 // argument zero ahead of the template.
 func (c *opCall) templateArgs() []ast.Expr {
 	if c.info.ctxFirst && len(c.call.Args) > 0 {
@@ -255,13 +258,16 @@ func (a *analysis) collect() {
 	}
 }
 
-// tupleOpCall resolves a call to an Out/OutN/In/Inp/Rd/Rdp (or the
-// ctx-taking InCtx/RdCtx) method of the Linda surface: the concrete
-// tuplespace.Space and Client, the Store/TxnStore/Txn interfaces and
-// plinda.Proc — and, by method-set resolution, any other type that
-// implements tuplespace.Store (the durable space, test doubles), so
-// call sites through interface-typed variables are analyzed exactly
-// like direct ones.
+// tupleOpCall resolves a call to an Out/OutN/In/Inp/Rd/Rdp (or traced)
+// operation of the Linda surface: the concrete tuplespace.Space and
+// Client, the Store/TxnStore/Txn interfaces, plinda.Proc, the
+// tuplespace package-level non-ctx wrappers — and, by method-set
+// resolution, any other type that implements tuplespace.Store (the
+// durable space, the cluster router, test doubles), so call sites
+// through interface-typed variables are analyzed exactly like direct
+// ones. Which argument the template starts at is decided here: every
+// Store v2 method is ctx-first, the wrappers carry the store as
+// argument zero, and Proc keeps the plain fields-only spelling.
 func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
@@ -277,7 +283,14 @@ func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 	}
 	recv := fn.Type().(*types.Signature).Recv()
 	if recv == nil {
-		return nil
+		// Package-level generic wrapper: tuplespace.Out(s, fields...).
+		// The store occupies argument zero, so the template starts at
+		// one — same arg shape as ctx-first.
+		if fn.Pkg() == nil || fn.Pkg().Path() != tuplespacePath {
+			return nil
+		}
+		info.ctxFirst = true
+		return &opCall{call: call, name: sel.Sel.Name, recv: "Store", info: info}
 	}
 	named := namedOf(recv.Type())
 	if named == nil || named.Obj().Pkg() == nil {
@@ -287,14 +300,16 @@ func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 	switch {
 	case pkgPath == tuplespacePath &&
 		(typeName == "Space" || typeName == "Client" ||
-			typeName == "Store" || typeName == "TxnStore" || typeName == "Txn" ||
-			typeName == "TracedTaker" || typeName == "CtxOuter"):
+			typeName == "Store" || typeName == "TxnStore" || typeName == "Txn"):
+		info.ctxFirst = true
 	case pkgPath == plindaPath && typeName == "Proc":
+		// Proc's surface stays non-ctx: fields from argument zero.
 	default:
 		if !a.implementsStore(named) {
 			return nil
 		}
 		typeName = "Store"
+		info.ctxFirst = true
 	}
 	return &opCall{call: call, name: sel.Sel.Name, recv: typeName, info: info}
 }

@@ -3,13 +3,15 @@
 package clean
 
 import (
+	"context"
+
 	"freepdm/internal/plinda"
 	"freepdm/internal/tuplespace"
 )
 
 func Master(s *tuplespace.Space, n int) error {
 	for i := 0; i < n; i++ {
-		if err := s.Out("task", i); err != nil {
+		if err := s.Out(context.Background(), "task", i); err != nil {
 			return err
 		}
 	}
@@ -34,7 +36,7 @@ func Worker(p *plinda.Proc) error {
 func Collect(s *tuplespace.Space, n int) (int, error) {
 	sum := 0
 	for i := 0; i < n; i++ {
-		tu, err := s.In("done", tuplespace.FormalInt)
+		tu, err := s.In(context.Background(), "done", tuplespace.FormalInt)
 		if err != nil {
 			return 0, err
 		}

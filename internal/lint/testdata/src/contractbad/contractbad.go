@@ -4,11 +4,15 @@
 // only ever type-checked by the analyzer's own loader.
 package contractbad
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 // CollectTypo spells the "result" tag wrong; the In can never match.
 func CollectTypo(s *tuplespace.Space) (int, error) {
-	tu, err := s.In("resutl", tuplespace.FormalInt)
+	tu, err := s.In(context.Background(), "resutl", tuplespace.FormalInt)
 	if err != nil {
 		return 0, err
 	}
@@ -17,23 +21,23 @@ func CollectTypo(s *tuplespace.Space) (int, error) {
 
 // ProduceResult is the counterpart the typo orphans.
 func ProduceResult(s *tuplespace.Space) error {
-	return s.Out("result", 7)
+	return s.Out(context.Background(), "result", 7)
 }
 
 // ArityDrift grew the producer a field the consumer never learned of.
 func ArityDrift(s *tuplespace.Space) error {
-	if err := s.Out("job", 1, "payload"); err != nil {
+	if err := s.Out(context.Background(), "job", 1, "payload"); err != nil {
 		return err
 	}
-	_, err := s.In("job", tuplespace.FormalInt)
+	_, err := s.In(context.Background(), "job", tuplespace.FormalInt)
 	return err
 }
 
 // TypeDrift sends an int where the consumer expects a string.
 func TypeDrift(s *tuplespace.Space) error {
-	if err := s.Out("val", 1); err != nil {
+	if err := s.Out(context.Background(), "val", 1); err != nil {
 		return err
 	}
-	_, err := s.In("val", tuplespace.FormalString)
+	_, err := s.In(context.Background(), "val", tuplespace.FormalString)
 	return err
 }

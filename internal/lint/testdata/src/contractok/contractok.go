@@ -3,13 +3,17 @@
 // calls, and Tuple literals with a matching consumer.
 package contractok
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 func RoundTrip(s *tuplespace.Space) (int, error) {
-	if err := s.Out("task", 3); err != nil {
+	if err := s.Out(context.Background(), "task", 3); err != nil {
 		return 0, err
 	}
-	tu, err := s.In("task", tuplespace.FormalInt)
+	tu, err := s.In(context.Background(), "task", tuplespace.FormalInt)
 	if err != nil {
 		return 0, err
 	}
@@ -19,12 +23,12 @@ func RoundTrip(s *tuplespace.Space) (int, error) {
 // DynamicTag producers are never reported: the tag is unknowable
 // statically, so the call only participates as a potential match.
 func DynamicTag(s *tuplespace.Space, name string) error {
-	return s.Out(name+"-trial", 1)
+	return s.Out(context.Background(), name+"-trial", 1)
 }
 
 // Forward spreads an existing tuple and contributes nothing.
 func Forward(s *tuplespace.Space, fields tuplespace.Tuple) error {
-	return s.Out(fields...)
+	return s.Out(context.Background(), fields...)
 }
 
 // Batch builds Tuple literals — producers, they exist to be passed to
@@ -34,13 +38,13 @@ func Batch(s *tuplespace.Space, n int) error {
 	for i := 0; i < n; i++ {
 		batch = append(batch, tuplespace.Tuple{"batch", i})
 	}
-	return s.OutN(batch)
+	return s.OutN(context.Background(), batch)
 }
 
 func Drain(s *tuplespace.Space) (int, error) {
 	n := 0
 	for {
-		_, ok, err := s.Inp("batch", tuplespace.FormalInt)
+		_, ok, err := s.Inp(context.Background(), "batch", tuplespace.FormalInt)
 		if err != nil {
 			return n, err
 		}

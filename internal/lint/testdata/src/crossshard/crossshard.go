@@ -3,13 +3,17 @@
 // cross-shard slow path.
 package crossshard
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 // Drain sweeps every partition with an any-tag template.
 func Drain(s *tuplespace.Space) (int, error) {
 	n := 0
 	for {
-		_, ok, err := s.Inp(tuplespace.FormalString, tuplespace.FormalInt)
+		_, ok, err := s.Inp(context.Background(), tuplespace.FormalString, tuplespace.FormalInt)
 		if err != nil {
 			return n, err
 		}
@@ -23,5 +27,5 @@ func Drain(s *tuplespace.Space) (int, error) {
 // DrainQuietly acknowledges the cost, so the finding is suppressed.
 func DrainQuietly(s *tuplespace.Space) (tuplespace.Tuple, bool, error) {
 	// lint:ignore cross-shard a full sweep of every partition is the point here
-	return s.Inp(tuplespace.FormalString, tuplespace.FormalInt)
+	return s.Inp(context.Background(), tuplespace.FormalString, tuplespace.FormalInt)
 }

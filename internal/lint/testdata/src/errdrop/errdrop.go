@@ -5,15 +5,19 @@
 // flagged exactly like Out's.
 package errdrop
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 func Publish(c *tuplespace.Client, s *tuplespace.Space) {
-	c.Out("evt", 1)
-	_ = c.Out("evt", 2)
-	go c.Out("evt", 3)
-	defer c.Out("evt", 4)
-	c.Out("evt", 5) //nolint:errcheck
+	c.Out(context.Background(), "evt", 1)
+	_ = c.Out(context.Background(), "evt", 2)
+	go c.Out(context.Background(), "evt", 3)
+	defer c.Out(context.Background(), "evt", 4)
+	c.Out(context.Background(), "evt", 5) //nolint:errcheck
 	// lint:ignore tuple-errcheck shutdown path: the space is already closed
-	s.Out("evt", 6)
-	_, _, _ = s.Inp("evt", tuplespace.FormalInt)
+	s.Out(context.Background(), "evt", 6)
+	_, _, _ = s.Inp(context.Background(), "evt", tuplespace.FormalInt)
 }

@@ -5,12 +5,16 @@
 // so this package is only ever type-checked by the analyzer's loader.
 package flowdeadlock
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 // WaitOrphan blocks on a tag no producer in the program can satisfy:
 // tuple-deadlock (and the per-package tuple-contract check agrees).
 func WaitOrphan(s *tuplespace.Space) (int, error) {
-	tu, err := s.In("orphan", tuplespace.FormalInt)
+	tu, err := s.In(context.Background(), "orphan", tuplespace.FormalInt)
 	if err != nil {
 		return 0, err
 	}
@@ -20,14 +24,14 @@ func WaitOrphan(s *tuplespace.Space) (int, error) {
 // deadProduce is the only producer of "zombie", but nothing
 // references it: dead code cannot unblock a consumer.
 func deadProduce(s *tuplespace.Space) error {
-	return s.Out("zombie", 2)
+	return s.Out(context.Background(), "zombie", 2)
 }
 
 // WaitZombie satisfies the per-package contract check (deadProduce
 // exists) but still deadlocks at runtime: tuple-deadlock's
 // reachability filter sees through it.
 func WaitZombie(s *tuplespace.Space) (int, error) {
-	tu, err := s.In("zombie", tuplespace.FormalInt)
+	tu, err := s.In(context.Background(), "zombie", tuplespace.FormalInt)
 	if err != nil {
 		return 0, err
 	}
@@ -37,9 +41,9 @@ func WaitZombie(s *tuplespace.Space) (int, error) {
 // Handshake is the not-firing case: the producer is reachable, the
 // blocking In can be satisfied.
 func Handshake(s *tuplespace.Space) error {
-	if err := s.Out("ready", 1); err != nil {
+	if err := s.Out(context.Background(), "ready", 1); err != nil {
 		return err
 	}
-	_, err := s.In("ready", tuplespace.FormalInt)
+	_, err := s.In(context.Background(), "ready", tuplespace.FormalInt)
 	return err
 }

@@ -5,19 +5,23 @@
 // package is only ever type-checked by the analyzer's loader.
 package flowleak
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 // Announce outs the completion tuple WatchDone below only ever Rds:
 // every Announce grows the space by one tuple nothing removes —
 // tuple-leak (the per-package contract check is satisfied, which is
 // exactly why this needs its own check).
 func Announce(s *tuplespace.Space) error {
-	return s.Out("done", "worker-1")
+	return s.Out(context.Background(), "done", "worker-1")
 }
 
 // WatchDone reads the completion tuple without taking it.
 func WatchDone(s *tuplespace.Space) (string, error) {
-	tu, err := s.Rd("done", tuplespace.FormalString)
+	tu, err := s.Rd(context.Background(), "done", tuplespace.FormalString)
 	if err != nil {
 		return "", err
 	}
@@ -27,14 +31,14 @@ func WatchDone(s *tuplespace.Space) (string, error) {
 // Report is the undrained completion tag: no consumer anywhere, so
 // both tuple-contract and tuple-leak fire.
 func Report(s *tuplespace.Space) error {
-	return s.Out("report", 3.14)
+	return s.Out(context.Background(), "report", 3.14)
 }
 
 // Drained is the not-firing case: the Inp takes what the Out put.
 func Drained(s *tuplespace.Space) error {
-	if err := s.Out("task-count", 7); err != nil {
+	if err := s.Out(context.Background(), "task-count", 7); err != nil {
 		return err
 	}
-	_, _, err := s.Inp("task-count", tuplespace.FormalInt)
+	_, _, err := s.Inp(context.Background(), "task-count", tuplespace.FormalInt)
 	return err
 }

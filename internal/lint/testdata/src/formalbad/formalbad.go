@@ -2,19 +2,23 @@
 // the tuple lands opaque and no sensible template will ever match it.
 package formalbad
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 // Broadcast passes a formal to Out and plants one in a Tuple literal.
 func Broadcast(s *tuplespace.Space) error {
-	if err := s.Out("cfg", tuplespace.FormalInt); err != nil {
+	if err := s.Out(context.Background(), "cfg", tuplespace.FormalInt); err != nil {
 		return err
 	}
 	t := tuplespace.Tuple{"cfg", tuplespace.FormalInt}
-	return s.OutN([]tuplespace.Tuple{t})
+	return s.OutN(context.Background(), []tuplespace.Tuple{t})
 }
 
 // Read keeps the package contract-clean: the "cfg" shapes unify.
 func Read(s *tuplespace.Space) error {
-	_, err := s.Rd("cfg", tuplespace.FormalInt)
+	_, err := s.Rd(context.Background(), "cfg", tuplespace.FormalInt)
 	return err
 }

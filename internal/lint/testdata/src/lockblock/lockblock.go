@@ -4,6 +4,8 @@
 package lockblock
 
 import (
+	"context"
+
 	"sync"
 
 	"freepdm/internal/tuplespace"
@@ -17,7 +19,7 @@ type Cache struct {
 // WaitLocked blocks in In while holding the cache lock.
 func (c *Cache) WaitLocked(s *tuplespace.Space) error {
 	c.mu.Lock()
-	tu, err := s.In("update", tuplespace.FormalInt)
+	tu, err := s.In(context.Background(), "update", tuplespace.FormalInt)
 	if err != nil {
 		c.mu.Unlock()
 		return err
@@ -31,7 +33,7 @@ func (c *Cache) WaitLocked(s *tuplespace.Space) error {
 func (c *Cache) WaitDeferred(s *tuplespace.Space) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, err := s.Rd("update", tuplespace.FormalInt)
+	_, err := s.Rd(context.Background(), "update", tuplespace.FormalInt)
 	return err
 }
 
@@ -40,11 +42,11 @@ func (c *Cache) WaitUnlocked(s *tuplespace.Space) error {
 	c.mu.Lock()
 	c.last = 0
 	c.mu.Unlock()
-	_, err := s.In("update", tuplespace.FormalInt)
+	_, err := s.In(context.Background(), "update", tuplespace.FormalInt)
 	return err
 }
 
 // Publish keeps the "update" contract satisfied.
 func Publish(s *tuplespace.Space) error {
-	return s.Out("update", 1)
+	return s.Out(context.Background(), "update", 1)
 }

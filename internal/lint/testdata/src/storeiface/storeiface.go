@@ -1,39 +1,41 @@
 // Package storeiface proves the analyzer resolves tuple operations
 // through the unified Store surface: call sites typed as
 // tuplespace.Store, TxnStore or Txn, and call sites on any other type
-// whose method set implements Store (the durable space, wrappers,
-// test doubles), are checked exactly like direct *Space calls.
+// whose method set implements Store (the durable space, the cluster
+// router, wrappers, test doubles), are checked exactly like direct
+// *Space calls.
 package storeiface
 
 import (
 	"context"
 
+	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
 )
 
 // Produce and Consume agree through the interface: no finding.
-func Produce(st tuplespace.Store) error {
-	return st.Out("job", 7)
+func Produce(ctx context.Context, st tuplespace.Store) error {
+	return st.Out(ctx, "job", 7)
 }
 
-func Consume(st tuplespace.Store) (tuplespace.Tuple, error) {
-	return st.In("job", tuplespace.FormalInt)
+func Consume(ctx context.Context, st tuplespace.Store) (tuplespace.Tuple, error) {
+	return st.In(ctx, "job", tuplespace.FormalInt)
 }
 
 // EmitStat and ReadStat disagree on field 1 (string vs float64); both
 // sides of the broken contract are found through interface types, and
-// the ctx-first RdCtx template is read past its context argument.
-func EmitStat(st tuplespace.TxnStore) error {
-	return st.Out("stat", "hot")
+// the ctx-first Rd template is read past its context argument.
+func EmitStat(ctx context.Context, st tuplespace.TxnStore) error {
+	return st.Out(ctx, "stat", "hot")
 }
 
 func ReadStat(ctx context.Context, st tuplespace.Store) (tuplespace.Tuple, error) {
-	return st.RdCtx(ctx, "stat", tuplespace.FormalFloat)
+	return st.Rd(ctx, "stat", tuplespace.FormalFloat)
 }
 
 // Sweep rides the cross-shard slow path through a transaction handle.
-func Sweep(tx tuplespace.Txn) (tuplespace.Tuple, bool, error) {
-	return tx.Inp(tuplespace.FormalString, tuplespace.FormalInt)
+func Sweep(ctx context.Context, tx tuplespace.Txn) (tuplespace.Tuple, bool, error) {
+	return tx.Inp(ctx, tuplespace.FormalString, tuplespace.FormalInt)
 }
 
 // Logged implements tuplespace.Store by forwarding. The analyzer
@@ -43,30 +45,31 @@ type Logged struct {
 	inner *tuplespace.Space
 }
 
-func (l *Logged) Out(fields ...any) error          { return l.inner.Out(fields...) }
-func (l *Logged) OutN(ts []tuplespace.Tuple) error { return l.inner.OutN(ts) }
-func (l *Logged) In(tmpl ...any) (tuplespace.Tuple, error) {
-	return l.inner.In(tmpl...)
+func (l *Logged) Out(ctx context.Context, fields ...any) error {
+	return l.inner.Out(ctx, fields...)
 }
-func (l *Logged) InCtx(ctx context.Context, tmpl ...any) (tuplespace.Tuple, error) {
-	return l.inner.InCtx(ctx, tmpl...)
+func (l *Logged) OutN(ctx context.Context, ts []tuplespace.Tuple) error {
+	return l.inner.OutN(ctx, ts)
 }
-func (l *Logged) Inp(tmpl ...any) (tuplespace.Tuple, bool, error) {
-	return l.inner.Inp(tmpl...)
+func (l *Logged) In(ctx context.Context, tmpl ...any) (tuplespace.Tuple, error) {
+	return l.inner.In(ctx, tmpl...)
 }
-func (l *Logged) Rd(tmpl ...any) (tuplespace.Tuple, error) {
-	return l.inner.Rd(tmpl...)
+func (l *Logged) InTraced(ctx context.Context, tmpl ...any) (tuplespace.Tuple, obs.SpanContext, error) {
+	return l.inner.InTraced(ctx, tmpl...)
 }
-func (l *Logged) RdCtx(ctx context.Context, tmpl ...any) (tuplespace.Tuple, error) {
-	return l.inner.RdCtx(ctx, tmpl...)
+func (l *Logged) Inp(ctx context.Context, tmpl ...any) (tuplespace.Tuple, bool, error) {
+	return l.inner.Inp(ctx, tmpl...)
 }
-func (l *Logged) Rdp(tmpl ...any) (tuplespace.Tuple, bool, error) {
-	return l.inner.Rdp(tmpl...)
+func (l *Logged) Rd(ctx context.Context, tmpl ...any) (tuplespace.Tuple, error) {
+	return l.inner.Rd(ctx, tmpl...)
+}
+func (l *Logged) Rdp(ctx context.Context, tmpl ...any) (tuplespace.Tuple, bool, error) {
+	return l.inner.Rdp(ctx, tmpl...)
 }
 func (l *Logged) Len() (int, error) { return l.inner.Len() }
 func (l *Logged) Close() error      { return l.inner.Close() }
 
 // Drop discards the error through the implementing type.
-func Drop(l *Logged) {
-	l.Out("job", 1)
+func Drop(ctx context.Context, l *Logged) {
+	l.Out(ctx, "job", 1)
 }

@@ -4,13 +4,17 @@
 // tuple-errcheck.
 package suppressed
 
-import "freepdm/internal/tuplespace"
+import (
+	"context"
+
+	"freepdm/internal/tuplespace"
+)
 
 // WaitExternal's counterpart lives in another program; the directive
 // names the check and gives a reason, so the finding is dropped.
 func WaitExternal(s *tuplespace.Space) error {
 	// lint:ignore tuple-contract produced by the coordinator process, a separate package
-	_, err := s.In("external", tuplespace.FormalInt)
+	_, err := s.In(context.Background(), "external", tuplespace.FormalInt)
 	return err
 }
 
@@ -18,11 +22,11 @@ func WaitExternal(s *tuplespace.Space) error {
 // suppress, and the finding survives into the golden file.
 func WaitUnexplained(s *tuplespace.Space) error {
 	// lint:ignore tuple-contract
-	_, err := s.In("unexplained", tuplespace.FormalInt)
+	_, err := s.In(context.Background(), "unexplained", tuplespace.FormalInt)
 	return err
 }
 
 // Fire discards the Out error under the errcheck convention.
 func Fire(c *tuplespace.Client) {
-	c.Out("external", 1) //nolint:errcheck
+	c.Out(context.Background(), "external", 1) //nolint:errcheck
 }

@@ -36,13 +36,31 @@ func WritePrometheus(w io.Writer, s Snapshot, t *Tracer) error {
 		counters["trace.events"] = int64(t.Total())
 		counters["trace.dropped"] = int64(t.Dropped())
 	}
+	nodeCounters := map[string][]string{} // family -> sample lines
+	var plainCounters []string
 	for _, name := range sortedKeys(counters) {
+		if node, rest, ok := splitNodeName(name); ok {
+			fam := "fpdm_" + sanitizeMetricName(rest) + "_total"
+			nodeCounters[fam] = append(nodeCounters[fam],
+				fmt.Sprintf("%s{node=%q} %d", fam, node, counters[name]))
+		} else {
+			plainCounters = append(plainCounters, name)
+		}
+	}
+	for _, name := range plainCounters {
 		fam := "fpdm_" + sanitizeMetricName(name) + "_total"
 		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", fam, fam, counters[name])
 	}
+	for _, fam := range sortedKeys(nodeCounters) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		for _, line := range nodeCounters[fam] {
+			b.WriteString(line + "\n")
+		}
+	}
 
-	// Per-shard gauges collapse into one family with a shard label;
-	// everything else exports under its own name.
+	// Per-shard gauges collapse into one family with a shard label and
+	// per-node cluster gauges into one with a node label; everything
+	// else exports under its own name.
 	shardFamilies := map[string][]string{} // family -> sample lines
 	var plain []string
 	for _, name := range sortedKeys(s.Gauges) {
@@ -50,6 +68,10 @@ func WritePrometheus(w io.Writer, s Snapshot, t *Tracer) error {
 			fam := "fpdm_" + sanitizeMetricName(rest)
 			shardFamilies[fam] = append(shardFamilies[fam],
 				fmt.Sprintf("%s{shard=%q} %d", fam, shard, s.Gauges[name]))
+		} else if node, rest, ok := splitNodeName(name); ok {
+			fam := "fpdm_" + sanitizeMetricName(rest)
+			shardFamilies[fam] = append(shardFamilies[fam],
+				fmt.Sprintf("%s{node=%q} %d", fam, node, s.Gauges[name]))
 		} else {
 			plain = append(plain, name)
 		}
@@ -74,6 +96,8 @@ func WritePrometheus(w io.Writer, s Snapshot, t *Tracer) error {
 		fam, labels := "fpdm_"+sanitizeMetricName(name)+"_seconds", ""
 		if op, ok := strings.CutPrefix(name, "net.op."); ok {
 			fam, labels = "fpdm_net_op_seconds", fmt.Sprintf("op=%q", op)
+		} else if op, ok := strings.CutPrefix(name, "cluster.op."); ok {
+			fam, labels = "fpdm_cluster_op_seconds", fmt.Sprintf("op=%q", op)
 		}
 		hists[fam] = append(hists[fam], series{labels: labels, name: name})
 	}
@@ -133,6 +157,25 @@ func splitShardName(name string) (shard, rest string, ok bool) {
 		return "", "", false
 	}
 	return tail[:j], name[:i] + ".shard" + tail[j:], true
+}
+
+// splitNodeName recognizes per-node cluster instrument names of the
+// form "cluster.node.<i>.<suffix>" and returns the node index and the
+// name with the index removed ("cluster.node.<suffix>"), so the
+// cluster router's per-node series collapse into one labeled family.
+func splitNodeName(name string) (node, rest string, ok bool) {
+	tail, found := strings.CutPrefix(name, "cluster.node.")
+	if !found {
+		return "", "", false
+	}
+	j := strings.IndexByte(tail, '.')
+	if j < 0 {
+		return "", "", false
+	}
+	if _, err := strconv.Atoi(tail[:j]); err != nil {
+		return "", "", false
+	}
+	return tail[:j], "cluster.node" + tail[j:], true
 }
 
 func sanitizeMetricName(name string) string {

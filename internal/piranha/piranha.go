@@ -71,7 +71,7 @@ func Run(cfg Config, tasks []Task, width int, retreats <-chan struct{}) (map[int
 	ts := tuplespace.New()
 	defer ts.Close()
 	for _, t := range tasks {
-		if err := ts.Out("task", t.ID, t.Payload); err != nil {
+		if err := tuplespace.Out(ts, "task", t.ID, t.Payload); err != nil {
 			return nil, Stats{}, err
 		}
 	}
@@ -120,7 +120,7 @@ func Run(cfg Config, tasks []Task, width int, retreats <-chan struct{}) (map[int
 
 				// Feed until retreat or no work left.
 				for remaining.Load() > 0 && !flag.Load() {
-					tu, ok, err := ts.Inp("task", tuplespace.FormalInt, tuplespace.Formal(tasks[0].Payload))
+					tu, ok, err := tuplespace.Inp(ts, "task", tuplespace.FormalInt, tuplespace.Formal(tasks[0].Payload))
 					if err != nil {
 						return
 					}
@@ -136,7 +136,7 @@ func Run(cfg Config, tasks []Task, width int, retreats <-chan struct{}) (map[int
 					if flag.Load() {
 						// Owner returned mid-task: the work tuple goes
 						// back; this execution is lost.
-						ts.Out("task", task.ID, task.Payload) //nolint:errcheck
+						tuplespace.Out(ts, "task", task.ID, task.Payload) //nolint:errcheck
 						redone.Add(1)
 						break
 					}

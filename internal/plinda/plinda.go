@@ -125,6 +125,14 @@ type storeObserver interface {
 	Observe(reg *obs.Registry, tracer *obs.Tracer)
 }
 
+// retryableStore marks local-mode stores whose failures are worth a
+// respawn: a transient error through a store that talks to the network
+// (the cluster router) means a node failed, not the program, so the
+// incarnation retries exactly like a dropped remote-mode session.
+type retryableStore interface {
+	RetryableFailures() bool
+}
+
 // Server is the PLinda runtime: a tuple-space backend, process table,
 // and checkpointer.
 type Server struct {
@@ -378,7 +386,9 @@ func (s *Server) run(ps *procState) {
 			s.recordExit(ps, Done, nil)
 			return
 		}
-		retryable := errors.Is(err, ErrKilled) || (s.dial != nil && transient(err))
+		rs, _ := s.store.(retryableStore)
+		retryable := errors.Is(err, ErrKilled) ||
+			((s.dial != nil || (rs != nil && rs.RetryableFailures())) && transient(err))
 		if !retryable || ps.incarnation+1 > MaxRespawns || s.closed {
 			ps.status = Failed
 			ps.err = err

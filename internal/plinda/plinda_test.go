@@ -2,6 +2,7 @@ package plinda
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -119,8 +120,8 @@ func TestVectorAddition(t *testing.T) {
 func TestTransactionAbortRestoresTakenTuples(t *testing.T) {
 	srv := NewServer()
 	defer srv.Close()
-	srv.Space().Out("item", 1)
-	srv.Space().Out("item", 2)
+	srv.Space().Out(context.Background(), "item", 1)
+	srv.Space().Out(context.Background(), "item", 2)
 
 	err := srv.Spawn("aborter", func(p *Proc) error {
 		if err := p.Xstart(); err != nil {
@@ -147,10 +148,10 @@ func TestTransactionAbortRestoresTakenTuples(t *testing.T) {
 	if spaceLen(srv) != 2 {
 		t.Fatalf("space has %d tuples, want the 2 restored items", spaceLen(srv))
 	}
-	if _, ok, _ := srv.Space().Inp("derived", 3); ok {
+	if _, ok, _ := srv.Space().Inp(context.Background(), "derived", 3); ok {
 		t.Fatal("aborted out leaked into the space")
 	}
-	if _, ok, _ := srv.Space().Inp("item", 1); !ok {
+	if _, ok, _ := srv.Space().Inp(context.Background(), "item", 1); !ok {
 		t.Fatal("(item,1) not restored")
 	}
 }
@@ -178,14 +179,14 @@ func TestTxnOutsInvisibleUntilCommit(t *testing.T) {
 	})
 	go func() {
 		time.Sleep(10 * time.Millisecond)
-		_, ok, _ := srv.Space().Rdp("private", 7)
+		_, ok, _ := srv.Space().Rdp(context.Background(), "private", 7)
 		observedEarly <- ok
 	}()
 	if <-observedEarly {
 		t.Fatal("uncommitted out was visible to another process")
 	}
 	<-committed
-	if _, ok, _ := srv.Space().Rdp("private", 7); !ok {
+	if _, ok, _ := srv.Space().Rdp(context.Background(), "private", 7); !ok {
 		t.Fatal("committed out not visible")
 	}
 	srv.Wait("writer")
@@ -223,7 +224,7 @@ func TestFailureRecovery(t *testing.T) {
 	srv := NewServer()
 	defer srv.Close()
 	for i := 0; i < 10; i++ {
-		srv.Space().Out("work", i)
+		srv.Space().Out(context.Background(), "work", i)
 	}
 	var processed atomic.Int64
 	holdingTxn := make(chan string, 1)
@@ -287,7 +288,7 @@ func TestFailureRecovery(t *testing.T) {
 	if err := srv.Wait("w0"); err != nil {
 		t.Fatal(err)
 	}
-	tu, ok, _ := srv.Space().Inp("sum", tuplespace.FormalInt)
+	tu, ok, _ := srv.Space().Inp(context.Background(), "sum", tuplespace.FormalInt)
 	if !ok {
 		t.Fatal("no sum tuple")
 	}
@@ -323,9 +324,9 @@ func TestKillWhileBlockedCompensates(t *testing.T) {
 		t.Fatal(err)
 	}
 	// If the orphaned In later matches, the tuple must be re-outed.
-	srv.Space().Out("never", 1)
+	srv.Space().Out(context.Background(), "never", 1)
 	time.Sleep(20 * time.Millisecond)
-	if _, ok, _ := srv.Space().Rdp("never", 1); !ok {
+	if _, ok, _ := srv.Space().Rdp(context.Background(), "never", 1); !ok {
 		t.Fatal("tuple consumed by a dead incarnation was not compensated")
 	}
 }
@@ -344,10 +345,10 @@ func TestPanicTriggersRecovery(t *testing.T) {
 	if err := srv.Wait("panicky"); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := srv.Space().Rdp("half-done", 1); ok {
+	if _, ok, _ := srv.Space().Rdp(context.Background(), "half-done", 1); ok {
 		t.Fatal("aborted txn output visible after panic")
 	}
-	if _, ok, _ := srv.Space().Rdp("finished", 1); !ok {
+	if _, ok, _ := srv.Space().Rdp(context.Background(), "finished", 1); !ok {
 		t.Fatal("recovered incarnation did not run")
 	}
 }
@@ -398,7 +399,7 @@ func TestSuspendResume(t *testing.T) {
 func TestCheckpointRestore(t *testing.T) {
 	srv := NewServer()
 	defer srv.Close()
-	srv.Space().Out("state", 42)
+	srv.Space().Out(context.Background(), "state", 42)
 	srv.Spawn("committer", func(p *Proc) error {
 		if err := p.Xstart(); err != nil {
 			return err
@@ -413,15 +414,15 @@ func TestCheckpointRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Server "fails": space trashed.
-	srv.Space().Inp("state", 42)
-	srv.Space().Out("garbage", 1)
+	srv.Space().Inp(context.Background(), "state", 42)
+	srv.Space().Out(context.Background(), "garbage", 1)
 	if err := srv.RestoreCheckpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := srv.Space().Rdp("state", 42); !ok {
+	if _, ok, _ := srv.Space().Rdp(context.Background(), "state", 42); !ok {
 		t.Fatal("state tuple not rolled back")
 	}
-	if _, ok, _ := srv.Space().Rdp("garbage", 1); ok {
+	if _, ok, _ := srv.Space().Rdp(context.Background(), "garbage", 1); ok {
 		t.Fatal("post-checkpoint garbage survived rollback")
 	}
 }

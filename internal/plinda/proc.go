@@ -167,16 +167,14 @@ func (p *Proc) Xcommit(continuation ...any) error {
 	if len(continuation) > 0 {
 		cont = append(tuplespace.Tuple(nil), continuation...)
 	}
+	// Commit under the transaction's span context: the published outs
+	// are stamped with it as their origin, and instrumented backends
+	// (wire, WAL) hang their commit spans beneath it.
 	var err error
 	if cc, ok := p.txn.(tuplespace.ContCommitter); ok && cont != nil && p.srv == nil {
-		err = cc.CommitCont(p.buffer, cont)
-	} else if cc, ok := p.txn.(tuplespace.CtxCommitter); ok {
-		// Commit under the transaction's span context: the published
-		// outs are stamped with it as their origin, and instrumented
-		// backends (wire, WAL) hang their commit spans beneath it.
-		err = cc.CommitCtx(p.opCtx(), p.buffer)
+		err = cc.CommitCont(p.opCtx(), p.buffer, cont)
 	} else {
-		err = p.txn.Commit(p.buffer)
+		err = p.txn.Commit(p.opCtx(), p.buffer)
 	}
 	if err != nil {
 		p.abort()
@@ -288,10 +286,7 @@ func (p *Proc) Out(fields ...any) error {
 		p.buffer = append(p.buffer, append(tuplespace.Tuple(nil), fields...))
 		return nil
 	}
-	if co, ok := p.store.(tuplespace.CtxOuter); ok && p.sc.Valid() {
-		return co.OutCtx(p.opCtx(), fields...)
-	}
-	return p.store.Out(fields...)
+	return p.store.Out(p.opCtx(), fields...)
 }
 
 // OutN places a batch of tuples in the space, with the same semantics
@@ -309,10 +304,7 @@ func (p *Proc) OutN(tuples []tuplespace.Tuple) error {
 		}
 		return nil
 	}
-	if co, ok := p.store.(tuplespace.CtxOuter); ok && p.sc.Valid() {
-		return co.OutNCtx(p.opCtx(), tuples)
-	}
-	return p.store.OutN(tuples)
+	return p.store.OutN(p.opCtx(), tuples)
 }
 
 // takeBuffered serves In/Rd from this transaction's private buffer so
@@ -348,21 +340,13 @@ func (p *Proc) In(tmpl ...any) (tuplespace.Tuple, error) {
 	var err error
 	switch {
 	case p.txnOpen:
-		if tt, ok := p.txn.(tuplespace.TracedTaker); ok && p.txnSp != nil {
-			var org obs.SpanContext
-			t, org, err = tt.InCtxTraced(p.opCtx(), tmpl...)
-			if err == nil {
-				p.joinOrigin(org)
-			}
-		} else {
-			t, err = p.txn.InCtx(p.ctx, tmpl...)
+		var org obs.SpanContext
+		t, org, err = p.txn.InTraced(p.opCtx(), tmpl...)
+		if err == nil {
+			p.joinOrigin(org)
 		}
 	default:
-		if tt, ok := p.store.(tuplespace.TracedTaker); ok && p.sc.Valid() {
-			t, _, err = tt.InCtxTraced(p.opCtx(), tmpl...)
-		} else {
-			t, err = p.store.InCtx(p.ctx, tmpl...)
-		}
+		t, _, err = p.store.InTraced(p.opCtx(), tmpl...)
 	}
 	if err != nil {
 		if p.killed() {
@@ -373,8 +357,9 @@ func (p *Proc) In(tmpl ...any) (tuplespace.Tuple, error) {
 	if p.killed() {
 		if !p.txnOpen {
 			// Died between match and delivery with no transaction to
-			// undo the take: compensate directly.
-			p.store.Out(t...) //nolint:errcheck
+			// undo the take: compensate directly, off the (dead)
+			// incarnation context so the restore cannot be canceled.
+			p.store.Out(context.Background(), t...) //nolint:errcheck
 		}
 		// Inside a transaction the incarnation-exit abort restores it.
 		return nil, ErrKilled
@@ -391,9 +376,9 @@ func (p *Proc) Inp(tmpl ...any) (tuplespace.Tuple, bool, error) {
 		return t, true, nil
 	}
 	if p.txnOpen {
-		return p.txn.Inp(tmpl...)
+		return p.txn.Inp(p.opCtx(), tmpl...)
 	}
-	return p.store.Inp(tmpl...)
+	return p.store.Inp(p.opCtx(), tmpl...)
 }
 
 // Rd blocks until a matching tuple exists and returns it without
@@ -407,7 +392,7 @@ func (p *Proc) Rd(tmpl ...any) (tuplespace.Tuple, error) {
 	}
 	p.setStatus(Blocked)
 	defer p.setStatus(Running)
-	t, err := p.store.RdCtx(p.opCtx(), tmpl...)
+	t, err := p.store.Rd(p.opCtx(), tmpl...)
 	if err != nil {
 		if p.killed() {
 			return nil, ErrKilled
@@ -425,7 +410,7 @@ func (p *Proc) Rdp(tmpl ...any) (tuplespace.Tuple, bool, error) {
 	if t, ok := p.takeBuffered(tuplespace.Template(tmpl), false); ok {
 		return t, true, nil
 	}
-	return p.store.Rdp(tmpl...)
+	return p.store.Rdp(p.opCtx(), tmpl...)
 }
 
 // ProcEval spawns another logical process, mirroring PLinda's

@@ -1,6 +1,9 @@
 package tuplespace
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // Allocation guards for the local hot path. PR 2's compiled-template
 // rewrite accidentally moved its cost into allocation (the
@@ -19,18 +22,18 @@ func TestOutInpAllocs(t *testing.T) {
 	// empty partition makes the steady-state cycle allocation-free on
 	// the space side.
 	for i := 0; i < 64; i++ {
-		if err := s.Out("k", i); err != nil {
+		if err := s.Out(context.Background(), "k", i); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, err := s.Inp("k", FormalInt); err != nil || !ok {
+		if _, ok, err := s.Inp(context.Background(), "k", FormalInt); err != nil || !ok {
 			t.Fatalf("warmup Inp: ok=%v err=%v", ok, err)
 		}
 	}
 	outs := testing.AllocsPerRun(200, func() {
-		if err := s.Out("k", 7); err != nil {
+		if err := s.Out(context.Background(), "k", 7); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := s.Inp("k", FormalInt); !ok {
+		if _, ok, _ := s.Inp(context.Background(), "k", FormalInt); !ok {
 			t.Fatal("Inp missed")
 		}
 	})
@@ -43,11 +46,11 @@ func TestOutInpAllocs(t *testing.T) {
 func TestInpMissAllocs(t *testing.T) {
 	s := New()
 	defer s.Close()
-	if err := s.Out("other", 1); err != nil {
+	if err := s.Out(context.Background(), "other", 1); err != nil {
 		t.Fatal(err)
 	}
 	n := testing.AllocsPerRun(200, func() {
-		if _, ok, _ := s.Inp("absent", FormalInt); ok {
+		if _, ok, _ := s.Inp(context.Background(), "absent", FormalInt); ok {
 			t.Fatal("Inp matched unexpectedly")
 		}
 	})
@@ -59,11 +62,11 @@ func TestInpMissAllocs(t *testing.T) {
 func TestRdpAllocs(t *testing.T) {
 	s := New()
 	defer s.Close()
-	if err := s.Out("k", 1, 2.5, "v"); err != nil {
+	if err := s.Out(context.Background(), "k", 1, 2.5, "v"); err != nil {
 		t.Fatal(err)
 	}
 	n := testing.AllocsPerRun(200, func() {
-		if _, ok, _ := s.Rdp("k", FormalInt, FormalFloat, FormalString); !ok {
+		if _, ok, _ := s.Rdp(context.Background(), "k", FormalInt, FormalFloat, FormalString); !ok {
 			t.Fatal("Rdp missed")
 		}
 	})

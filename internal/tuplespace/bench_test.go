@@ -1,6 +1,7 @@
 package tuplespace
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -18,8 +19,8 @@ func BenchmarkTuplespaceOutInp(b *testing.B) {
 	s := New()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Out("bench", i)
-		if _, ok, _ := s.Inp("bench", FormalInt); !ok {
+		s.Out(context.Background(), "bench", i)
+		if _, ok, _ := s.Inp(context.Background(), "bench", FormalInt); !ok {
 			b.Fatal("lost tuple")
 		}
 	}
@@ -40,11 +41,11 @@ func benchMixed(b *testing.B, g int) {
 			defer wg.Done()
 			tag := fmt.Sprintf("mix%d", w)
 			for i := 0; i < per; i++ {
-				s.Out(tag, i)
+				s.Out(context.Background(), tag, i)
 				if i%4 == 3 {
-					s.Rdp(tag, FormalInt)
+					s.Rdp(context.Background(), tag, FormalInt)
 				}
-				if _, ok, _ := s.Inp(tag, FormalInt); !ok {
+				if _, ok, _ := s.Inp(context.Background(), tag, FormalInt); !ok {
 					b.Error("lost tuple")
 					return
 				}
@@ -71,18 +72,18 @@ func BenchmarkTuplespaceWakeLatency(b *testing.B) {
 	go func() {
 		defer close(done)
 		for {
-			t, err := s.In("ping", FormalInt)
+			t, err := s.In(context.Background(), "ping", FormalInt)
 			if err != nil {
 				return
 			}
-			s.Out("pong", t[1].(int))
+			s.Out(context.Background(), "pong", t[1].(int))
 		}
 	}()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Out("ping", i)
-		if _, err := s.In("pong", i); err != nil {
+		s.Out(context.Background(), "ping", i)
+		if _, err := s.In(context.Background(), "pong", i); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -148,10 +149,10 @@ func BenchmarkTuplespaceTCPRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := c.Out("wire", i); err != nil {
+		if err := c.Out(context.Background(), "wire", i); err != nil {
 			b.Fatal(err)
 		}
-		if _, ok, err := c.Inp("wire", FormalInt); err != nil || !ok {
+		if _, ok, err := c.Inp(context.Background(), "wire", FormalInt); err != nil || !ok {
 			b.Fatalf("inp ok=%v err=%v", ok, err)
 		}
 	}
@@ -180,7 +181,7 @@ func BenchmarkTuplespaceTCPPipelined(b *testing.B) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				// lint:ignore tuple-contract write-only benchmark: the tuples are never read back
-				if err := c.Out("pipe", w, i); err != nil {
+				if err := c.Out(context.Background(), "pipe", w, i); err != nil {
 					b.Error(err)
 					return
 				}

@@ -636,16 +636,9 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		if tx == nil {
 			return cs.mapErr(ErrTxnFinished)
 		}
-		// Commit through the ctx-carrying variant when the backend has
-		// one, so the WAL-append span and the outs' trace stamps land in
-		// this request's trace.
-		var err error
-		if cc, ok := tx.(CtxCommitter); ok {
-			err = cc.CommitCtx(ctx, req.Batch)
-		} else {
-			err = tx.Commit(req.Batch)
-		}
-		if err != nil {
+		// The ctx carries this request's span context, so the WAL-append
+		// span and the outs' trace stamps land in this request's trace.
+		if err := tx.Commit(ctx, req.Batch); err != nil {
 			return cs.mapErr(err)
 		}
 		if req.HasCont {
@@ -682,13 +675,7 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 		t, ok := cs.ns.cont(name)
 		return &response{Tuple: t, OK: ok}
 	case opOutN:
-		var err error
-		if co, ok := be.(CtxOuter); ok {
-			err = co.OutNCtx(ctx, req.Batch)
-		} else {
-			err = be.OutN(req.Batch)
-		}
-		if err != nil {
+		if err := be.OutN(ctx, req.Batch); err != nil {
 			return cs.mapErr(err)
 		}
 		cs.bouts.Inc()
@@ -698,20 +685,14 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 	fields := req.Fields
 	switch req.Op {
 	case opOut:
-		var err error
-		if co, ok := be.(CtxOuter); ok {
-			err = co.OutCtx(ctx, fields...)
-		} else {
-			err = be.Out(fields...)
-		}
-		if err != nil {
+		if err := be.Out(ctx, fields...); err != nil {
 			return cs.mapErr(err)
 		}
 		return &response{OK: true}
 	case opIn:
-		// Takes go through the traced variant when the backend has one,
-		// returning the producer's span context stamped on the tuple so
-		// the response can hand provenance back to the consumer.
+		// Takes go through the traced variant, returning the producer's
+		// span context stamped on the tuple so the response can hand
+		// provenance back to the consumer.
 		var t Tuple
 		var org obs.SpanContext
 		var err error
@@ -720,17 +701,9 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			if tx == nil {
 				return cs.mapErr(ErrTxnFinished)
 			}
-			if tt, ok := tx.(TracedTaker); ok {
-				t, org, err = tt.InCtxTraced(ctx, fields...)
-			} else {
-				t, err = tx.InCtx(ctx, fields...)
-			}
+			t, org, err = tx.InTraced(ctx, fields...)
 		} else {
-			if tt, ok := be.(TracedTaker); ok {
-				t, org, err = tt.InCtxTraced(ctx, fields...)
-			} else {
-				t, err = be.InCtx(ctx, fields...)
-			}
+			t, org, err = be.InTraced(ctx, fields...)
 		}
 		if err != nil {
 			return cs.mapErr(err)
@@ -739,7 +712,7 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 	case opRd:
 		// Reads are non-destructive and therefore never tentative: a rd
 		// inside a transaction goes straight to the store.
-		t, err := be.RdCtx(ctx, fields...)
+		t, err := be.Rd(ctx, fields...)
 		if err != nil {
 			return cs.mapErr(err)
 		}
@@ -753,16 +726,16 @@ func serveOne(cs *connState, req *request, ctx context.Context) *response {
 			if tx == nil {
 				return cs.mapErr(ErrTxnFinished)
 			}
-			t, ok, err = tx.Inp(fields...)
+			t, ok, err = tx.Inp(ctx, fields...)
 		} else {
-			t, ok, err = be.Inp(fields...)
+			t, ok, err = be.Inp(ctx, fields...)
 		}
 		if err != nil {
 			return cs.mapErr(err)
 		}
 		return &response{Tuple: t, OK: ok}
 	case opRdp:
-		t, ok, err := be.Rdp(fields...)
+		t, ok, err := be.Rdp(ctx, fields...)
 		if err != nil {
 			return cs.mapErr(err)
 		}
@@ -887,14 +860,9 @@ type DialOptions struct {
 }
 
 // Dial connects to a served tuple space with no timeouts, no lease,
-// and no session name.
+// and no session name. Anything else is configured through DialOpts —
+// there are no positional-argument dial variants.
 func Dial(addr string) (*Client, error) { return DialOpts(addr, DialOptions{}) }
-
-// DialTimeout connects with the given dial and op timeouts; see
-// DialOptions.
-func DialTimeout(addr string, dialTimeout, opTimeout time.Duration) (*Client, error) {
-	return DialOpts(addr, DialOptions{DialTimeout: dialTimeout, OpTimeout: opTimeout})
-}
 
 // DialOpts connects to a served tuple space and performs the version
 // handshake. If the options request a lease or a session name, the
@@ -1142,6 +1110,11 @@ func (c *Client) roundTripCtx(ctx context.Context, req *request) (*response, err
 }
 
 func (c *Client) doRoundTrip(ctx context.Context, req *request) (*response, error) {
+	// A context that is already done fails before touching the wire:
+	// probes with expired deadlines never consume a tuple.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ch, err := c.send(req)
 	if err != nil {
 		return nil, err
@@ -1171,61 +1144,58 @@ func (c *Client) doRoundTrip(ctx context.Context, req *request) (*response, erro
 		// Ask the server to cancel the blocked operation, then await
 		// the original response: the server always answers, with the
 		// tuple if the cancellation lost the race — the tuple wins, so
-		// no take is lost on the wire.
+		// no take is lost on the wire. The op timeout stays armed for
+		// non-blocking ops, so a wedged server cannot hold a
+		// deadline-carrying probe past its configured bound.
 		c.write(&request{ID: c.nextID.Add(1), Op: opCancel, Target: req.ID}) //nolint:errcheck — a write failure fails the conn; ch resolves either way
-		resp, ok := <-ch
-		if !ok {
-			return nil, ErrClientClosed
-		}
-		if err := wireError(resp); err != nil {
-			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-				return nil, ctx.Err()
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				return nil, ErrClientClosed
 			}
-			return nil, err
+			if err := wireError(resp); err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, ctx.Err()
+				}
+				return nil, err
+			}
+			return resp, nil
+		case <-timeoutC:
+			c.fail()
+			return nil, &timeoutError{op: opName(req.Op)}
 		}
-		return resp, nil
 	}
 }
 
-func (c *Client) op(op byte, fields []any) (*response, error) {
-	return c.roundTrip(&request{Op: op, Fields: fields})
-}
-
-// Out places a tuple in the remote space.
-func (c *Client) Out(fields ...any) error {
-	_, err := c.op(opOut, fields)
+// Out places a tuple in the remote space. The ctx's span context
+// travels in the wire header so the server stamps the tuple with this
+// trace.
+func (c *Client) Out(ctx context.Context, fields ...any) error {
+	_, err := c.roundTripCtx(ctx, &request{Op: opOut, Fields: fields})
 	return err
 }
 
 // OutN places a batch of tuples in the remote space in one round trip,
 // with the same semantics as calling Out per tuple in order. Masters
 // use it for task fan-outs, where per-tuple round trips dominate.
-func (c *Client) OutN(tuples []Tuple) error {
+func (c *Client) OutN(ctx context.Context, tuples []Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	_, err := c.roundTrip(&request{Op: opOutN, Batch: tuples})
+	_, err := c.roundTripCtx(ctx, &request{Op: opOutN, Batch: tuples})
 	return err
 }
 
-// In blocks until a matching tuple exists remotely and removes it.
-func (c *Client) In(tmplFields ...any) (Tuple, error) {
-	return c.InCtx(context.Background(), tmplFields...)
-}
-
-// InCtx is In with cancellation: the server-side waiter is withdrawn
-// when ctx is done, under the same tuple-wins rule as Space.InCtx.
-func (c *Client) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+// In blocks until a matching tuple exists remotely and removes it. The
+// server-side waiter is withdrawn when ctx is done, under the same
+// tuple-wins rule as Space.In.
+func (c *Client) In(ctx context.Context, tmplFields ...any) (Tuple, error) {
 	return c.blockCtx(ctx, opIn, tmplFields, 0)
 }
 
-// Rd blocks until a matching tuple exists and returns a copy.
-func (c *Client) Rd(tmplFields ...any) (Tuple, error) {
-	return c.RdCtx(context.Background(), tmplFields...)
-}
-
-// RdCtx is Rd with cancellation.
-func (c *Client) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+// Rd blocks until a matching tuple exists and returns a copy, under
+// the same cancellation rules as In.
+func (c *Client) Rd(ctx context.Context, tmplFields ...any) (Tuple, error) {
 	return c.blockCtx(ctx, opRd, tmplFields, 0)
 }
 
@@ -1246,40 +1216,27 @@ func (c *Client) blockTraced(ctx context.Context, op byte, tmplFields []any, txn
 	return Tuple(resp.Tuple), org, nil
 }
 
-// InCtxTraced implements TracedTaker: InCtx plus the producer's span
-// context for the taken tuple.
-func (c *Client) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+// InTraced is In plus the producer's span context for the taken tuple.
+func (c *Client) InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
 	return c.blockTraced(ctx, opIn, tmplFields, 0)
 }
 
-// OutCtx implements CtxOuter: Out with the ctx's span context carried
-// in the wire header so the server stamps the tuple with this trace.
-func (c *Client) OutCtx(ctx context.Context, fields ...any) error {
-	_, err := c.roundTripCtx(ctx, &request{Op: opOut, Fields: fields})
-	return err
-}
-
-// OutNCtx implements CtxOuter for batched outs.
-func (c *Client) OutNCtx(ctx context.Context, tuples []Tuple) error {
-	if len(tuples) == 0 {
-		return nil
-	}
-	_, err := c.roundTripCtx(ctx, &request{Op: opOutN, Batch: tuples})
-	return err
-}
-
-// Inp is the non-blocking destructive match.
-func (c *Client) Inp(tmplFields ...any) (Tuple, bool, error) {
-	resp, err := c.op(opInp, tmplFields)
+// Inp is the non-blocking destructive match. The ctx carries the probe's
+// deadline and trace over the wire: an already-done ctx fails before
+// any bytes are sent, and a ctx that expires in flight cancels the
+// request under the tuple-wins rule, bounded by the op timeout.
+func (c *Client) Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	resp, err := c.roundTripCtx(ctx, &request{Op: opInp, Fields: tmplFields})
 	if err != nil {
 		return nil, false, err
 	}
 	return Tuple(resp.Tuple), resp.OK, nil
 }
 
-// Rdp is the non-blocking non-destructive match.
-func (c *Client) Rdp(tmplFields ...any) (Tuple, bool, error) {
-	resp, err := c.op(opRdp, tmplFields)
+// Rdp is the non-blocking non-destructive match, with the same ctx
+// semantics as Inp.
+func (c *Client) Rdp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	resp, err := c.roundTripCtx(ctx, &request{Op: opRdp, Fields: tmplFields})
 	if err != nil {
 		return nil, false, err
 	}
@@ -1288,7 +1245,7 @@ func (c *Client) Rdp(tmplFields ...any) (Tuple, bool, error) {
 
 // Len reports the remote tuple count.
 func (c *Client) Len() (int, error) {
-	resp, err := c.op(opLen, nil)
+	resp, err := c.roundTrip(&request{Op: opLen})
 	if err != nil {
 		return 0, err
 	}
@@ -1325,43 +1282,34 @@ type clientTxn struct {
 	id uint64
 }
 
-func (tx *clientTxn) In(tmplFields ...any) (Tuple, error) {
-	return tx.c.blockCtx(context.Background(), opIn, tmplFields, tx.id)
-}
-
-func (tx *clientTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+func (tx *clientTxn) In(ctx context.Context, tmplFields ...any) (Tuple, error) {
 	return tx.c.blockCtx(ctx, opIn, tmplFields, tx.id)
 }
 
-// InCtxTraced implements TracedTaker for transactional takes.
-func (tx *clientTxn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+// InTraced is the transactional take with origin propagation.
+func (tx *clientTxn) InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
 	return tx.c.blockTraced(ctx, opIn, tmplFields, tx.id)
 }
 
-func (tx *clientTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
-	resp, err := tx.c.roundTrip(&request{Op: opInp, Fields: tmplFields, Txn: tx.id})
+func (tx *clientTxn) Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	resp, err := tx.c.roundTripCtx(ctx, &request{Op: opInp, Fields: tmplFields, Txn: tx.id})
 	if err != nil {
 		return nil, false, err
 	}
 	return Tuple(resp.Tuple), resp.OK, nil
 }
 
-// Commit finalizes the takes and publishes outs in one round trip.
-func (tx *clientTxn) Commit(outs []Tuple) error {
-	return tx.commit(context.Background(), outs, nil, false)
-}
-
-// CommitCtx implements CtxCommitter: Commit carrying the ctx's span
-// context, so the server-side commit span and the outs' trace stamps
-// join the transaction's trace.
-func (tx *clientTxn) CommitCtx(ctx context.Context, outs []Tuple) error {
+// Commit finalizes the takes and publishes outs in one round trip,
+// carrying the ctx's span context so the server-side commit span and
+// the outs' trace stamps join the transaction's trace.
+func (tx *clientTxn) Commit(ctx context.Context, outs []Tuple) error {
 	return tx.commit(ctx, outs, nil, false)
 }
 
 // CommitCont is Commit plus a continuation tuple recorded under the
 // session name, mirroring Proc.Xcommit's continuation argument.
-func (tx *clientTxn) CommitCont(outs []Tuple, cont Tuple) error {
-	return tx.commit(context.Background(), outs, cont, true)
+func (tx *clientTxn) CommitCont(ctx context.Context, outs []Tuple, cont Tuple) error {
+	return tx.commit(ctx, outs, cont, true)
 }
 
 func (tx *clientTxn) commit(ctx context.Context, outs []Tuple, cont Tuple, hasCont bool) error {

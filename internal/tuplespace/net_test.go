@@ -1,6 +1,7 @@
 package tuplespace
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -39,17 +40,17 @@ func TestNetOutInRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Out("task", 7, 2.5, []int{1, 2}); err != nil {
+	if err := c.Out(context.Background(), "task", 7, 2.5, []int{1, 2}); err != nil {
 		t.Fatal(err)
 	}
-	tu, err := c.In("task", FormalInt, FormalFloat, FormalInts)
+	tu, err := c.In(context.Background(), "task", FormalInt, FormalFloat, FormalInts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tu[1].(int) != 7 || tu[2].(float64) != 2.5 || tu[3].([]int)[1] != 2 {
 		t.Fatalf("tuple %v", tu)
 	}
-	if _, ok, _ := c.Inp("task", FormalInt, FormalFloat, FormalInts); ok {
+	if _, ok, _ := c.Inp(context.Background(), "task", FormalInt, FormalFloat, FormalInts); ok {
 		t.Fatal("tuple not consumed")
 	}
 }
@@ -70,7 +71,7 @@ func TestNetBlockingInAcrossClients(t *testing.T) {
 
 	got := make(chan Tuple, 1)
 	go func() {
-		tu, err := consumer.In("late", FormalString)
+		tu, err := consumer.In(context.Background(), "late", FormalString)
 		if err == nil {
 			got <- tu
 		}
@@ -81,7 +82,7 @@ func TestNetBlockingInAcrossClients(t *testing.T) {
 		t.Fatal("In returned before Out")
 	default:
 	}
-	if err := producer.Out("late", "payload"); err != nil {
+	if err := producer.Out(context.Background(), "late", "payload"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -99,8 +100,8 @@ func TestNetRdpAndLen(t *testing.T) {
 	defer stop()
 	c, _ := Dial(addr)
 	defer c.Close()
-	c.Out("x", 1)
-	if _, ok, err := c.Rdp("x", FormalInt); err != nil || !ok {
+	c.Out(context.Background(), "x", 1)
+	if _, ok, err := c.Rdp(context.Background(), "x", FormalInt); err != nil || !ok {
 		t.Fatalf("rdp: %v %v", ok, err)
 	}
 	n, err := c.Len()
@@ -136,7 +137,7 @@ func TestNetMasterWorkerVectorAddition(t *testing.T) {
 			}
 			defer c.Close()
 			for {
-				tu, err := c.In("task", FormalInt, FormalInts, FormalInts)
+				tu, err := c.In(context.Background(), "task", FormalInt, FormalInts, FormalInts)
 				if err != nil {
 					return
 				}
@@ -149,7 +150,7 @@ func TestNetMasterWorkerVectorAddition(t *testing.T) {
 				for i := range av {
 					sum[i] = av[i] + bv[i]
 				}
-				if err := c.Out("result", which, sum); err != nil {
+				if err := c.Out(context.Background(), "result", which, sum); err != nil {
 					return
 				}
 			}
@@ -163,20 +164,20 @@ func TestNetMasterWorkerVectorAddition(t *testing.T) {
 	defer master.Close()
 	for i := 0; i < chunks; i++ {
 		lo, hi := i*n/chunks, (i+1)*n/chunks
-		if err := master.Out("task", i, a[lo:hi], b[lo:hi]); err != nil {
+		if err := master.Out(context.Background(), "task", i, a[lo:hi], b[lo:hi]); err != nil {
 			t.Fatal(err)
 		}
 	}
 	result := make([]int, n)
 	for i := 0; i < chunks; i++ {
-		tu, err := master.In("result", i, FormalInts)
+		tu, err := master.In(context.Background(), "result", i, FormalInts)
 		if err != nil {
 			t.Fatal(err)
 		}
 		copy(result[i*n/chunks:], tu[2].([]int))
 	}
 	for w := 0; w < 2; w++ {
-		master.Out("task", -1, []int(nil), []int(nil))
+		master.Out(context.Background(), "task", -1, []int(nil), []int(nil))
 	}
 	wg.Wait()
 	for i, v := range result {
@@ -206,13 +207,13 @@ func TestClientOpTimeoutOnHungServer(t *testing.T) {
 		}
 	}()
 
-	c, err := DialTimeout(l.Addr().String(), time.Second, 50*time.Millisecond)
+	c, err := DialOpts(l.Addr().String(), DialOptions{DialTimeout: time.Second, OpTimeout: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 	start := time.Now()
-	err = c.Out("x", 1)
+	err = c.Out(context.Background(), "x", 1)
 	if err == nil {
 		t.Fatal("Out against a hung server succeeded")
 	}
@@ -224,7 +225,7 @@ func TestClientOpTimeoutOnHungServer(t *testing.T) {
 		t.Fatalf("Out took %v, deadline not applied", time.Since(start))
 	}
 	// The stream is now unusable; later ops must fail fast.
-	if err := c.Out("x", 2); !errors.Is(err, ErrClientClosed) {
+	if err := c.Out(context.Background(), "x", 2); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("post-timeout Out err=%v, want ErrClientClosed", err)
 	}
 }
@@ -232,13 +233,13 @@ func TestClientOpTimeoutOnHungServer(t *testing.T) {
 func TestClientCloseUnblocksBlockedIn(t *testing.T) {
 	_, addr, stop := startServer(t)
 	defer stop()
-	c, err := DialTimeout(addr, time.Second, 50*time.Millisecond)
+	c, err := DialOpts(addr, DialOptions{DialTimeout: time.Second, OpTimeout: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
 	got := make(chan error, 1)
 	go func() {
-		_, err := c.In("never", FormalInt) // blocks: no deadline on In
+		_, err := c.In(context.Background(), "never", FormalInt) // blocks: no deadline on In
 		got <- err
 	}()
 	time.Sleep(30 * time.Millisecond)
@@ -273,10 +274,10 @@ func TestNetWireMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Out("w", 42); err != nil {
+	if err := c.Out(context.Background(), "w", 42); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.In("w", FormalInt); err != nil {
+	if _, err := c.In(context.Background(), "w", FormalInt); err != nil {
 		t.Fatal(err)
 	}
 	snap := reg.Snapshot()
@@ -308,7 +309,7 @@ func TestNetCustomTypeNeedsRegistration(t *testing.T) {
 	defer c.Close()
 	// Formals of unregistered types are rejected with a clear error.
 	// lint:ignore tuple-contract,tuple-deadlock the wire layer rejects the template before any match is attempted
-	if _, err := c.In("y", Formal(custom{})); err == nil {
+	if _, err := c.In(context.Background(), "y", Formal(custom{})); err == nil {
 		t.Fatal("unregistered wire type accepted")
 	}
 }
@@ -320,14 +321,97 @@ func TestNetRegisteredCustomType(t *testing.T) {
 	defer stop()
 	c, _ := Dial(addr)
 	defer c.Close()
-	if err := c.Out("p", point{3, 4}); err != nil {
+	if err := c.Out(context.Background(), "p", point{3, 4}); err != nil {
 		t.Fatal(err)
 	}
-	tu, err := c.In("p", Formal(point{}))
+	tu, err := c.In(context.Background(), "p", Formal(point{}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if tu[1].(point).Y != 4 {
 		t.Fatalf("tuple %v", tu)
+	}
+}
+
+// hungServer accepts connections, completes the version handshake, and
+// then never answers — the wedged-server case the op timeout exists
+// for. Returns the address; teardown is registered on t.
+func hungServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			writeHandshake(conn) //nolint:errcheck — complete the handshake, then say nothing
+			t.Cleanup(func() { conn.Close() })
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestInpOpTimeoutRoundTrip(t *testing.T) {
+	// The probe's full round trip — request out, response back — must be
+	// bounded by OpTimeout, surfacing the wrapped ErrTimeout sentinel.
+	c, err := DialOpts(hungServer(t), DialOptions{DialTimeout: time.Second, OpTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, ok, err := c.Inp(context.Background(), "job", FormalInt)
+	if ok || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Inp = ok=%v err=%v, want ErrTimeout", ok, err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Inp took %v, OpTimeout not applied to the round trip", d)
+	}
+}
+
+func TestRdpOpTimeoutRoundTrip(t *testing.T) {
+	c, err := DialOpts(hungServer(t), DialOptions{DialTimeout: time.Second, OpTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, ok, err := c.Rdp(context.Background(), "job", FormalInt)
+	if ok || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Rdp = ok=%v err=%v, want ErrTimeout", ok, err)
+	}
+}
+
+func TestInpRdpPreExpiredContext(t *testing.T) {
+	// A context that is already done must fail before touching the
+	// wire: the server sees no request and no tuple is consumed.
+	s, addr, stop := startServer(t)
+	defer stop()
+	if err := s.Out(context.Background(), "job", 1); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialOpts(addr, DialOptions{DialTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok, err := c.Inp(ctx, "job", FormalInt); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Inp with canceled ctx = ok=%v err=%v, want context.Canceled", ok, err)
+	}
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, ok, err := c.Rdp(dctx, "job", FormalInt); ok || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Rdp with expired ctx = ok=%v err=%v, want DeadlineExceeded", ok, err)
+	}
+	// The tuple was never consumed by the failed probes.
+	if _, ok, err := c.Inp(context.Background(), "job", FormalInt); err != nil || !ok {
+		t.Fatalf("Inp after failed probes = ok=%v err=%v: tuple was consumed", ok, err)
 	}
 }

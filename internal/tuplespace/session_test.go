@@ -34,14 +34,14 @@ func TestWireErrorIdentity(t *testing.T) {
 	defer c.Close()
 
 	s.Close()
-	if _, _, err := c.Inp("x", 1); !errors.Is(err, ErrClosed) {
+	if _, _, err := c.Inp(context.Background(), "x", 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Inp on closed space: %v, want ErrClosed", err)
 	}
-	if err := c.Out("x", 1); !errors.Is(err, ErrClosed) {
+	if err := c.Out(context.Background(), "x", 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Out on closed space: %v, want ErrClosed", err)
 	}
 	c.Close()
-	if _, err := c.In("x", FormalInt); !errors.Is(err, ErrClientClosed) {
+	if _, err := c.In(context.Background(), "x", FormalInt); !errors.Is(err, ErrClientClosed) {
 		t.Fatalf("In on closed client: %v, want ErrClientClosed", err)
 	}
 }
@@ -62,28 +62,28 @@ func TestRemoteTxnCommit(t *testing.T) {
 	}
 	defer c2.Close()
 
-	if err := c.Out("task", 1); err != nil {
+	if err := c.Out(context.Background(), "task", 1); err != nil {
 		t.Fatal(err)
 	}
 	tx, err := c.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx.Inp("task", 1); err != nil || !ok {
+	if _, ok, err := tx.Inp(context.Background(), "task", 1); err != nil || !ok {
 		t.Fatalf("txn Inp: ok=%v err=%v", ok, err)
 	}
 	// Tentative: the other client must not see the taken tuple.
-	if _, ok, err := c2.Inp("task", 1); err != nil || ok {
+	if _, ok, err := c2.Inp(context.Background(), "task", 1); err != nil || ok {
 		t.Fatalf("tentative take visible to other session: ok=%v err=%v", ok, err)
 	}
-	if err := tx.Commit([]Tuple{{"result", 1}}); err != nil {
+	if err := tx.Commit(context.Background(), []Tuple{{"result", 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := c2.Inp("result", 1); err != nil || !ok {
+	if _, ok, err := c2.Inp(context.Background(), "result", 1); err != nil || !ok {
 		t.Fatalf("committed out not visible: ok=%v err=%v", ok, err)
 	}
 	// Operations on a finished transaction are rejected.
-	if _, _, err := tx.Inp("task", 1); !errors.Is(err, ErrTxnFinished) {
+	if _, _, err := tx.Inp(context.Background(), "task", 1); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("op on finished txn: %v, want ErrTxnFinished", err)
 	}
 }
@@ -103,14 +103,14 @@ func TestRemoteTxnAbortOnConnDrop(t *testing.T) {
 	}
 	defer other.Close()
 
-	if err := other.Out("task", 7); err != nil {
+	if err := other.Out(context.Background(), "task", 7); err != nil {
 		t.Fatal(err)
 	}
 	tx, err := victim.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx.Inp("task", 7); err != nil || !ok {
+	if _, ok, err := tx.Inp(context.Background(), "task", 7); err != nil || !ok {
 		t.Fatalf("txn Inp: ok=%v err=%v", ok, err)
 	}
 	// SIGKILL: abrupt connection drop, no abort message.
@@ -118,7 +118,7 @@ func TestRemoteTxnAbortOnConnDrop(t *testing.T) {
 
 	// The server's teardown must restore the tuple; In blocks until it
 	// does, proving no other worker can lose the task.
-	got, err := other.In("task", FormalInt)
+	got, err := other.In(context.Background(), "task", FormalInt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,19 +145,19 @@ func TestLeaseExpiryAbortsTxn(t *testing.T) {
 	}
 	defer other.Close()
 
-	if err := other.Out("task", 3); err != nil {
+	if err := other.Out(context.Background(), "task", 3); err != nil {
 		t.Fatal(err)
 	}
 	tx, err := c.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx.Inp("task", 3); err != nil || !ok {
+	if _, ok, err := tx.Inp(context.Background(), "task", 3); err != nil || !ok {
 		t.Fatalf("txn Inp: ok=%v err=%v", ok, err)
 	}
 
 	// Go silent past the lease; the server must restore the take.
-	got, err := other.In("task", FormalInt)
+	got, err := other.In(context.Background(), "task", FormalInt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +166,7 @@ func TestLeaseExpiryAbortsTxn(t *testing.T) {
 	}
 	// The expired session is dead for further work, with the sentinel
 	// surviving the wire.
-	if _, _, err := c.Inp("task", FormalInt); !errors.Is(err, ErrLeaseExpired) {
+	if _, _, err := c.Inp(context.Background(), "task", FormalInt); !errors.Is(err, ErrLeaseExpired) {
 		t.Fatalf("op after lease expiry: %v, want ErrLeaseExpired", err)
 	}
 }
@@ -182,10 +182,10 @@ func TestLeaseHeartbeatKeepsSessionAlive(t *testing.T) {
 	}
 	defer c.Close()
 	time.Sleep(300 * time.Millisecond) // several lease periods, pinger active
-	if err := c.Out("alive", 1); err != nil {
+	if err := c.Out(context.Background(), "alive", 1); err != nil {
 		t.Fatalf("session died despite heartbeats: %v", err)
 	}
-	if _, ok, err := c.Inp("alive", 1); err != nil || !ok {
+	if _, ok, err := c.Inp(context.Background(), "alive", 1); err != nil || !ok {
 		t.Fatalf("Inp after heartbeats: ok=%v err=%v", ok, err)
 	}
 }
@@ -210,7 +210,7 @@ func TestContinuationRecover(t *testing.T) {
 	if !ok {
 		t.Fatal("client txn does not support continuation commit")
 	}
-	if err := cc.CommitCont([]Tuple{{"out", 1}}, Tuple{"state", 42}); err != nil {
+	if err := cc.CommitCont(context.Background(), []Tuple{{"out", 1}}, Tuple{"state", 42}); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
@@ -249,7 +249,7 @@ func TestInCtxCancelLocal(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := s.InCtx(ctx, "never", FormalInt)
+		_, err := s.In(ctx, "never", FormalInt)
 		errCh <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -265,10 +265,10 @@ func TestInCtxCancelLocal(t *testing.T) {
 
 	// The canceled waiter must be fully unregistered: a later Out must
 	// not be consumed by it.
-	if err := s.Out("never", 1); err != nil {
+	if err := s.Out(context.Background(), "never", 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := s.Inp("never", 1); err != nil || !ok {
+	if _, ok, err := s.Inp(context.Background(), "never", 1); err != nil || !ok {
 		t.Fatalf("tuple lost to canceled waiter: ok=%v err=%v", ok, err)
 	}
 }
@@ -287,7 +287,7 @@ func TestInCtxCancelRemote(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := c.InCtx(ctx, "remote", FormalInt)
+		_, err := c.In(ctx, "remote", FormalInt)
 		errCh <- err
 	}()
 	time.Sleep(20 * time.Millisecond)
@@ -301,10 +301,10 @@ func TestInCtxCancelRemote(t *testing.T) {
 		t.Fatal("canceled remote InCtx did not return")
 	}
 
-	if err := c.Out("remote", 5); err != nil {
+	if err := c.Out(context.Background(), "remote", 5); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := c.Inp("remote", 5); err != nil || !ok {
+	if _, ok, err := c.Inp(context.Background(), "remote", 5); err != nil || !ok {
 		t.Fatalf("tuple lost to canceled remote waiter: ok=%v err=%v", ok, err)
 	}
 }
@@ -315,33 +315,33 @@ func TestSpaceTxnLocal(t *testing.T) {
 	var store TxnStore = New()
 	defer store.Close()
 
-	if err := store.Out("t", 1); err != nil {
+	if err := store.Out(context.Background(), "t", 1); err != nil {
 		t.Fatal(err)
 	}
 	tx, err := store.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := tx.Inp("t", 1); err != nil || !ok {
+	if _, ok, err := tx.Inp(context.Background(), "t", 1); err != nil || !ok {
 		t.Fatalf("txn Inp: ok=%v err=%v", ok, err)
 	}
 	if err := tx.Abort(); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := store.Inp("t", 1); err != nil || !ok {
+	if _, ok, err := store.Inp(context.Background(), "t", 1); err != nil || !ok {
 		t.Fatalf("aborted take not restored: ok=%v err=%v", ok, err)
 	}
 	tx2, err := store.Begin()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tx2.Commit([]Tuple{{"t", 2}}); err != nil {
+	if err := tx2.Commit(context.Background(), []Tuple{{"t", 2}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, err := store.Inp("t", 2); err != nil || !ok {
+	if _, ok, err := store.Inp(context.Background(), "t", 2); err != nil || !ok {
 		t.Fatalf("committed out missing: ok=%v err=%v", ok, err)
 	}
-	if err := tx2.Commit(nil); !errors.Is(err, ErrTxnFinished) {
+	if err := tx2.Commit(context.Background(), nil); !errors.Is(err, ErrTxnFinished) {
 		t.Fatalf("double commit: %v, want ErrTxnFinished", err)
 	}
 }

@@ -1,6 +1,7 @@
 package tuplespace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,14 +50,14 @@ func TestShardedReadersServedBeforeOneTaker(t *testing.T) {
 	// Register reader, taker, reader, reader — every reader must see the
 	// tuple regardless of its position relative to the winning taker.
 	go func() {
-		tu, err := s.Rd("mix", FormalInt)
+		tu, err := s.Rd(context.Background(), "mix", FormalInt)
 		if err == nil {
 			reads <- tu
 		}
 	}()
 	waitBlocked(t, s, 1)
 	go func() {
-		tu, err := s.In("mix", FormalInt)
+		tu, err := s.In(context.Background(), "mix", FormalInt)
 		if err == nil {
 			took <- tu
 		}
@@ -64,14 +65,14 @@ func TestShardedReadersServedBeforeOneTaker(t *testing.T) {
 	waitBlocked(t, s, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			tu, err := s.Rd("mix", FormalInt)
+			tu, err := s.Rd(context.Background(), "mix", FormalInt)
 			if err == nil {
 				reads <- tu
 			}
 		}()
 	}
 	waitBlocked(t, s, 4)
-	s.Out("mix", 7)
+	s.Out(context.Background(), "mix", 7)
 	for i := 0; i < 3; i++ {
 		select {
 		case tu := <-reads:
@@ -102,7 +103,7 @@ func TestShardedTakerFIFO(t *testing.T) {
 	for i := 0; i < takers; i++ {
 		i := i
 		go func() {
-			if _, err := s.In("fifo", FormalInt); err == nil {
+			if _, err := s.In(context.Background(), "fifo", FormalInt); err == nil {
 				woke <- i
 			}
 		}()
@@ -111,7 +112,7 @@ func TestShardedTakerFIFO(t *testing.T) {
 		waitBlocked(t, s, int64(i+1))
 	}
 	for i := 0; i < takers; i++ {
-		s.Out("fifo", i)
+		s.Out(context.Background(), "fifo", i)
 		select {
 		case got := <-woke:
 			if got != i {
@@ -131,18 +132,18 @@ func TestShardedTakerFIFOAcrossCrossAndExact(t *testing.T) {
 	woke := make(chan string, 2)
 	go func() {
 		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-		if _, err := s.In(FormalString, FormalInt); err == nil {
+		if _, err := s.In(context.Background(), FormalString, FormalInt); err == nil {
 			woke <- "cross"
 		}
 	}()
 	waitBlocked(t, s, 1)
 	go func() {
-		if _, err := s.In("xtag", FormalInt); err == nil {
+		if _, err := s.In(context.Background(), "xtag", FormalInt); err == nil {
 			woke <- "exact"
 		}
 	}()
 	waitBlocked(t, s, 2)
-	s.Out("xtag", 1)
+	s.Out(context.Background(), "xtag", 1)
 	select {
 	case got := <-woke:
 		if got != "cross" {
@@ -151,7 +152,7 @@ func TestShardedTakerFIFOAcrossCrossAndExact(t *testing.T) {
 	case <-time.After(2 * time.Second):
 		t.Fatal("no taker woke")
 	}
-	s.Out("xtag", 2)
+	s.Out(context.Background(), "xtag", 2)
 	select {
 	case got := <-woke:
 		if got != "exact" {
@@ -167,13 +168,13 @@ func TestCrossShardBlockedWaiterWokenByAnyTag(t *testing.T) {
 	got := make(chan Tuple, 1)
 	go func() {
 		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-		tu, err := s.In(FormalString, FormalInt)
+		tu, err := s.In(context.Background(), FormalString, FormalInt)
 		if err == nil {
 			got <- tu
 		}
 	}()
 	waitBlocked(t, s, 1)
-	s.Out("surprise-tag", 42)
+	s.Out(context.Background(), "surprise-tag", 42)
 	select {
 	case tu := <-got:
 		if tu[0].(string) != "surprise-tag" || tu[1].(int) != 42 {
@@ -194,15 +195,15 @@ func TestCrossShardClaimsPreexistingTuples(t *testing.T) {
 	s := NewSharded(16)
 	const n = 40
 	for i := 0; i < n; i++ {
-		s.Out(fmt.Sprintf("tag-%d", i), i)
-		s.Out(fmt.Sprintf("tag-%d", i), i, i) // wrong arity: must be skipped
+		s.Out(context.Background(), fmt.Sprintf("tag-%d", i), i)
+		s.Out(context.Background(), fmt.Sprintf("tag-%d", i), i, i) // wrong arity: must be skipped
 	}
 	seen := map[int]bool{}
 	for i := 0; i < n; i++ {
 		done := make(chan Tuple, 1)
 		go func() {
 			// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-			tu, err := s.In(FormalString, FormalInt)
+			tu, err := s.In(context.Background(), FormalString, FormalInt)
 			if err == nil {
 				done <- tu
 			}
@@ -224,9 +225,9 @@ func TestCrossShardClaimsPreexistingTuples(t *testing.T) {
 
 func TestCrossShardRdLeavesTuple(t *testing.T) {
 	s := NewSharded(16)
-	s.Out("only", 9)
+	s.Out(context.Background(), "only", 9)
 	// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-	tu, err := s.Rd(FormalString, FormalInt)
+	tu, err := s.Rd(context.Background(), FormalString, FormalInt)
 	if err != nil || tu[1].(int) != 9 {
 		t.Fatalf("Rd got %v err=%v", tu, err)
 	}
@@ -242,13 +243,13 @@ func TestCloseReleasesWaitersOnEveryShard(t *testing.T) {
 	for i := 0; i < n; i++ {
 		tag := fmt.Sprintf("shardtag-%d", i) // spread across shards
 		go func() {
-			_, err := s.In(tag, FormalInt)
+			_, err := s.In(context.Background(), tag, FormalInt)
 			errs <- err
 		}()
 	}
 	go func() { // plus one cross-shard waiter
 		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-		_, err := s.Rd(FormalString, FormalFloat)
+		_, err := s.Rd(context.Background(), FormalString, FormalFloat)
 		errs <- err
 	}()
 	waitBlocked(t, s, n+1)
@@ -278,8 +279,8 @@ func TestShardedConcurrentMixedTagsConserve(t *testing.T) {
 			defer wg.Done()
 			tag := fmt.Sprintf("cc-%d", w)
 			for i := 0; i < per; i++ {
-				s.Out(tag, i)
-				tu, err := s.In(tag, FormalInt)
+				s.Out(context.Background(), tag, i)
+				tu, err := s.In(context.Background(), tag, FormalInt)
 				if err != nil || tu[1].(int) != i {
 					t.Errorf("worker %d round %d: %v %v", w, i, tu, err)
 					return
@@ -312,7 +313,7 @@ func TestClientPipelinesAroundBlockedIn(t *testing.T) {
 
 	inDone := make(chan Tuple, 1)
 	go func() {
-		tu, err := c.In("the-answer", FormalInt)
+		tu, err := c.In(context.Background(), "the-answer", FormalInt)
 		if err == nil {
 			inDone <- tu
 		}
@@ -321,14 +322,14 @@ func TestClientPipelinesAroundBlockedIn(t *testing.T) {
 
 	// All on the same connection, all while the In is blocked.
 	for i := 0; i < 25; i++ {
-		if err := c.Out("side", i); err != nil {
+		if err := c.Out(context.Background(), "side", i); err != nil {
 			t.Fatalf("Out %d alongside blocked In: %v", i, err)
 		}
 	}
 	if n, err := c.Len(); err != nil || n != 25 {
 		t.Fatalf("Len=%d err=%v want 25", n, err)
 	}
-	if _, ok, err := c.Inp("side", 13); err != nil || !ok {
+	if _, ok, err := c.Inp(context.Background(), "side", 13); err != nil || !ok {
 		t.Fatalf("Inp alongside blocked In: ok=%v err=%v", ok, err)
 	}
 	select {
@@ -336,7 +337,7 @@ func TestClientPipelinesAroundBlockedIn(t *testing.T) {
 		t.Fatal("In returned without a matching tuple")
 	default:
 	}
-	if err := c.Out("the-answer", 42); err != nil {
+	if err := c.Out(context.Background(), "the-answer", 42); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -368,7 +369,7 @@ func TestClientConcurrentBlockingIns(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tu, err := c.In("par", i, FormalString)
+			tu, err := c.In(context.Background(), "par", i, FormalString)
 			if err != nil {
 				t.Errorf("In %d: %v", i, err)
 				return
@@ -383,7 +384,7 @@ func TestClientConcurrentBlockingIns(t *testing.T) {
 	for i := 0; i < n; i++ {
 		tuples[i] = Tuple{"par", i, fmt.Sprintf("payload-%d", i)}
 	}
-	if err := c.OutN(tuples); err != nil {
+	if err := c.OutN(context.Background(), tuples); err != nil {
 		t.Fatal(err)
 	}
 	wg.Wait()
@@ -400,21 +401,21 @@ func TestClientOutNRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.OutN(nil); err != nil { // empty batch: no round trip
+	if err := c.OutN(context.Background(), nil); err != nil { // empty batch: no round trip
 		t.Fatal(err)
 	}
 	batch := make([]Tuple, 10)
 	for i := range batch {
 		batch[i] = Tuple{"bulk", i, float64(i) / 2}
 	}
-	if err := c.OutN(batch); err != nil {
+	if err := c.OutN(context.Background(), batch); err != nil {
 		t.Fatal(err)
 	}
 	if n, err := c.Len(); err != nil || n != 10 {
 		t.Fatalf("Len=%d err=%v want 10", n, err)
 	}
 	for i := 0; i < 10; i++ {
-		tu, ok, err := c.Inp("bulk", i, FormalFloat)
+		tu, ok, err := c.Inp(context.Background(), "bulk", i, FormalFloat)
 		if err != nil || !ok {
 			t.Fatalf("tuple %d missing: ok=%v err=%v", i, ok, err)
 		}
@@ -436,10 +437,10 @@ func TestPerShardGaugesSumToTotal(t *testing.T) {
 	reg := obs.NewRegistry()
 	s.Observe(reg, nil)
 	for i := 0; i < 50; i++ {
-		s.Out(fmt.Sprintf("g-%d", i%7), i)
+		s.Out(context.Background(), fmt.Sprintf("g-%d", i%7), i)
 	}
 	for i := 0; i < 10; i++ {
-		s.Inp(fmt.Sprintf("g-%d", i%7), FormalInt)
+		s.Inp(context.Background(), fmt.Sprintf("g-%d", i%7), FormalInt)
 	}
 	snap := reg.Snapshot()
 	var sum int64

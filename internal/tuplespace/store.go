@@ -4,24 +4,37 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
 	"freepdm/internal/obs"
 )
 
 // Store is the unified tuple-space surface: the same Linda operations
 // whether the space is in-process (*Space), reached over TCP
-// (*Client), or write-ahead logged (durable.Space). Every PLED/PLET
-// program in this repository is written against Store, so a program
-// runs unchanged on any backend.
+// (*Client), write-ahead logged (durable.Space), or partitioned over
+// several servers (cluster.Router). Every PLED/PLET program in this
+// repository is written against Store, so a program runs unchanged on
+// any backend.
+//
+// Since Store v2 every operation is ctx-first: the context carries
+// cancellation and deadlines for the blocking takes, and its span
+// context (obs.ContextWith) rides with outs as the stored tuples'
+// origin and with takes as the consumer's trace parent — including
+// over TCP, where the wire protocol forwards it. Callers that don't
+// care pass context.Background(), or use the package-level non-ctx
+// convenience wrappers (tuplespace.Out, tuplespace.In, ...).
 type Store interface {
-	Out(fields ...any) error
-	OutN(tuples []Tuple) error
-	In(tmplFields ...any) (Tuple, error)
-	InCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
-	Inp(tmplFields ...any) (Tuple, bool, error)
-	Rd(tmplFields ...any) (Tuple, error)
-	RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
-	Rdp(tmplFields ...any) (Tuple, bool, error)
+	Out(ctx context.Context, fields ...any) error
+	OutN(ctx context.Context, tuples []Tuple) error
+	In(ctx context.Context, tmplFields ...any) (Tuple, error)
+	// InTraced is In additionally returning the taken tuple's origin
+	// span context (zero when the tuple was stored untraced), so the
+	// consumer can join the producer's trace — causality in Linda flows
+	// through tuples, not calls.
+	InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error)
+	Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error)
+	Rd(ctx context.Context, tmplFields ...any) (Tuple, error)
+	Rdp(ctx context.Context, tmplFields ...any) (Tuple, bool, error)
 	Len() (int, error)
 	Close() error
 }
@@ -33,11 +46,13 @@ type Store interface {
 // passes the batch to Commit, so an aborted transaction's outs were
 // simply never published.
 type Txn interface {
-	In(tmplFields ...any) (Tuple, error)
-	InCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
-	Inp(tmplFields ...any) (Tuple, bool, error)
-	// Commit atomically finalizes the takes and publishes outs.
-	Commit(outs []Tuple) error
+	In(ctx context.Context, tmplFields ...any) (Tuple, error)
+	InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error)
+	Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error)
+	// Commit atomically finalizes the takes and publishes outs. The
+	// ctx's span context is stamped onto the published tuples as their
+	// origin.
+	Commit(ctx context.Context, outs []Tuple) error
 	// Abort restores every take. Aborting a finished transaction is a
 	// no-op.
 	Abort() error
@@ -53,7 +68,7 @@ type TxnStore interface {
 // continuation committing: the continuation tuple is stored with the
 // commit so a respawned process can resume from it (via Recoverer).
 type ContCommitter interface {
-	CommitCont(outs []Tuple, cont Tuple) error
+	CommitCont(ctx context.Context, outs []Tuple, cont Tuple) error
 }
 
 // Recoverer is the optional Store extension that retrieves the last
@@ -63,34 +78,87 @@ type Recoverer interface {
 	Recover() (Tuple, bool, error)
 }
 
-// TracedTaker is the optional Store/Txn extension for tuple-carried
-// trace propagation: a take additionally returns the span context the
-// producer's Out (or commit) stamped on the tuple, so the consumer can
-// join the producer's trace. Zero when the tuple was stored untraced.
-type TracedTaker interface {
-	InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error)
-}
-
-// CtxOuter is the optional Store extension whose outs carry a
-// context: the ctx's span context (obs.ContextWith) is stamped onto
-// the stored tuples as their origin, and — on instrumented backends —
-// the write is recorded as a child span (e.g. the durable space's WAL
-// append).
-type CtxOuter interface {
-	OutCtx(ctx context.Context, fields ...any) error
-	OutNCtx(ctx context.Context, tuples []Tuple) error
-}
-
-// CtxCommitter is the optional Txn extension for ctx-carrying commits,
-// with the same stamping and span semantics as CtxOuter.
-type CtxCommitter interface {
-	CommitCtx(ctx context.Context, outs []Tuple) error
-}
-
 // ErrTxnFinished rejects operations on a transaction that was already
 // committed or aborted — including the server-side abort a lease
 // expiry forces under a still-running remote operation.
 var ErrTxnFinished = errors.New("tuplespace: transaction already finished")
+
+// Options collects the tunables the binaries expose as flags, replacing
+// the positional constructor arguments of the v1 API. Each layer takes
+// the fields it understands: NewSpace reads Shards; DialOptions carries
+// OpTimeout to clients; the durable space's batch cap and the tracer's
+// sampling rate are plumbed by the callers that own those objects (see
+// cmd/plinda and cmd/fpdm). The zero value selects every default.
+type Options struct {
+	// Shards is the lock-stripe count of an in-process space; <= 0
+	// selects the GOMAXPROCS-derived default.
+	Shards int
+	// OpTimeout bounds non-blocking remote operations (see
+	// DialOptions.OpTimeout). Zero means no bound.
+	OpTimeout time.Duration
+	// TraceSample is the fraction of traces sampled by the attached
+	// tracer, in [0, 1].
+	TraceSample float64
+	// WALBatch caps the durable space's group-commit batch size; 0
+	// selects the durable default.
+	WALBatch int
+}
+
+// NewSpace returns an empty in-process tuple space configured by o.
+func NewSpace(o Options) *Space { return NewSharded(o.Shards) }
+
+// Non-ctx convenience wrappers. The constraint-based signatures let one
+// wrapper serve both Store and Txn (and any concrete backend), so
+// call sites that don't thread contexts read like Linda proper:
+// tuplespace.Out(ts, "tag", 1).
+
+// Out places a tuple into s without a context.
+func Out[S interface {
+	Out(context.Context, ...any) error
+}](s S, fields ...any) error {
+	return s.Out(context.Background(), fields...)
+}
+
+// OutN places a batch of tuples into s without a context.
+func OutN[S interface {
+	OutN(context.Context, []Tuple) error
+}](s S, tuples []Tuple) error {
+	return s.OutN(context.Background(), tuples)
+}
+
+// In blocks until a matching tuple exists in s, without cancellation.
+func In[S interface {
+	In(context.Context, ...any) (Tuple, error)
+}](s S, tmplFields ...any) (Tuple, error) {
+	return s.In(context.Background(), tmplFields...)
+}
+
+// Inp is the non-blocking destructive match on s without a context.
+func Inp[S interface {
+	Inp(context.Context, ...any) (Tuple, bool, error)
+}](s S, tmplFields ...any) (Tuple, bool, error) {
+	return s.Inp(context.Background(), tmplFields...)
+}
+
+// Rd blocks until a matching tuple exists in s and returns a copy,
+// without cancellation.
+func Rd[S interface {
+	Rd(context.Context, ...any) (Tuple, error)
+}](s S, tmplFields ...any) (Tuple, error) {
+	return s.Rd(context.Background(), tmplFields...)
+}
+
+// Rdp is the non-blocking non-destructive match on s without a context.
+func Rdp[S interface {
+	Rdp(context.Context, ...any) (Tuple, bool, error)
+}](s S, tmplFields ...any) (Tuple, bool, error) {
+	return s.Rdp(context.Background(), tmplFields...)
+}
+
+// Commit finalizes tx without a context.
+func Commit(tx Txn, outs []Tuple) error {
+	return tx.Commit(context.Background(), outs)
+}
 
 // Interface conformance, checked at compile time.
 var (
@@ -100,14 +168,6 @@ var (
 	_ Txn           = (*clientTxn)(nil)
 	_ ContCommitter = (*clientTxn)(nil)
 	_ Recoverer     = (*Client)(nil)
-	_ TracedTaker   = (*Space)(nil)
-	_ TracedTaker   = (*Client)(nil)
-	_ TracedTaker   = (*spaceTxn)(nil)
-	_ TracedTaker   = (*clientTxn)(nil)
-	_ CtxOuter      = (*Space)(nil)
-	_ CtxOuter      = (*Client)(nil)
-	_ CtxCommitter  = (*spaceTxn)(nil)
-	_ CtxCommitter  = (*clientTxn)(nil)
 )
 
 // spaceTxn is the in-process transaction: takes go straight to the
@@ -137,7 +197,7 @@ func (tx *spaceTxn) record(t Tuple) error {
 	tx.mu.Lock()
 	if tx.done {
 		tx.mu.Unlock()
-		tx.s.Out(t...) //nolint:errcheck — best-effort restore on a lost race
+		tx.s.out(append(Tuple(nil), t...), obs.SpanContext{}) //nolint:errcheck — best-effort restore on a lost race
 		return ErrTxnFinished
 	}
 	tx.takes = append(tx.takes, t)
@@ -145,12 +205,8 @@ func (tx *spaceTxn) record(t Tuple) error {
 	return nil
 }
 
-func (tx *spaceTxn) In(tmplFields ...any) (Tuple, error) {
-	return tx.InCtx(context.Background(), tmplFields...)
-}
-
-func (tx *spaceTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
-	t, err := tx.s.InCtx(ctx, tmplFields...)
+func (tx *spaceTxn) In(ctx context.Context, tmplFields ...any) (Tuple, error) {
+	t, err := tx.s.In(ctx, tmplFields...)
 	if err != nil {
 		return nil, err
 	}
@@ -160,10 +216,11 @@ func (tx *spaceTxn) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error)
 	return t, nil
 }
 
-// InCtxTraced implements TracedTaker: the take is logged like InCtx,
-// and the stored tuple's origin span context is passed through.
-func (tx *spaceTxn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
-	t, org, err := tx.s.InCtxTraced(ctx, tmplFields...)
+// InTraced is the transactional take with origin propagation: the take
+// is logged like In, and the stored tuple's origin span context is
+// passed through.
+func (tx *spaceTxn) InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+	t, org, err := tx.s.InTraced(ctx, tmplFields...)
 	if err != nil {
 		return nil, obs.SpanContext{}, err
 	}
@@ -173,8 +230,8 @@ func (tx *spaceTxn) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, 
 	return t, org, nil
 }
 
-func (tx *spaceTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
-	t, ok, err := tx.s.Inp(tmplFields...)
+func (tx *spaceTxn) Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	t, ok, err := tx.s.Inp(ctx, tmplFields...)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -184,13 +241,9 @@ func (tx *spaceTxn) Inp(tmplFields ...any) (Tuple, bool, error) {
 	return t, true, nil
 }
 
-func (tx *spaceTxn) Commit(outs []Tuple) error {
-	return tx.CommitCtx(context.Background(), outs)
-}
-
-// CommitCtx implements CtxCommitter: the published outs are stamped
-// with the ctx's span context as their origin.
-func (tx *spaceTxn) CommitCtx(ctx context.Context, outs []Tuple) error {
+// Commit finalizes the takes and publishes outs, stamped with the
+// ctx's span context as their origin.
+func (tx *spaceTxn) Commit(ctx context.Context, outs []Tuple) error {
 	tx.mu.Lock()
 	if tx.done {
 		tx.mu.Unlock()
@@ -199,7 +252,7 @@ func (tx *spaceTxn) CommitCtx(ctx context.Context, outs []Tuple) error {
 	tx.done = true
 	tx.takes = nil
 	tx.mu.Unlock()
-	return tx.s.OutNCtx(ctx, outs)
+	return tx.s.OutN(ctx, outs)
 }
 
 func (tx *spaceTxn) Abort() error {
@@ -212,5 +265,5 @@ func (tx *spaceTxn) Abort() error {
 	takes := tx.takes
 	tx.takes = nil
 	tx.mu.Unlock()
-	return tx.s.OutN(takes)
+	return tx.s.OutN(context.Background(), takes)
 }

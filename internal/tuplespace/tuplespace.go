@@ -385,6 +385,30 @@ func signatureOf(sig []byte, fields []any) []byte {
 	return sig
 }
 
+// Signature appends the partition key of a tuple (or template) to dst
+// and returns it: the arity, the type of each field, and the value of
+// a leading string tag. Two tuples share a partition exactly when
+// their signatures are byte-equal, and a non-cross template matches
+// only tuples of its own signature. External routers (the cluster
+// package) partition by a deterministic hash of this key — unlike the
+// in-process shard routing, which hashes with a per-process seed and
+// so must never leak across processes.
+func Signature(dst []byte, fields []any) []byte {
+	return signatureOf(dst, fields)
+}
+
+// CrossTemplate reports whether a template's leading field is a formal
+// string — the one shape that can match tuples in any tagged partition
+// of its arity, and therefore cannot be routed to a single home (shard
+// or cluster node) by signature.
+func CrossTemplate(tmplFields []any) bool {
+	if len(tmplFields) == 0 {
+		return false
+	}
+	fo, ok := tmplFields[0].(formal)
+	return ok && fo.t == typeString
+}
+
 // Stats counts operations on a space; useful for tests and for the
 // communication-cost accounting in the NOW experiments. Ins/Rds count
 // the blocking forms only; the predicate forms have their own
@@ -599,30 +623,20 @@ func (s *Space) shardOf(sig []byte) *shard {
 }
 
 // Out places a tuple into the space, waking any blocked In/Rd whose
-// template matches. It never blocks.
-func (s *Space) Out(fields ...any) error {
-	return s.out(Tuple(append([]any(nil), fields...)), obs.SpanContext{})
-}
-
-// OutCtx is Out carrying a context: the ctx's span context (if any) is
-// stamped onto the stored tuple as its origin, so a later traced take
-// can join the producer's trace.
-func (s *Space) OutCtx(ctx context.Context, fields ...any) error {
+// template matches. It never blocks. The ctx's span context (if any)
+// is stamped onto the stored tuple as its origin, so a later traced
+// take can join the producer's trace.
+func (s *Space) Out(ctx context.Context, fields ...any) error {
 	return s.out(Tuple(append([]any(nil), fields...)), obs.FromContext(ctx))
 }
 
-// OutN places a batch of tuples into the space. It is equivalent to
-// calling Out once per tuple (including waking waiters per tuple) and
-// exists so batch producers — and the networked server's "outn"
-// request — share one call. On a closed space the batch stops at the
-// first rejected tuple.
-func (s *Space) OutN(tuples []Tuple) error {
-	return s.OutNCtx(context.Background(), tuples)
-}
-
-// OutNCtx is OutN with the origin stamping of OutCtx applied to every
-// tuple in the batch.
-func (s *Space) OutNCtx(ctx context.Context, tuples []Tuple) error {
+// OutN places a batch of tuples into the space with the origin
+// stamping of Out applied to every tuple. It is equivalent to calling
+// Out once per tuple (including waking waiters per tuple) and exists
+// so batch producers — and the networked server's "outn" request —
+// share one call. On a closed space the batch stops at the first
+// rejected tuple.
+func (s *Space) OutN(ctx context.Context, tuples []Tuple) error {
 	org := obs.FromContext(ctx)
 	for _, t := range tuples {
 		if err := s.out(append(Tuple(nil), t...), org); err != nil {
@@ -799,10 +813,16 @@ func (s *Space) scanPartitionLocked(sh *shard, p *partition, ct *compiledTemplat
 	return stored{}, false
 }
 
-// poll is the non-blocking match: Inp (take) and Rdp.
-func (s *Space) poll(tm Template, take bool) (stored, bool, error) {
+// poll is the non-blocking match: Inp (take) and Rdp. The ctx is
+// consulted for early cancellation and supplies the trace parent for
+// the probe's span; a probe never blocks, so a live ctx cannot expire
+// mid-poll.
+func (s *Space) poll(ctx context.Context, tm Template, take bool) (stored, bool, error) {
 	if s.closed.Load() {
 		return stored{}, false, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return stored{}, false, err
 	}
 	// Stack-compiled: poll never retains the template, so the scratch
 	// arrays and the compiled form stay in this frame — the non-blocking
@@ -841,7 +861,12 @@ func (s *Space) poll(tm Template, take bool) (stored, bool, error) {
 			o.rdps.Inc()
 		}
 		if o.tracer != nil {
-			o.tracer.Record("tuple", op, 0, "matched", ok)
+			if sp := o.tracer.StartChild(obs.FromContext(ctx), "tuple", op); sp != nil {
+				sp.Annotate("matched", ok)
+				sp.End()
+			} else {
+				o.tracer.Record("tuple", op, 0, "matched", ok)
+			}
 		}
 	}
 	return st, ok, nil
@@ -849,60 +874,49 @@ func (s *Space) poll(tm Template, take bool) (stored, bool, error) {
 
 // Inp is the non-blocking destructive match: if a matching tuple
 // exists it is removed and returned with true, else ok is false. The
-// error is non-nil only when the space is closed.
-func (s *Space) Inp(tmplFields ...any) (Tuple, bool, error) {
-	st, ok, err := s.poll(Template(tmplFields), true)
+// error is non-nil only when the space is closed or the ctx already
+// done.
+func (s *Space) Inp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	st, ok, err := s.poll(ctx, Template(tmplFields), true)
 	return st.t, ok, err
 }
 
 // InpTraced is Inp additionally returning the taken tuple's origin
 // span context (zero when it was stored untraced). The durable space
 // uses it to thread producer traces through WAL-logged takes.
-func (s *Space) InpTraced(tmplFields ...any) (Tuple, obs.SpanContext, bool, error) {
-	st, ok, err := s.poll(Template(tmplFields), true)
+func (s *Space) InpTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, bool, error) {
+	st, ok, err := s.poll(ctx, Template(tmplFields), true)
 	return st.t, st.org, ok, err
 }
 
 // Rdp is the non-blocking non-destructive match.
-func (s *Space) Rdp(tmplFields ...any) (Tuple, bool, error) {
-	st, ok, err := s.poll(Template(tmplFields), false)
+func (s *Space) Rdp(ctx context.Context, tmplFields ...any) (Tuple, bool, error) {
+	st, ok, err := s.poll(ctx, Template(tmplFields), false)
 	return st.t, ok, err
 }
 
 // In blocks until a matching tuple exists, removes it, and returns it.
-// It returns ErrClosed if the space is closed before a match arrives.
-func (s *Space) In(tmplFields ...any) (Tuple, error) {
-	st, err := s.wait(context.Background(), Template(tmplFields), true)
-	return st.t, err
-}
-
-// InCtx is In with cancellation: it returns ctx.Err() if the context
-// is done before a matching tuple is delivered. A tuple delivered in
-// the same instant as the cancellation wins — InCtx returns it rather
-// than losing a take.
-func (s *Space) InCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+// It returns ErrClosed if the space is closed before a match arrives,
+// and ctx.Err() if the context is done first. A tuple delivered in the
+// same instant as the cancellation wins — In returns it rather than
+// losing a take.
+func (s *Space) In(ctx context.Context, tmplFields ...any) (Tuple, error) {
 	st, err := s.wait(ctx, Template(tmplFields), true)
 	return st.t, err
 }
 
-// InCtxTraced implements TracedTaker: InCtx additionally returning the
-// tuple's origin span context, so the taker can join the trace of
-// whichever operation published the tuple.
-func (s *Space) InCtxTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
+// InTraced is In additionally returning the tuple's origin span
+// context, so the taker can join the trace of whichever operation
+// published the tuple.
+func (s *Space) InTraced(ctx context.Context, tmplFields ...any) (Tuple, obs.SpanContext, error) {
 	st, err := s.wait(ctx, Template(tmplFields), true)
 	return st.t, st.org, err
 }
 
 // Rd blocks until a matching tuple exists and returns a copy of it,
-// leaving it in the space.
-func (s *Space) Rd(tmplFields ...any) (Tuple, error) {
-	st, err := s.wait(context.Background(), Template(tmplFields), false)
-	return st.t, err
-}
-
-// RdCtx is Rd with cancellation, under the same tuple-wins rule as
-// InCtx.
-func (s *Space) RdCtx(ctx context.Context, tmplFields ...any) (Tuple, error) {
+// leaving it in the space, under the same cancellation and tuple-wins
+// rules as In.
+func (s *Space) Rd(ctx context.Context, tmplFields ...any) (Tuple, error) {
 	st, err := s.wait(ctx, Template(tmplFields), false)
 	return st.t, err
 }
@@ -1215,7 +1229,7 @@ func (s *Space) Restore(tuples []Tuple) error {
 		sh.mu.Unlock()
 	}
 	for _, t := range tuples {
-		if err := s.Out(t...); err != nil {
+		if err := s.out(append(Tuple(nil), t...), obs.SpanContext{}); err != nil {
 			return err
 		}
 	}

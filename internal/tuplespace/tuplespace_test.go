@@ -1,6 +1,7 @@
 package tuplespace
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -12,26 +13,26 @@ import (
 
 func TestOutInpRoundTrip(t *testing.T) {
 	s := New()
-	if err := s.Out("task", 7, 3.5); err != nil {
+	if err := s.Out(context.Background(), "task", 7, 3.5); err != nil {
 		t.Fatal(err)
 	}
-	tu, ok, _ := s.Inp("task", FormalInt, FormalFloat)
+	tu, ok, _ := s.Inp(context.Background(), "task", FormalInt, FormalFloat)
 	if !ok {
 		t.Fatal("expected a match")
 	}
 	if tu[1].(int) != 7 || tu[2].(float64) != 3.5 {
 		t.Fatalf("wrong tuple: %v", tu)
 	}
-	if _, ok, _ := s.Inp("task", FormalInt, FormalFloat); ok {
+	if _, ok, _ := s.Inp(context.Background(), "task", FormalInt, FormalFloat); ok {
 		t.Fatal("tuple should have been consumed")
 	}
 }
 
 func TestRdpDoesNotConsume(t *testing.T) {
 	s := New()
-	s.Out("x", 1)
+	s.Out(context.Background(), "x", 1)
 	for i := 0; i < 3; i++ {
-		if _, ok, _ := s.Rdp("x", FormalInt); !ok {
+		if _, ok, _ := s.Rdp(context.Background(), "x", FormalInt); !ok {
 			t.Fatalf("read %d failed", i)
 		}
 	}
@@ -42,9 +43,9 @@ func TestRdpDoesNotConsume(t *testing.T) {
 
 func TestActualValueMatching(t *testing.T) {
 	s := New()
-	s.Out("result", 3, "motif-A")
-	s.Out("result", 4, "motif-B")
-	tu, ok, _ := s.Inp("result", 4, FormalString)
+	s.Out(context.Background(), "result", 3, "motif-A")
+	s.Out(context.Background(), "result", 4, "motif-B")
+	tu, ok, _ := s.Inp(context.Background(), "result", 4, FormalString)
 	if !ok || tu[2].(string) != "motif-B" {
 		t.Fatalf("got %v ok=%v", tu, ok)
 	}
@@ -52,11 +53,11 @@ func TestActualValueMatching(t *testing.T) {
 
 func TestTypeMismatchDoesNotMatch(t *testing.T) {
 	s := New()
-	s.Out("n", int64(5))
-	if _, ok, _ := s.Inp("n", FormalInt); ok {
+	s.Out(context.Background(), "n", int64(5))
+	if _, ok, _ := s.Inp(context.Background(), "n", FormalInt); ok {
 		t.Fatal("int formal must not match int64 field")
 	}
-	if _, ok, _ := s.Inp("n", FormalInt64); !ok {
+	if _, ok, _ := s.Inp(context.Background(), "n", FormalInt64); !ok {
 		t.Fatal("int64 formal must match int64 field")
 	}
 }
@@ -64,23 +65,23 @@ func TestTypeMismatchDoesNotMatch(t *testing.T) {
 func TestArityMismatch(t *testing.T) {
 	s := New()
 	// lint:ignore tuple-contract arity mismatches are the point of this test
-	s.Out("a", 1, 2)
-	if _, ok, _ := s.Inp("a", FormalInt); ok {
+	s.Out(context.Background(), "a", 1, 2)
+	if _, ok, _ := s.Inp(context.Background(), "a", FormalInt); ok {
 		t.Fatal("shorter template must not match")
 	}
 	// lint:ignore tuple-contract arity mismatches are the point of this test
-	if _, ok, _ := s.Inp("a", FormalInt, FormalInt, FormalInt); ok {
+	if _, ok, _ := s.Inp(context.Background(), "a", FormalInt, FormalInt, FormalInt); ok {
 		t.Fatal("longer template must not match")
 	}
 }
 
 func TestSliceFieldsMatchByValue(t *testing.T) {
 	s := New()
-	s.Out("vec", []int{1, 2, 3})
-	if _, ok, _ := s.Inp("vec", []int{1, 2, 4}); ok {
+	s.Out(context.Background(), "vec", []int{1, 2, 3})
+	if _, ok, _ := s.Inp(context.Background(), "vec", []int{1, 2, 4}); ok {
 		t.Fatal("different slice contents must not match as actual")
 	}
-	tu, ok, _ := s.Inp("vec", []int{1, 2, 3})
+	tu, ok, _ := s.Inp(context.Background(), "vec", []int{1, 2, 3})
 	if !ok {
 		t.Fatal("equal slice actual should match")
 	}
@@ -93,7 +94,7 @@ func TestInBlocksUntilOut(t *testing.T) {
 	s := New()
 	done := make(chan Tuple)
 	go func() {
-		tu, err := s.In("late", FormalInt)
+		tu, err := s.In(context.Background(), "late", FormalInt)
 		if err != nil {
 			t.Error(err)
 		}
@@ -104,7 +105,7 @@ func TestInBlocksUntilOut(t *testing.T) {
 		t.Fatal("In returned before Out")
 	case <-time.After(10 * time.Millisecond):
 	}
-	s.Out("late", 42)
+	s.Out(context.Background(), "late", 42)
 	select {
 	case tu := <-done:
 		if tu[1].(int) != 42 {
@@ -123,13 +124,13 @@ func TestRdWaitersAllWakeButTupleStays(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := s.Rd("broadcast", FormalInt); err != nil {
+			if _, err := s.Rd(context.Background(), "broadcast", FormalInt); err != nil {
 				t.Error(err)
 			}
 		}()
 	}
 	time.Sleep(10 * time.Millisecond)
-	s.Out("broadcast", 1)
+	s.Out(context.Background(), "broadcast", 1)
 	wg.Wait()
 	if slen(s) != 1 {
 		t.Fatalf("Rd consumed the tuple: Len=%d", slen(s))
@@ -142,12 +143,12 @@ func TestOnlyOneInWaiterConsumes(t *testing.T) {
 	results := make(chan error, takers)
 	for i := 0; i < takers; i++ {
 		go func() {
-			_, err := s.In("one", FormalInt)
+			_, err := s.In(context.Background(), "one", FormalInt)
 			results <- err
 		}()
 	}
 	time.Sleep(10 * time.Millisecond)
-	s.Out("one", 99)
+	s.Out(context.Background(), "one", 99)
 	select {
 	case err := <-results:
 		if err != nil {
@@ -168,10 +169,10 @@ func TestOnlyOneInWaiterConsumes(t *testing.T) {
 func TestCloseRejectsOps(t *testing.T) {
 	s := New()
 	s.Close()
-	if err := s.Out("x", 1); err != ErrClosed {
+	if err := s.Out(context.Background(), "x", 1); err != ErrClosed {
 		t.Fatalf("Out after close: %v", err)
 	}
-	if _, err := s.In("x", FormalInt); err != ErrClosed {
+	if _, err := s.In(context.Background(), "x", FormalInt); err != ErrClosed {
 		t.Fatalf("In after close: %v", err)
 	}
 	s.Close() // idempotent
@@ -180,14 +181,14 @@ func TestCloseRejectsOps(t *testing.T) {
 func TestSnapshotRestore(t *testing.T) {
 	s := New()
 	for i := 0; i < 10; i++ {
-		s.Out("t", i)
+		s.Out(context.Background(), "t", i)
 	}
 	snap := s.Snapshot()
 	if len(snap) != 10 {
 		t.Fatalf("snapshot has %d tuples", len(snap))
 	}
-	s.Inp("t", 3)
-	s.Inp("t", 4)
+	s.Inp(context.Background(), "t", 3)
+	s.Inp(context.Background(), "t", 4)
 	if slen(s) != 8 {
 		t.Fatalf("Len=%d", slen(s))
 	}
@@ -197,7 +198,7 @@ func TestSnapshotRestore(t *testing.T) {
 	if slen(s) != 10 {
 		t.Fatalf("after restore Len=%d, want 10", slen(s))
 	}
-	if _, ok, _ := s.Inp("t", 3); !ok {
+	if _, ok, _ := s.Inp(context.Background(), "t", 3); !ok {
 		t.Fatal("restored tuple (t,3) missing")
 	}
 }
@@ -206,7 +207,7 @@ func TestRestoreWakesWaiters(t *testing.T) {
 	s := New()
 	done := make(chan struct{})
 	go func() {
-		s.In("restored", FormalInt)
+		s.In(context.Background(), "restored", FormalInt)
 		close(done)
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -220,12 +221,12 @@ func TestRestoreWakesWaiters(t *testing.T) {
 
 func TestFormalStringFirstFieldScans(t *testing.T) {
 	s := New()
-	s.Out("alpha", 1)
-	s.Out("beta", 2)
+	s.Out(context.Background(), "alpha", 1)
+	s.Out(context.Background(), "beta", 2)
 	seen := map[string]bool{}
 	for i := 0; i < 2; i++ {
 		// lint:ignore cross-shard this test exercises the cross-shard slow path deliberately
-		tu, ok, _ := s.Inp(FormalString, FormalInt)
+		tu, ok, _ := s.Inp(context.Background(), FormalString, FormalInt)
 		if !ok {
 			t.Fatalf("scan %d failed", i)
 		}
@@ -238,13 +239,13 @@ func TestFormalStringFirstFieldScans(t *testing.T) {
 
 func TestStatsCounting(t *testing.T) {
 	s := New()
-	s.Out("a", 1)
-	s.Inp("a", FormalInt)
-	s.Rdp("a", FormalInt)
-	s.Out("a", 2)
-	s.In("a", FormalInt)
-	s.Out("a", 3)
-	s.Rd("a", FormalInt)
+	s.Out(context.Background(), "a", 1)
+	s.Inp(context.Background(), "a", FormalInt)
+	s.Rdp(context.Background(), "a", FormalInt)
+	s.Out(context.Background(), "a", 2)
+	s.In(context.Background(), "a", FormalInt)
+	s.Out(context.Background(), "a", 3)
+	s.Rd(context.Background(), "a", FormalInt)
 	st := s.Stats()
 	if st.Outs != 3 || st.Ins != 1 || st.Rds != 1 || st.Inps != 1 || st.Rdps != 1 {
 		t.Fatalf("stats %+v", st)
@@ -259,13 +260,13 @@ func TestStatsBlockedNanos(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		s.In("slow", FormalInt)
+		s.In(context.Background(), "slow", FormalInt)
 	}()
 	for s.Stats().Blocked == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	time.Sleep(5 * time.Millisecond)
-	s.Out("slow", 1)
+	s.Out(context.Background(), "slow", 1)
 	<-done
 	st := s.Stats()
 	if st.Blocked != 1 {
@@ -282,20 +283,20 @@ func TestObserveMetricsAndTrace(t *testing.T) {
 	tr := obs.NewTracer(64)
 	s.Observe(reg, tr)
 
-	s.Out("m", 1)
-	s.Out("m", 2)
-	s.Inp("m", FormalInt)
-	s.Rdp("m", FormalInt)
-	s.In("m", FormalInt) // immediate
+	s.Out(context.Background(), "m", 1)
+	s.Out(context.Background(), "m", 2)
+	s.Inp(context.Background(), "m", FormalInt)
+	s.Rdp(context.Background(), "m", FormalInt)
+	s.In(context.Background(), "m", FormalInt) // immediate
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		s.Rd("m", FormalInt) // blocks until the Out below
+		s.Rd(context.Background(), "m", FormalInt) // blocks until the Out below
 	}()
 	for reg.Counter("ts.blocked").Value() == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	s.Out("m", 3)
+	s.Out(context.Background(), "m", 3)
 	<-done
 
 	snap := reg.Snapshot()
@@ -339,7 +340,7 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for {
-				tu, err := s.In("work", FormalInt)
+				tu, err := s.In(context.Background(), "work", FormalInt)
 				if err != nil {
 					return
 				}
@@ -352,14 +353,14 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		}()
 	}
 	for i := 1; i <= n; i++ {
-		s.Out("work", i)
+		s.Out(context.Background(), "work", i)
 	}
 	total := 0
 	for i := 0; i < n; i++ {
 		total += <-sum
 	}
 	for w := 0; w < 4; w++ {
-		s.Out("work", -1) // poison
+		s.Out(context.Background(), "work", -1) // poison
 	}
 	wg.Wait()
 	if want := n * (n + 1) / 2; total != want {
@@ -372,11 +373,11 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 func TestPropertyOutThenInMatches(t *testing.T) {
 	f := func(a int, b string, c float64, d bool) bool {
 		s := New()
-		s.Out(a, b, c, d)
-		if _, ok, _ := s.Rdp(FormalInt, FormalString, FormalFloat, FormalBool); !ok {
+		s.Out(context.Background(), a, b, c, d)
+		if _, ok, _ := s.Rdp(context.Background(), FormalInt, FormalString, FormalFloat, FormalBool); !ok {
 			return false
 		}
-		tu, ok, _ := s.Inp(a, b, c, d)
+		tu, ok, _ := s.Inp(context.Background(), a, b, c, d)
 		if !ok {
 			return false
 		}
@@ -395,10 +396,10 @@ func TestPropertyConservation(t *testing.T) {
 		outs, takes := 0, 0
 		for _, op := range ops {
 			if op%3 == 0 {
-				s.Out("c", int(op))
+				s.Out(context.Background(), "c", int(op))
 				outs++
 			} else {
-				if _, ok, _ := s.Inp("c", FormalInt); ok {
+				if _, ok, _ := s.Inp(context.Background(), "c", FormalInt); ok {
 					takes++
 				}
 			}
@@ -415,7 +416,7 @@ func TestPropertySnapshotLossless(t *testing.T) {
 	f := func(vals []int) bool {
 		s := New()
 		for _, v := range vals {
-			s.Out("p", v)
+			s.Out(context.Background(), "p", v)
 		}
 		snap := s.Snapshot()
 		s2 := New()
@@ -426,7 +427,7 @@ func TestPropertySnapshotLossless(t *testing.T) {
 			return false
 		}
 		for _, v := range vals {
-			if _, ok, _ := s2.Inp("p", v); !ok {
+			if _, ok, _ := s2.Inp(context.Background(), "p", v); !ok {
 				return false
 			}
 		}
@@ -441,18 +442,18 @@ func BenchmarkOutInp(b *testing.B) {
 	s := New()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		s.Out("bench", i)
-		s.Inp("bench", FormalInt)
+		s.Out(context.Background(), "bench", i)
+		s.Inp(context.Background(), "bench", FormalInt)
 	}
 }
 
 func BenchmarkTaggedPartitionLookup(b *testing.B) {
 	s := New()
 	for i := 0; i < 64; i++ {
-		s.Out(fmt.Sprintf("tag%d", i), i)
+		s.Out(context.Background(), fmt.Sprintf("tag%d", i), i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Rdp("tag33", FormalInt)
+		s.Rdp(context.Background(), "tag33", FormalInt)
 	}
 }
