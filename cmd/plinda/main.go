@@ -50,6 +50,7 @@ import (
 	"freepdm/internal/cluster"
 	"freepdm/internal/core"
 	"freepdm/internal/durable"
+	"freepdm/internal/faultnet"
 	"freepdm/internal/mining/motif"
 	"freepdm/internal/obs"
 	"freepdm/internal/plinda"
@@ -76,6 +77,41 @@ func validateWALFlags(walDir string, fsync bool, walBatch int) error {
 	return nil
 }
 
+// parseChaosSpec parses the -chaos flag: comma-separated key=value
+// pairs from {delay=<duration>, err=<probability 0..1>, seed=<uint>}.
+func parseChaosSpec(spec string) (faultnet.StoreOptions, error) {
+	var opts faultnet.StoreOptions
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return opts, fmt.Errorf("bad element %q, want key=value", kv)
+		}
+		switch k {
+		case "delay":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return opts, fmt.Errorf("bad delay %q: %v", v, err)
+			}
+			opts.Delay = d
+		case "err":
+			var p float64
+			if _, err := fmt.Sscanf(v, "%g", &p); err != nil || p < 0 || p > 1 {
+				return opts, fmt.Errorf("bad err %q: want a probability in [0,1]", v)
+			}
+			opts.ErrRate = p
+		case "seed":
+			var s int64
+			if _, err := fmt.Sscanf(v, "%d", &s); err != nil {
+				return opts, fmt.Errorf("bad seed %q: %v", v, err)
+			}
+			opts.Seed = s
+		default:
+			return opts, fmt.Errorf("unknown key %q (want delay, err or seed)", k)
+		}
+	}
+	return opts, nil
+}
+
 // demoProblem builds the motif-discovery demo deterministically, so a
 // remote worker process constructs exactly the same problem (and
 // decodes the same pattern keys) as the server.
@@ -97,6 +133,7 @@ func main() {
 	workerAddr := flag.String("worker", "", "run as a remote worker against the server at this address (no local server); a comma-separated list joins a cluster")
 	nodes := flag.String("nodes", "", "comma-separated tuple-space server addresses: route the space across a multi-node cluster instead of hosting it in-process (host:port,host:port,...)")
 	opTimeout := flag.Duration("op-timeout", 2*time.Second, "bound on non-blocking remote tuple ops in cluster/worker mode (0 = none)")
+	chaos := flag.String("chaos", "", "dev-only fault injection on the local store: \"delay=5ms,err=0.01,seed=42\" (delay per op, error probability, deterministic seed)")
 	traceSample := flag.Float64("trace-sample", 1, "fraction of new traces to sample, 0..1 (children always follow their parent)")
 	slowOp := flag.Duration("slow-op", 0, "log every span at least this long as a slow op (0 disables)")
 	logJSON := flag.String("log-json", "", "write JSON-lines structured logs to stderr at this level (debug|info|warn|error)")
@@ -181,6 +218,19 @@ func main() {
 		if drained > 0 {
 			fmt.Printf("plinda: drained %d stale poison tuples\n", drained)
 		}
+	}
+	if *chaos != "" {
+		copts, err := parseChaosSpec(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plinda: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		// The wrapper sits between the server and whatever store was
+		// selected above (in-process, durable, or routed): every demo
+		// tuple op takes the injected delay and error rate, while remote
+		// workers served via -addr still hit the raw backend.
+		store = faultnet.WrapStore(store, copts)
+		fmt.Printf("plinda: chaos store enabled (%s)\n", *chaos)
 	}
 	srv := plinda.NewServerOnStore(store)
 	defer srv.Close()

@@ -42,6 +42,25 @@ func TestValidateWALFlags(t *testing.T) {
 	}
 }
 
+// TestParseChaosSpec pins the -chaos flag grammar: the documented
+// keys parse into faultnet.StoreOptions, anything else is refused.
+func TestParseChaosSpec(t *testing.T) {
+	opts, err := parseChaosSpec("delay=5ms,err=0.25,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Delay != 5*time.Millisecond || opts.ErrRate != 0.25 || opts.Seed != 42 {
+		t.Fatalf("parseChaosSpec = %+v", opts)
+	}
+	for _, bad := range []string{
+		"delay", "delay=-1ms", "err=2", "err=x", "seed=abc", "rate=0.1",
+	} {
+		if _, err := parseChaosSpec(bad); err == nil {
+			t.Errorf("parseChaosSpec(%q) accepted", bad)
+		}
+	}
+}
+
 // TestFsyncFlagBoot boots the binary with -wal -fsync -wal-batch and
 // lets the demo run to completion: the full workload committing
 // through the fsync group-commit pipeline, then a clean quit.

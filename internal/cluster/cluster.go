@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"freepdm/internal/faultnet"
 	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
 )
@@ -396,12 +397,19 @@ func (r *Router) hedged(ctx context.Context, take bool, tmplFields []any) (tuple
 			continue
 		}
 		launched++
+		nn := n
 		go func() {
 			var rr res
 			if take {
 				rr.t, rr.org, rr.err = cl.InTraced(hctx, tmplFields...)
 			} else {
 				rr.t, rr.err = cl.Rd(hctx, tmplFields...)
+			}
+			// Hedge goroutines bypass node.do, so they must feed the
+			// health machinery themselves: a transport error here arms
+			// the node's holdoff exactly like a failed routed op.
+			if rr.err != nil && !errors.Is(rr.err, context.Canceled) && transientErr(rr.err) {
+				nn.fault(cl, rr.err)
 			}
 			results <- rr
 		}()
@@ -422,7 +430,7 @@ func (r *Router) hedged(ctx context.Context, take bool, tmplFields []any) (tuple
 			// A second winner lost the race to the first: put its
 			// tuple back (routed to the tuple's own home node). The
 			// restore must not ride the canceled hedge context.
-			r.Out(context.Background(), rr.t...) //nolint:errcheck — best-effort compensation
+			r.compensate(rr.t)
 		case rr.err != nil && firstErr == nil && !errors.Is(rr.err, context.Canceled):
 			firstErr = rr.err
 		}
@@ -439,10 +447,34 @@ func (r *Router) hedged(ctx context.Context, take bool, tmplFields []any) (tuple
 	return nil, obs.SpanContext{}, firstErr
 }
 
+// compensate restores a hedged loser's take to the tuple's home node.
+// This is the step the "hedging never loses tuples" invariant hangs
+// on, so it is not best-effort: the Out retries through node.do within
+// the router's retry budget, and if the budget still runs out the loss
+// is made loud — logged on the default logger and counted on
+// fpdm_cluster_compensation_failures_total for alerting.
+func (r *Router) compensate(t tuplespace.Tuple) {
+	err := faultnet.Hit("cluster.hedged.compensate", t)
+	if err == nil {
+		err = r.Out(context.Background(), t...)
+	}
+	if err == nil {
+		return
+	}
+	if reg := r.reg.Load(); reg != nil {
+		reg.Counter("cluster.compensation.failures").Inc()
+	}
+	obs.Default().Error("cluster: hedged-take compensation failed, tuple lost",
+		"tuple", fmt.Sprintf("%v", t), "err", err)
+}
+
 // Inp probes for a destructive match. Constant-tagged templates go to
 // the home node; cross templates probe node by node, first success
 // wins — sequentially, because two parallel destructive probes could
-// both take a tuple and one would have to be pushed back.
+// both take a tuple and one would have to be pushed back. Down or
+// failing nodes are skipped like Rdp skips them: the first error is
+// only surfaced when no healthy node matched, so one dead node cannot
+// veto a match sitting on a live one.
 func (r *Router) Inp(ctx context.Context, tmplFields ...any) (t tuplespace.Tuple, ok bool, err error) {
 	done := r.startOp(ctx, "inp")
 	defer func() { done(err) }()
@@ -454,20 +486,33 @@ func (r *Router) Inp(ctx context.Context, tmplFields ...any) (t tuplespace.Tuple
 		})
 		return t, ok, err
 	}
+	var firstErr error
 	for _, n := range r.nodes {
-		err = n.do(ctx, func(cl *tuplespace.Client) error {
+		if !n.healthy() {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%w: node %d (%s) skipped in cross probe", ErrNodeDown, n.idx, n.addr)
+			}
+			continue
+		}
+		nerr := n.do(ctx, func(cl *tuplespace.Client) error {
 			var e error
 			t, ok, e = cl.Inp(ctx, tmplFields...)
 			return e
 		})
-		if err != nil {
-			return nil, false, err
+		if nerr != nil {
+			if firstErr == nil {
+				firstErr = nerr
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			continue
 		}
 		if ok {
 			return t, true, nil
 		}
 	}
-	return nil, false, nil
+	return nil, false, firstErr
 }
 
 // Rdp probes for a non-destructive match; cross templates scatter to

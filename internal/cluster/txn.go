@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"freepdm/internal/faultnet"
 	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
 )
@@ -18,22 +19,30 @@ import (
 // hedged across nodes, so the transaction probes instead).
 const crossProbeInterval = 2 * time.Millisecond
 
-// routerTxn is one cluster transaction. The node of the first take
-// becomes the coordinator; takes that land on other nodes open
-// follower sub-transactions there. Commit publishes outs and commits
-// followers first and the coordinator last: the coordinator's takes
-// are what made this unit of work invisible to other workers, so they
-// are only finalized once every other effect is durable. A crash
+// routerTxn is one cluster transaction. The node whose take first
+// *succeeds* becomes the coordinator; takes that land on other nodes
+// open follower sub-transactions there. Commit publishes outs and
+// commits followers first and the coordinator last: the coordinator's
+// takes are what made this unit of work invisible to other workers, so
+// they are only finalized once every other effect is durable. A crash
 // between the phases aborts the coordinator (its takes reappear and
 // the work is redone) while follower effects may survive — duplicated
 // side tuples, never lost ones — which the PLinda programs absorb by
 // idempotent accounting (see DESIGN.md).
+//
+// Pinning to the first successful take (not the first sub-transaction
+// opened) matters for cross templates: their poll loop opens a sub on
+// every node starting at node 0, so pinning to order[0] would let the
+// real take sit on a "follower" that commits in phase 1 — a crash
+// before phase 2 would then consume the task tuple while the empty
+// coordinator aborts, losing the work.
 type routerTxn struct {
 	r *Router
 
 	mu    sync.Mutex
 	subs  map[int]tuplespace.Txn
-	order []int // sub-txn creation order; order[0] is the coordinator
+	order []int // sub-txn creation order
+	coord int   // node of the first successful take; -1 until one lands
 	done  bool
 }
 
@@ -43,7 +52,17 @@ func (r *Router) Begin() (tuplespace.Txn, error) {
 	if r.closed.Load() {
 		return nil, tuplespace.ErrClientClosed
 	}
-	return &routerTxn{r: r, subs: make(map[int]tuplespace.Txn)}, nil
+	return &routerTxn{r: r, subs: make(map[int]tuplespace.Txn), coord: -1}, nil
+}
+
+// pinCoord records the node of the transaction's first successful
+// take as its commit coordinator.
+func (tx *routerTxn) pinCoord(i int) {
+	tx.mu.Lock()
+	if tx.coord < 0 {
+		tx.coord = i
+	}
+	tx.mu.Unlock()
 }
 
 // sub returns the sub-transaction on node i, opening it if needed.
@@ -80,11 +99,16 @@ func (tx *routerTxn) InTraced(ctx context.Context, tmplFields ...any) (t tuplesp
 	done := tx.r.startOp(ctx, "txn.in")
 	defer func() { done(err) }()
 	if !tuplespace.CrossTemplate(tmplFields) {
-		s, err := tx.sub(ctx, tx.r.home(tmplFields))
+		h := tx.r.home(tmplFields)
+		s, err := tx.sub(ctx, h)
 		if err != nil {
 			return nil, obs.SpanContext{}, err
 		}
-		return s.InTraced(ctx, tmplFields...)
+		t, org, err = s.InTraced(ctx, tmplFields...)
+		if err == nil {
+			tx.pinCoord(h)
+		}
+		return t, org, err
 	}
 	// Cross template: a blocking take must stay tentative, so it
 	// cannot hedge plain In calls across nodes. Poll the nodes'
@@ -100,6 +124,7 @@ func (tx *routerTxn) InTraced(ctx context.Context, tmplFields ...any) (t tuplesp
 				return nil, obs.SpanContext{}, err
 			}
 			if ok {
+				tx.pinCoord(i)
 				return t, obs.SpanContext{}, nil
 			}
 		}
@@ -115,11 +140,16 @@ func (tx *routerTxn) Inp(ctx context.Context, tmplFields ...any) (t tuplespace.T
 	done := tx.r.startOp(ctx, "txn.inp")
 	defer func() { done(err) }()
 	if !tuplespace.CrossTemplate(tmplFields) {
-		s, err := tx.sub(ctx, tx.r.home(tmplFields))
+		h := tx.r.home(tmplFields)
+		s, err := tx.sub(ctx, h)
 		if err != nil {
 			return nil, false, err
 		}
-		return s.Inp(ctx, tmplFields...)
+		t, ok, err = s.Inp(ctx, tmplFields...)
+		if ok && err == nil {
+			tx.pinCoord(h)
+		}
+		return t, ok, err
 	}
 	for i := range tx.r.nodes {
 		s, err := tx.sub(ctx, i)
@@ -128,6 +158,9 @@ func (tx *routerTxn) Inp(ctx context.Context, tmplFields ...any) (t tuplespace.T
 		}
 		t, ok, err = s.Inp(ctx, tmplFields...)
 		if err != nil || ok {
+			if ok && err == nil {
+				tx.pinCoord(i)
+			}
 			return t, ok, err
 		}
 	}
@@ -156,7 +189,7 @@ func (tx *routerTxn) commit(ctx context.Context, outs []tuplespace.Tuple, cont t
 		return tuplespace.ErrTxnFinished
 	}
 	tx.done = true
-	subs, order := tx.subs, tx.order
+	subs, order, coord := tx.subs, tx.order, tx.coord
 	tx.mu.Unlock()
 
 	// A continuation needs a coordinator to live on even when the
@@ -191,7 +224,16 @@ func (tx *routerTxn) commit(ctx context.Context, outs []tuplespace.Tuple, cont t
 		// to protect. Route the batches directly.
 		return tx.r.OutN(ctx, outs)
 	}
-	coord := order[0]
+	if coord < 0 {
+		// No take ever succeeded, so no sub holds tentative state that
+		// matters; the first opened sub serves as coordinator.
+		coord = order[0]
+	}
+
+	if err := faultnet.Hit("cluster.commit.before-phase1", coord); err != nil {
+		abortAll(0)
+		return err
+	}
 
 	// Phase 1 — followers: publish every non-coordinator batch and
 	// commit every follower sub-transaction. A failure here aborts the
@@ -229,9 +271,16 @@ func (tx *routerTxn) commit(ctx context.Context, outs []tuplespace.Tuple, cont t
 		order = removeNode(order, i)
 	}
 
+	// The window the follower-first protocol is built around: follower
+	// effects are durable, the coordinator's takes are still tentative.
+	if err := faultnet.Hit("cluster.commit.between-phases", coord); err != nil {
+		abortAll(0)
+		return err
+	}
+
 	// Phase 2 — the coordinator: its takes plus its share of the outs
 	// (and the continuation) commit atomically on the home node of the
-	// take that started the transaction.
+	// first successful take.
 	s := subs[coord]
 	if hasCont {
 		cc, ok := s.(tuplespace.ContCommitter)

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"freepdm/internal/cluster"
+	"freepdm/internal/faultnet"
+	"freepdm/internal/plinda"
+	"freepdm/internal/tuplespace"
+)
+
+// chaosHarness is the scripted-failure cluster every scenario runs
+// against: three WAL-backed tuple-space servers, each fronted by a
+// faultnet chaos proxy, and a router dialing the proxies. Scenario
+// injectors flip proxy faults and arm fault points while PLET works.
+type chaosHarness struct {
+	nodes   []*clusterNode
+	proxies []*faultnet.Proxy
+	router  *cluster.Router
+	prob    *countingProblem
+}
+
+// awaitEvals blocks until the workers are demonstrably mid-traversal,
+// so injected faults land on a working cluster, not an idle one.
+func (h *chaosHarness) awaitEvals(min int64) {
+	deadline := time.Now().Add(10 * time.Second)
+	for h.prob.evals.Load() < min && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// chaosScenario is one scripted failure. inject arms its faults and
+// returns a cleanup that disarms them and waits out any in-flight
+// crash/heal goroutines (the runner defers it before asserting).
+type chaosScenario struct {
+	name   string
+	seed   uint64
+	inject func(t *testing.T, h *chaosHarness) (cleanup func())
+}
+
+// runChaosScenario runs PLET over the harness with the scenario's
+// faults firing and asserts the global invariant the cluster claims:
+// the run's results equal SolveSequential's — work may be duplicated
+// by retries and recoveries, it is never lost.
+func runChaosScenario(t *testing.T, sc chaosScenario) {
+	base := newToyProblem(6, 120, 0.15, sc.seed)
+	seqRes, _ := SolveSequential(base)
+	h := &chaosHarness{
+		prob: &countingProblem{slowProblem: &slowProblem{toyProblem: base, delay: 2 * time.Millisecond}},
+	}
+
+	defer faultnet.Reset() // a failed scenario must not leak chaos into the next
+
+	addrs := make([]string, 3)
+	for i := range addrs {
+		n := startClusterNode(t, t.TempDir(), "127.0.0.1:0")
+		defer n.crash()
+		p, err := faultnet.NewProxy(n.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close() //nolint:errcheck
+		h.nodes = append(h.nodes, n)
+		h.proxies = append(h.proxies, p)
+		addrs[i] = p.Addr()
+	}
+
+	router, err := cluster.New(addrs, cluster.Options{
+		Dial: tuplespace.DialOptions{
+			DialTimeout: time.Second,
+			OpTimeout:   2 * time.Second,
+		},
+		RetryTimeout: 15 * time.Second,
+		Backoff:      25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	h.router = router
+
+	cleanup := sc.inject(t, h)
+
+	srv := plinda.NewServerOnStore(router)
+	defer srv.Close()
+	res, err := RunPLET(srv, h.prob, 4)
+	cleanup()
+	if err != nil {
+		t.Fatalf("RunPLET under %s: %v", sc.name, err)
+	}
+	sameResults(t, seqRes, res, "sequential", "PLET-chaos-"+sc.name)
+	if kills := srv.Kills(); kills > 0 {
+		t.Logf("%s: run survived %d proc respawns", sc.name, kills)
+	}
+}
+
+// TestChaosLocalStoreErrRate drives PLET through the chaos store
+// middleware over a plain in-memory space — the `plinda -chaos` path,
+// with no cluster in between. The static error rate kills incarnations
+// (master included) at arbitrary operation boundaries, so re-spawned
+// masters consume control tuples left over from earlier incarnations:
+// the floating-subtree case PrunedTracker must park rather than walk
+// into a missing parent (see TestPrunedTrackerFloatingSubtree).
+//
+// Under unbounded random faults the respawn budget may run out, so the
+// invariant is either/or: the run completes with exactly
+// SolveSequential's results, or it fails loudly. The two bugs this
+// test pins down are the silent third ways: finishing with results
+// missing (the floating-subtree walk), and hanging forever because the
+// master's terminal failure left the workers blocked on a task tuple
+// that would never come (Server.Stop exists for that).
+func TestChaosLocalStoreErrRate(t *testing.T) {
+	base := newToyProblem(6, 120, 0.15, 81)
+	seqRes, _ := SolveSequential(base)
+
+	store := faultnet.WrapStore(tuplespace.NewSpace(tuplespace.Options{}), faultnet.StoreOptions{
+		ErrRate: 0.015,
+		Seed:    7,
+	})
+	srv := plinda.NewServerOnStore(store)
+	defer srv.Close()
+
+	prob := &countingProblem{slowProblem: &slowProblem{toyProblem: base, delay: time.Millisecond}}
+	res, err := RunPLET(srv, prob, 4)
+	if srv.Respawns() == 0 {
+		t.Error("the error rate never killed an incarnation: the run asserted nothing")
+	}
+	if err != nil {
+		t.Logf("run failed loudly after %d respawns: %v", srv.Respawns(), err)
+		return
+	}
+	t.Logf("run completed through %d respawns", srv.Respawns())
+	sameResults(t, seqRes, res, "sequential", "PLET-chaos-local-store")
+}
+
+// TestChaosMasterRespawnStaleCtl kills the master deterministically in
+// the middle of its control-tuple consumption. The re-spawned master
+// starts a fresh tracker and re-seeds the top tasks, then consumes the
+// previous incarnation's leftover control tuples in arbitrary order —
+// so a deep node's completion can arrive before any expansion has
+// registered the node: the exact floating-subtree input
+// TestPrunedTrackerFloatingSubtree pins at the unit level. Pre-fix the
+// run either terminated early with deep results undrained or spun
+// forever in the prune walk; it must instead complete with exactly
+// SolveSequential's results.
+func TestChaosMasterRespawnStaleCtl(t *testing.T) {
+	defer faultnet.Reset()
+	// A wider, deeper tree than the scenario suite's: floating needs a
+	// node expanded mid-stream whose parent's report died with the
+	// previous master incarnation.
+	base := newToyProblem(10, 120, 0.06, 82)
+	seqRes, _ := SolveSequential(base)
+
+	store := faultnet.WrapStore(tuplespace.NewSpace(tuplespace.Options{}), faultnet.StoreOptions{})
+	srv := plinda.NewServerOnStore(store)
+	defer srv.Close()
+
+	// Mid-run, the master's control-consumption transactions are the
+	// only ones committing zero outs (a worker's task transaction
+	// always publishes at least its control tuple; the poison exits
+	// only happen after the control stream is spent). Failing every
+	// 25th kills the master deep in the stream, over and over, each
+	// time leaving the rest of that incarnation's control tuples stale
+	// in the space.
+	var ctl, fired atomic.Int32
+	disarm := faultnet.Arm("faultnet.store.txn.commit.before", func(args ...any) error {
+		if n, ok := args[0].(int); !ok || n != 0 {
+			return nil
+		}
+		if ctl.Add(1)%25 == 0 && fired.Load() < 8 {
+			fired.Add(1)
+			return faultnet.ErrInjected
+		}
+		return nil
+	})
+	defer disarm()
+
+	res, err := RunPLET(srv, &countingProblem{slowProblem: &slowProblem{toyProblem: base, delay: time.Millisecond}}, 4)
+	if err != nil {
+		t.Fatalf("RunPLET with a repeatedly-killed master: %v", err)
+	}
+	if fired.Load() < 2 {
+		t.Fatalf("master was killed %d times, want at least 2: the scenario asserted nothing", fired.Load())
+	}
+	t.Logf("master killed %d times mid-stream", fired.Load())
+	sameResults(t, seqRes, res, "sequential", "PLET-master-respawn")
+}
+
+// TestChaosScenarios is the table-driven scenario suite the faultnet
+// layer exists for: each entry scripts one failure mode the paper's
+// "free" idle-workstation fleet produces, at a protocol point a sleep
+// could never hit reliably.
+func TestChaosScenarios(t *testing.T) {
+	scenarios := []chaosScenario{
+		{
+			// The coordinator drops off the network exactly in the 2PC
+			// window where followers have committed and its own takes
+			// are still tentative: the commit must fail, the takes must
+			// roll back (conn-drop abort), and the work must be redone.
+			name: "partition-coordinator-mid-commit",
+			seed: 77,
+			inject: func(t *testing.T, h *chaosHarness) func() {
+				var hits atomic.Int32
+				var wg sync.WaitGroup
+				disarm := faultnet.Arm("cluster.commit.between-phases", func(args ...any) error {
+					if h.prob.evals.Load() < 3 || hits.Add(1) > 2 {
+						return nil
+					}
+					p := h.proxies[args[0].(int)]
+					p.Partition()
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						time.Sleep(150 * time.Millisecond)
+						p.Heal()
+					}()
+					return nil
+				})
+				return func() {
+					disarm()
+					wg.Wait()
+					for _, p := range h.proxies {
+						p.Heal()
+					}
+					if hits.Load() == 0 {
+						t.Error("scenario never partitioned a coordinator: the fault point did not fire mid-run")
+					}
+				}
+			},
+		},
+		{
+			// A follower crashes right after its phase-1 commit. Its
+			// WAL holds the committed effects, so the restart restores
+			// them; the coordinator's phase 2 proceeds and nothing is
+			// lost — at worst the retried work duplicates side tuples.
+			name: "kill-follower-after-phase-1",
+			seed: 78,
+			inject: func(t *testing.T, h *chaosHarness) func() {
+				var once sync.Once
+				var fired atomic.Bool
+				var wg sync.WaitGroup
+				disarm := faultnet.Arm("cluster.commit.between-phases", func(args ...any) error {
+					if h.prob.evals.Load() < 3 {
+						return nil
+					}
+					coord := args[0].(int)
+					once.Do(func() {
+						fired.Store(true)
+						n := h.nodes[(coord+1)%len(h.nodes)]
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							n.crash()
+							time.Sleep(250 * time.Millisecond)
+							n.restart()
+						}()
+					})
+					return nil
+				})
+				return func() {
+					disarm()
+					wg.Wait()
+					if !fired.Load() {
+						t.Error("scenario never killed a follower: the fault point did not fire mid-run")
+					}
+				}
+			},
+		},
+		{
+			// One node turns slow (delayed in both directions, the
+			// overloaded workstation): the run must ride it out, and
+			// hedged cross-template reads must keep answering fast off
+			// the healthy nodes while the slow node lags.
+			name: "slow-node-hedging",
+			seed: 79,
+			inject: func(t *testing.T, h *chaosHarness) func() {
+				const sentinel = 424242
+				if err := h.router.Out(context.Background(), "chaos-sentinel", sentinel); err != nil {
+					t.Fatal(err)
+				}
+				stop := make(chan struct{})
+				var probes atomic.Int32
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h.awaitEvals(3)
+					h.proxies[2].Delay(faultnet.ServerToClient, 60*time.Millisecond)
+					h.proxies[2].Delay(faultnet.ClientToServer, 20*time.Millisecond)
+					for i := 0; i < 20; i++ {
+						ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+						// lint:ignore cross-shard chaos fixture: the hedged cross read is the subject under test
+						_, err := h.router.Rd(ctx, tuplespace.FormalString, sentinel)
+						cancel()
+						if err != nil {
+							t.Errorf("hedged Rd under a slow node: %v", err)
+							return
+						}
+						probes.Add(1)
+						select {
+						case <-stop:
+							return
+						case <-time.After(10 * time.Millisecond):
+						}
+					}
+				}()
+				return func() {
+					close(stop)
+					wg.Wait()
+					h.proxies[2].Heal()
+					if probes.Load() == 0 {
+						t.Error("no hedged probe completed while the node was slow")
+					}
+				}
+			},
+		},
+		{
+			// A node dies in the lost-ack window of its WAL group
+			// commit: the batch is on disk, the acknowledgement never
+			// arrives. Callers see a transient failure and retry; the
+			// restart replays the WAL, so the retried work duplicates —
+			// it must never lose.
+			name: "wal-crash-during-group-commit",
+			seed: 80,
+			inject: func(t *testing.T, h *chaosHarness) func() {
+				// Tag-based homing concentrates the task tuples on one
+				// node, so the victim is whichever node's WAL commits a
+				// batch first once work is in flight — not a fixed index.
+				var once sync.Once
+				var fired atomic.Bool
+				var wg sync.WaitGroup
+				disarm := faultnet.Arm("durable.wal.after-write", func(args ...any) error {
+					if h.prob.evals.Load() < 3 {
+						return nil
+					}
+					mine := false
+					once.Do(func() {
+						var victim *clusterNode
+						for _, n := range h.nodes {
+							if n.dir == args[0] {
+								victim = n
+								break
+							}
+						}
+						if victim == nil {
+							return
+						}
+						mine = true
+						fired.Store(true)
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							victim.crash()
+							time.Sleep(250 * time.Millisecond)
+							victim.restart()
+						}()
+					})
+					if mine {
+						// ErrClosed identity survives the wire, so the
+						// router and PLinda treat this like the crash
+						// it is: retry and respawn, not abort.
+						return fmt.Errorf("injected: node crashed after the batch write: %w", tuplespace.ErrClosed)
+					}
+					return nil
+				})
+				return func() {
+					disarm()
+					wg.Wait()
+					if !fired.Load() {
+						t.Error("scenario never crashed a node in the lost-ack window: the fault point did not fire mid-run")
+					}
+				}
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) { runChaosScenario(t, sc) })
+	}
+}

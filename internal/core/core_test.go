@@ -321,6 +321,48 @@ func TestPrunedTrackerGoodLeafViaExpandedEmpty(t *testing.T) {
 	}
 }
 
+// TestPrunedTrackerFloatingSubtree is the regression for the
+// stale-control-tuple bug a re-spawned master exposes: a fresh tracker
+// can consume a leftover expansion for a node whose parent it has not
+// registered yet. When that floating subtree completes, the prune walk
+// used the zero-value "" as the missing parent — corrupting an
+// unrelated count, and, when the root key IS "" (the motif problem's
+// empty pattern), draining the root's counter so the traversal
+// terminated early with the deep results still undrained.
+func TestPrunedTrackerFloatingSubtree(t *testing.T) {
+	// Root key "": the motif E-tree shape. Pre-fix, completing the
+	// floating node "B" decremented remaining[""] and finished the run.
+	tr := NewPrunedTracker("")
+	tr.Expanded("", []string{"A"})
+	tr.Expanded("B", []string{"C"}) // stale ctl: B's parent A not registered yet
+	tr.Pruned("C")                  // B's subtree completes while floating
+	if tr.Done() {
+		t.Fatal("floating subtree completion terminated the traversal early")
+	}
+	// A's expansion registers B; the parked completion must reattach.
+	if !tr.Expanded("A", []string{"B"}) {
+		t.Fatal("registering the floating node should finish the traversal")
+	}
+}
+
+// TestPrunedTrackerFloatingSubtreeNonEmptyRoot pins the other failure
+// shape of the same bug: with a non-"" root the prune walk spun
+// forever on the "" pseudo-node instead of terminating early. The test
+// simply completing is the assertion.
+func TestPrunedTrackerFloatingSubtreeNonEmptyRoot(t *testing.T) {
+	tr := NewPrunedTracker("root")
+	tr.Expanded("root", []string{"a"})
+	tr.Expanded("b", []string{"c"}) // floating: parent "a" not registered
+	tr.Pruned("c")                  // pre-fix: infinite loop in prune()
+	if tr.Done() {
+		t.Fatal("floating subtree completion terminated the traversal early")
+	}
+	tr.Pruned("x") // another early prune, still parked
+	if !tr.Expanded("a", []string{"b", "x"}) {
+		t.Fatal("registering both parked completions should finish the traversal")
+	}
+}
+
 func TestBuildTraceShapeAndCosts(t *testing.T) {
 	p := newToyProblem(5, 100, 0.2, 17)
 	tr := BuildTrace(p)

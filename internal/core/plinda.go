@@ -542,6 +542,21 @@ func RunPLET(srv *plinda.Server, pr Problem, workers int) ([]Result, error) {
 	if err := srv.Spawn("plet-master", master); err != nil {
 		return nil, err
 	}
+	// The workers' exit depends on the master: only its poison pills
+	// release their blocking In("task"). If the master fails
+	// permanently (respawn budget exhausted, or a program bug), no
+	// poison will ever be published, so its terminal error must stop
+	// the workers too — otherwise this wait would hang forever instead
+	// of reporting the failure.
+	if err := srv.Wait("plet-master"); err != nil {
+		for i := 0; i < workers; i++ {
+			srv.Stop(fmt.Sprintf("plet-worker-%d", i)) //nolint:errcheck
+		}
+		for i := 0; i < workers; i++ {
+			srv.Wait(fmt.Sprintf("plet-worker-%d", i)) //nolint:errcheck
+		}
+		return nil, fmt.Errorf("process plet-master: %w", err)
+	}
 	if err := srv.WaitAll(); err != nil {
 		return nil, err
 	}

@@ -94,7 +94,20 @@ func (t *PrunedTracker) prune(node string) {
 			t.done = true
 			return
 		}
-		p := t.parent[node]
+		p, known := t.parent[node]
+		if !known {
+			// The node's whole subtree completed before its parent's
+			// expansion registered it — possible when a re-spawned
+			// master consumes control tuples left over from a previous
+			// incarnation's round. Park the completion like an early
+			// prune; Expanded reattaches it when the parent reports.
+			// Walking on with a zero-value parent key would corrupt an
+			// unrelated node's remaining count (fatally so when the
+			// root key is the empty string: the traversal terminates
+			// early and the undrained deep results are lost).
+			t.early[node] = true
+			return
+		}
 		delete(t.parent, node)
 		t.remaining[p]--
 		if t.remaining[p] > 0 {

@@ -55,6 +55,7 @@ import (
 	"sync"
 	"time"
 
+	"freepdm/internal/faultnet"
 	"freepdm/internal/obs"
 	"freepdm/internal/tuplespace"
 )
@@ -419,11 +420,23 @@ func (d *Space) commitWAL(seq uint64) error {
 		if d.slowWrite != nil {
 			d.slowWrite()
 		}
-		_, werr := d.f.Write(buf)
+		// Crash-timing fault points, hit outside gmu like the write
+		// itself. before-write failing means the batch never reached the
+		// file (callers must see the error AND the records must be gone
+		// after reopen); after-write failing only on success means the
+		// batch IS on disk but callers see an error — the lost-ack
+		// ambiguity that turns into duplicated, never lost, work.
+		werr := faultnet.Hit("durable.wal.before-write", d.dir, n)
+		if werr == nil {
+			_, werr = d.f.Write(buf)
+		}
 		if werr == nil && d.fsync {
 			start := time.Now()
 			werr = d.f.Sync()
 			d.fsyncH.Observe(time.Since(start))
+		}
+		if werr == nil {
+			werr = faultnet.Hit("durable.wal.after-write", d.dir, n)
 		}
 
 		d.gmu.Lock()

@@ -15,6 +15,7 @@ import (
 const (
 	tuplespacePath = "freepdm/internal/tuplespace"
 	plindaPath     = "freepdm/internal/plinda"
+	faultnetPath   = "freepdm/internal/faultnet"
 )
 
 // opInfo describes one tuple-space operation method.
@@ -297,6 +298,13 @@ func (a *analysis) tupleOpCall(call *ast.CallExpr) *opCall {
 		return nil
 	}
 	pkgPath, typeName := named.Obj().Pkg().Path(), named.Obj().Name()
+	if pkgPath == faultnetPath {
+		// faultnet handles (the chaos proxy and the store middleware,
+		// which does implement tuplespace.Store) are fault-injection
+		// plumbing, not tuple protocol use: ops through them forward
+		// verbatim and are analyzed where production code issues them.
+		return nil
+	}
 	switch {
 	case pkgPath == tuplespacePath &&
 		(typeName == "Space" || typeName == "Client" ||

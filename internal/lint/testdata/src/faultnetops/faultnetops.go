@@ -1,0 +1,30 @@
+// Package faultnetops proves faultnet handles are exempt from the
+// tuple checks: the chaos store middleware implements
+// tuplespace.Store, so method-set resolution would otherwise flag its
+// call sites — but ops through it are fault-injection plumbing, not
+// tuple protocol use. The control call on the real store below IS
+// flagged, pinning down that only the faultnet receiver is exempt.
+package faultnetops
+
+import (
+	"context"
+
+	"freepdm/internal/faultnet"
+	"freepdm/internal/tuplespace"
+)
+
+// Chaos discards errors on a faultnet store handle: no findings.
+func Chaos(ctx context.Context, s *faultnet.Store) {
+	s.Out(ctx, "evt", 1)
+	s.Inp(ctx, "evt", tuplespace.FormalInt) //nolint:errcheck — exempt anyway; the directive is not needed
+}
+
+// Control discards the same error on the real surface: flagged.
+func Control(ctx context.Context, s tuplespace.Store) {
+	s.Out(ctx, "evt", 1)
+}
+
+// Consume keeps the "evt" contract honest for the control producer.
+func Consume(ctx context.Context, s tuplespace.Store) (tuplespace.Tuple, bool, error) {
+	return s.Inp(ctx, "evt", tuplespace.FormalInt)
+}

@@ -109,6 +109,7 @@ type procState struct {
 	err          error
 	gate         *sync.Cond // suspend/resume
 	suspended    bool
+	stopped      bool // terminally withdrawn by Stop: no recovery respawn
 }
 
 // snapshotRestorer is the optional store capability Checkpoint and
@@ -389,7 +390,7 @@ func (s *Server) run(ps *procState) {
 		rs, _ := s.store.(retryableStore)
 		retryable := errors.Is(err, ErrKilled) ||
 			((s.dial != nil || (rs != nil && rs.RetryableFailures())) && transient(err))
-		if !retryable || ps.incarnation+1 > MaxRespawns || s.closed {
+		if ps.stopped || !retryable || ps.incarnation+1 > MaxRespawns || s.closed {
 			ps.status = Failed
 			ps.err = err
 			close(ps.done)
@@ -486,6 +487,36 @@ func (s *Server) Kill(name string) error {
 		}
 	}
 	obs.Default().Warn("process killed", "proc", name, "incarnation", ps.incarnation)
+	return nil
+}
+
+// Stop terminally withdraws the named process: the current incarnation
+// is destroyed like Kill's, but no recovery respawn follows — the
+// process ends FAILED with its incarnation's error. It exists for
+// programs whose processes depend on each other for liveness: when the
+// PLET master fails permanently, its workers block on a task tuple that
+// will never be published, and without Stop a WaitAll would hang
+// forever instead of surfacing the master's failure.
+func (s *Server) Stop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps, ok := s.procs[name]
+	if !ok {
+		return ErrNoProcess
+	}
+	if ps.status == Done || ps.status == Failed {
+		return nil
+	}
+	ps.stopped = true
+	ps.cancel()
+	if ps.session != nil {
+		ps.session.Close() //nolint:errcheck — abrupt close is the point
+	}
+	if ps.suspended {
+		ps.suspended = false
+		ps.gate.Broadcast()
+	}
+	obs.Default().Warn("process stopped", "proc", name, "incarnation", ps.incarnation)
 	return nil
 }
 

@@ -331,6 +331,47 @@ func TestKillWhileBlockedCompensates(t *testing.T) {
 	}
 }
 
+// TestStopIsTerminal pins the difference from Kill: a stopped process
+// is withdrawn for good — no recovery incarnation runs, Wait returns
+// its terminal error, and the take it sat in is compensated. Without
+// this, a program whose processes depend on a failed peer for their
+// exit condition (PLET workers on the master's poison) had no way out
+// of a blocking In short of closing the whole server.
+func TestStopIsTerminal(t *testing.T) {
+	srv := NewServer()
+	defer srv.Close()
+	started := make(chan struct{})
+	var incarnations atomic.Int32
+	srv.Spawn("blocked", func(p *Proc) error {
+		incarnations.Add(1)
+		if p.Incarnation() == 0 {
+			close(started)
+		}
+		_, err := p.In("never", tuplespace.FormalInt)
+		return err
+	})
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Stop("blocked"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait("blocked"); err == nil {
+		t.Fatal("a stopped process reported success")
+	}
+	if info := srv.Processes(); info[0].Status != Failed {
+		t.Fatalf("status=%v, want FAILED", info[0].Status)
+	}
+	if n := incarnations.Load(); n != 1 {
+		t.Fatalf("incarnations=%d, want 1 (Stop must not respawn)", n)
+	}
+	if err := srv.Stop("blocked"); err != nil {
+		t.Fatalf("Stop on a terminated process: %v", err)
+	}
+	if err := srv.Stop("nonexistent"); err != ErrNoProcess {
+		t.Fatalf("Stop on an unknown process: %v, want ErrNoProcess", err)
+	}
+}
+
 func TestPanicTriggersRecovery(t *testing.T) {
 	srv := NewServer()
 	defer srv.Close()
